@@ -1,0 +1,201 @@
+package moas
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The calibration regression: the full-scale run must stay within
+// documented tolerances of the paper's published aggregates. These bounds
+// are deliberately loose enough to survive benign refactoring (they accept
+// the frozen seed's realization, not a distributional test) but tight
+// enough that a broken detector, registry, scenario or classifier fails
+// loudly. Skipped in -short mode: the run takes several seconds.
+
+var (
+	calOnce sync.Once
+	calRep  *Report
+	calErr  error
+)
+
+func calibrationRun(t *testing.T) *Report {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-scale calibration run skipped in -short mode")
+	}
+	calOnce.Do(func() {
+		calRep, calErr = NewStudy(FullScale()).Run()
+	})
+	if calErr != nil {
+		t.Fatal(calErr)
+	}
+	return calRep
+}
+
+// within asserts |got-want|/want <= tol.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero target", name)
+	}
+	if dev := math.Abs(got-want) / want; dev > tol {
+		t.Errorf("%s = %.1f, paper %.1f (deviation %.1f%% > %.0f%%)",
+			name, got, want, dev*100, tol*100)
+	}
+}
+
+func TestCalibrationHeadlines(t *testing.T) {
+	rep := calibrationRun(t)
+	s := rep.Fig1Summary()
+	if s.ObservedDays != 1279 {
+		t.Errorf("observed days = %d, want 1279", s.ObservedDays)
+	}
+	within(t, "total conflicts", float64(s.TotalConflicts), 38225, 0.05)
+	within(t, "peak day", float64(s.PeakCount), 11842, 0.05)
+	within(t, "second peak", float64(s.SecondCount), 10226, 0.05)
+	if !s.PeakDate.Equal(Date(1998, time.April, 7)) {
+		t.Errorf("peak on %s, want 1998-04-07", s.PeakDate.Format("2006-01-02"))
+	}
+	if !s.SecondDate.Equal(Date(2001, time.April, 6)) {
+		t.Errorf("second peak on %s, want 2001-04-06", s.SecondDate.Format("2006-01-02"))
+	}
+}
+
+func TestCalibrationYearlyMedians(t *testing.T) {
+	rep := calibrationRun(t)
+	rows := rep.Fig2()
+	if len(rows) != 4 {
+		t.Fatalf("years = %d, want 1998-2001", len(rows))
+	}
+	paper := map[int]float64{1998: 683, 1999: 810.5, 2000: 951, 2001: 1294}
+	for _, r := range rows {
+		within(t, "median "+itoa(r.Year), r.Median, paper[r.Year], 0.06)
+	}
+	// The paper's signature: growth accelerates sharply into 2001.
+	if rows[3].GrowthPct < rows[2].GrowthPct+8 {
+		t.Errorf("2001 growth %.1f%% does not accelerate past 2000's %.1f%%",
+			rows[3].GrowthPct, rows[2].GrowthPct)
+	}
+}
+
+func TestCalibrationDurations(t *testing.T) {
+	rep := calibrationRun(t)
+	rows := rep.Fig4()
+	paper := []float64{30.9, 47.7, 107.5, 175.3, 281.8}
+	for i, r := range rows {
+		within(t, "E[d|d>"+itoa(r.ThresholdDays)+"]", r.Expectation, paper[i], 0.10)
+	}
+	// n(>9) within 10% of the paper's 10177.
+	within(t, "n(d>9)", float64(rows[2].N), 10177, 0.10)
+
+	ds := rep.DurationSummary()
+	within(t, "one-day conflicts", float64(ds.OneDayConflicts), 13730, 0.03)
+	within(t, ">300-day conflicts", float64(ds.Over300Days), 1002, 0.12)
+	within(t, "max duration", float64(ds.MaxDuration), 1246, 0.05)
+	within(t, "ongoing at end", float64(ds.Ongoing), 1326, 0.15)
+}
+
+func TestCalibrationAttribution(t *testing.T) {
+	rep := calibrationRun(t)
+	a, err := rep.AttributeDay(Date(1998, time.April, 7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Involved != 11357 {
+		t.Errorf("AS8584 involvement = %d, want exactly 11357 (scripted)", a.Involved)
+	}
+	within(t, "1998 spike total", float64(a.Total), 11842, 0.05)
+
+	s, err := rep.AttributeDaySeq(Date(2001, time.April, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "(3561,15412) involvement", float64(s.Involved), 5532, 0.02)
+	within(t, "2001-04-10 total", float64(s.Total), 6627, 0.05)
+}
+
+func TestCalibrationPrefixLengths(t *testing.T) {
+	rep := calibrationRun(t)
+	rows := rep.Fig5()
+	if len(rows) != 4 {
+		t.Fatalf("years = %d", len(rows))
+	}
+	for _, r := range rows {
+		total, at24 := 0, r.ByLen[24]
+		for bits, n := range r.ByLen {
+			total += n
+			if n > at24 {
+				t.Errorf("year %d: /%d (%d) out-masses /24 (%d)", r.Year, bits, n, at24)
+			}
+		}
+		share := float64(at24) / float64(total)
+		if share < 0.40 || share > 0.70 {
+			t.Errorf("year %d: /24 share %.2f outside [0.40, 0.70]", r.Year, share)
+		}
+	}
+}
+
+func TestCalibrationClassMix(t *testing.T) {
+	rep := calibrationRun(t)
+	from, to := rep.Fig6Window()
+	pts := rep.Fig6(from, to)
+	if len(pts) < 60 {
+		t.Fatalf("classification window has %d days", len(pts))
+	}
+	var totals [5]int
+	for _, p := range pts {
+		for c, n := range p.ByClass {
+			totals[c] += n
+		}
+	}
+	sum := totals[ClassOrigTranAS] + totals[ClassSplitView] + totals[ClassDistinctPaths] + totals[ClassRelated]
+	dp := float64(totals[ClassDistinctPaths]) / float64(sum)
+	ot := float64(totals[ClassOrigTranAS]) / float64(sum)
+	sv := float64(totals[ClassSplitView]) / float64(sum)
+	if dp < 0.70 {
+		t.Errorf("DistinctPaths share %.2f < 0.70", dp)
+	}
+	if ot < 0.03 || ot > 0.25 {
+		t.Errorf("OrigTranAS share %.2f outside [0.03, 0.25]", ot)
+	}
+	if sv < 0.01 || sv > 0.15 {
+		t.Errorf("SplitView share %.2f outside [0.01, 0.15]", sv)
+	}
+	if sv > ot {
+		t.Errorf("SplitView (%.2f) should be the smallest class (OrigTranAS %.2f)", sv, ot)
+	}
+}
+
+func TestCalibrationExchangePoints(t *testing.T) {
+	rep := calibrationRun(t)
+	sc := rep.Scenario()
+	final := rep.Result.FinalDay
+	count, ongoing := 0, 0
+	for i := range sc.Episodes {
+		e := &sc.Episodes[i]
+		if e.Cause != CauseExchangePoint {
+			continue
+		}
+		count++
+		c, ok := rep.Registry().Get(e.Prefix)
+		if !ok {
+			t.Errorf("exchange-point prefix %s never detected", e.Prefix)
+			continue
+		}
+		if c.LastDay == final {
+			ongoing++
+		}
+		// "persisted for most, if not all, of the study".
+		if c.DaysObserved < 1000 {
+			t.Errorf("exchange-point conflict %s observed only %d days", e.Prefix, c.DaysObserved)
+		}
+	}
+	if count != 30 {
+		t.Errorf("exchange points = %d, want 30", count)
+	}
+	if ongoing != count {
+		t.Errorf("only %d of %d exchange points ongoing at end", ongoing, count)
+	}
+}

@@ -1,0 +1,117 @@
+// Command moasgen materializes daily MRT TABLE_DUMP archives from the
+// synthetic Route Views scenario — the stand-in for downloading the
+// NLANR/PCH collections the paper used.
+//
+// Usage:
+//
+//	moasgen -out DIR [-scale small|full] [-days N] [-from YYYY-MM-DD]
+//
+// One file per observed day is written as DIR/rib.YYYYMMDD.mrt. Writing a
+// day materializes the complete multi-peer table, so generating many
+// full-scale days takes a while; -days bounds the count.
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"moas"
+	"moas/internal/collector"
+	"moas/internal/scenario"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	scale := flag.String("scale", "small", "scenario scale: full or small")
+	days := flag.Int("days", 7, "number of observed days to write")
+	from := flag.String("from", "", "first date to write (YYYY-MM-DD; default: scenario start)")
+	compress := flag.Bool("gzip", false, "gzip each archive (as the NLANR collection did)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "moasgen: -out is required")
+		os.Exit(2)
+	}
+	var spec moas.Spec
+	switch *scale {
+	case "full":
+		spec = moas.FullScale()
+	case "small":
+		spec = moas.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "moasgen: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	sc, err := scenario.Build(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moasgen: %v\n", err)
+		os.Exit(1)
+	}
+	startDay := 0
+	if *from != "" {
+		t, err := time.ParseInLocation("2006-01-02", *from, time.UTC)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moasgen: bad -from: %v\n", err)
+			os.Exit(2)
+		}
+		startDay = spec.DayIndex(t)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "moasgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	written := 0
+	for _, day := range sc.ObservedDays {
+		if day < startDay {
+			continue
+		}
+		if written >= *days {
+			break
+		}
+		date := sc.DayDate(day)
+		name := filepath.Join(*out, "rib."+date.Format("20060102")+".mrt")
+		if *compress {
+			name += ".gz"
+		}
+		f, err := os.Create(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moasgen: %v\n", err)
+			os.Exit(1)
+		}
+		var w io.Writer = f
+		var gz *gzip.Writer
+		if *compress {
+			gz = gzip.NewWriter(f)
+			w = gz
+		}
+		if err := collector.WriteDay(w, sc, day); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "moasgen: writing %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if gz != nil {
+			if err := gz.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "moasgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "moasgen: %v\n", err)
+			os.Exit(1)
+		}
+		info, _ := os.Stat(name)
+		fmt.Printf("wrote %s (%d bytes)\n", name, info.Size())
+		written++
+	}
+	if written == 0 {
+		fmt.Fprintln(os.Stderr, "moasgen: no observed days in range")
+		os.Exit(1)
+	}
+}

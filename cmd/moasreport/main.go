@@ -1,0 +1,99 @@
+// Command moasreport runs the MOAS study end to end and regenerates the
+// paper's exhibits as terminal tables and ASCII charts.
+//
+// Usage:
+//
+//	moasreport [-scale full|small] [-fig N] [-width W] [-height H]
+//
+// With -fig 0 (the default) every exhibit is printed; -fig 1..6 selects
+// one. The full scale reproduces the paper's 1279-day study and takes a
+// few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"moas"
+)
+
+func main() {
+	scale := flag.String("scale", "full", "scenario scale: full (paper) or small (quick)")
+	fig := flag.Int("fig", 0, "exhibit to print (1-6); 0 prints all")
+	width := flag.Int("width", 100, "chart width")
+	height := flag.Int("height", 16, "chart height")
+	verbose := flag.Bool("v", false, "print progress while running")
+	flag.Parse()
+
+	var spec moas.Spec
+	switch *scale {
+	case "full":
+		spec = moas.FullScale()
+	case "small":
+		spec = moas.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "moasreport: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	study := moas.NewStudy(spec)
+	if *verbose {
+		study.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	start := time.Now()
+	rep, err := study.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moasreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("== MOAS study %s .. %s (%d observed days, ran in %s)\n\n",
+		spec.Start.Format("2006-01-02"), spec.End.Format("2006-01-02"),
+		len(rep.Days()), time.Since(start).Round(time.Millisecond))
+
+	show := func(n int) bool { return *fig == 0 || *fig == n }
+
+	if *fig == 0 {
+		fmt.Println("== Summary (paper values in parentheses)")
+		fmt.Println(rep.Summary())
+	}
+	if show(1) {
+		fmt.Println("== Fig 1: number of MOAS conflicts per day")
+		fmt.Println(rep.RenderFig1(*width, *height))
+	}
+	if show(2) {
+		fmt.Println("== Fig 2: median of MOAS conflicts per year")
+		fmt.Println(rep.RenderFig2())
+	}
+	if show(3) {
+		fmt.Println("== Fig 3: duration of MOAS conflicts (log scale)")
+		fmt.Println(rep.RenderFig3(*width, *height))
+	}
+	if show(4) {
+		fmt.Println("== Fig 4: expectation of conflict duration")
+		fmt.Println(rep.RenderFig4())
+	}
+	if show(5) {
+		fmt.Println("== Fig 5: distribution among prefix lengths (median day per year)")
+		fmt.Println(rep.RenderFig5(40))
+	}
+	if show(6) {
+		fmt.Println("== Fig 6: distribution of classes (05/15 - 08/15)")
+		fmt.Println(rep.RenderFig6(*width, *height))
+	}
+
+	if *fig == 0 && *scale == "full" {
+		fmt.Println("== Spike attribution (§VI-E)")
+		if a, err := rep.AttributeDay(moas.Date(1998, time.April, 7), 0); err == nil {
+			fmt.Printf("%s (paper: AS8584 in 11357 of 11842)\n", a)
+		}
+		if a, err := rep.AttributeDaySeq(moas.Date(2001, time.April, 10), 0); err == nil {
+			fmt.Printf("%s (paper: (3561 15412) in 5532 of 6627)\n", a)
+		}
+		fmt.Println("\n== Identifying invalid conflicts (§VII future work)")
+		for _, e := range rep.ValiditySweep([]int{1, 3, 9, 29}, 1000) {
+			fmt.Println(e)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Classification walkthrough: the paper's §V three-way taxonomy of MOAS
+// conflicts, first on hand-built AS paths, then measured over a live
+// scenario (the Fig. 6 class mix).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"moas"
+)
+
+func main() {
+	// §V on hand-built paths. Each pair ends in different origins; the
+	// relationship between the two paths determines the class.
+	pairs := []struct {
+		name   string
+		p1, p2 string
+	}{
+		// AS 2001 originates the prefix on one path and appears as a
+		// transit AS on the other — an AS announcing itself both ways.
+		{"OrigTranAS", "701 2001", "1239 2001 3003"},
+		// Both paths run through AS 2001 as the penultimate hop: one
+		// transit AS offering routes to two different origins.
+		{"SplitView", "701 2001 3001", "1239 2001 3003"},
+		// Entirely disjoint paths — independent originations.
+		{"DistinctPaths", "701 2001 3001", "1239 2002 3002"},
+	}
+	fmt.Println("Pairwise classification (§V):")
+	for _, pr := range pairs {
+		got := moas.ClassifyPair(moas.MustParsePath(pr.p1), moas.MustParsePath(pr.p2))
+		fmt.Printf("  [%s] vs [%s] -> %s (expected %s)\n", pr.p1, pr.p2, got, pr.name)
+	}
+
+	// The same classifier over a simulated study: per-day class counts.
+	study := moas.NewStudy(moas.SmallScale())
+	report, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := report.Scenario().Spec
+	points := report.Fig6(spec.Start, spec.End)
+	var totals [5]int
+	for _, p := range points {
+		for c, n := range p.ByClass {
+			totals[c] += n
+		}
+	}
+	sum := 0
+	for _, n := range totals {
+		sum += n
+	}
+	fmt.Println("\nClass mix across the study (conflict-days):")
+	for _, c := range []moas.Class{moas.ClassDistinctPaths, moas.ClassOrigTranAS, moas.ClassSplitView, moas.ClassRelated} {
+		fmt.Printf("  %-14s %6d (%.1f%%)\n", c, totals[c], 100*float64(totals[c])/float64(sum))
+	}
+	fmt.Println("\nAs in the paper's Fig. 6, DistinctPaths dominates: without deliberate")
+	fmt.Println("traffic engineering BGP propagates one best route per AS, so multiple")
+	fmt.Println("origins usually surface as entirely disjoint paths.")
+}

@@ -1,0 +1,62 @@
+// Incident forensics: reproduce the paper's two §VI-E case studies — the
+// 1998-04-07 AS 8584 mass false origination and the 2001-04 C&W leak
+// (AS 15412 announcing thousands of prefixes through AS 3561) — and
+// re-derive their attribution from the detected data alone, exactly as the
+// paper did from the Route Views archives.
+//
+// This example runs the full 1279-day study (a few seconds).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"moas"
+)
+
+func main() {
+	study := moas.NewStudy(moas.FullScale())
+	report, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Study summary (paper values in parentheses):")
+	fmt.Println(report.Summary())
+
+	// §VI-E, first spike: "AS 8584 was involved in 11357 out of 11842
+	// conflicts that occurred during that day."
+	a1, err := report.AttributeDay(moas.Date(1998, time.April, 7), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1998 spike:  %s\n             (paper: AS8584 in 11357 of 11842)\n", a1)
+
+	// §VI-E, second spike: "the sequence (AS 3561, AS 15412) was involved
+	// in 5532 out of 6627 MOAS conflicts that occurred during that day."
+	a2, err := report.AttributeDaySeq(moas.Date(2001, time.April, 10), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2001 spike:  %s\n             (paper: (3561 15412) in 5532 of 6627)\n\n", a2)
+
+	// Show the days around each incident: storms rise and clear while the
+	// background level barely moves — the paper's argument that duration
+	// separates faults from policy.
+	for _, window := range []struct {
+		name string
+		from time.Time
+	}{
+		{"1998-04-07 (AS 8584)", moas.Date(1998, time.April, 4)},
+		{"2001-04-06 (AS 15412 via AS 3561)", moas.Date(2001, time.April, 3)},
+	} {
+		fmt.Printf("Daily counts around %s:\n", window.name)
+		for _, p := range report.Fig1() {
+			if !p.Date.Before(window.from) && p.Date.Before(window.from.AddDate(0, 0, 10)) {
+				fmt.Printf("  %s  %5d\n", p.Date.Format("2006-01-02"), p.Count)
+			}
+		}
+		fmt.Println()
+	}
+}

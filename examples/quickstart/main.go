@@ -1,0 +1,41 @@
+// Quickstart: run a small two-month MOAS study and print the headline
+// analysis — the 60-second introduction to the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"moas"
+)
+
+func main() {
+	// SmallScale is a two-month scenario with one scripted incident;
+	// FullScale reproduces the paper's 1279-day study.
+	study := moas.NewStudy(moas.SmallScale())
+	report, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("MOAS conflicts per day (first week):")
+	for _, p := range report.Fig1()[:7] {
+		fmt.Printf("  %s  %4d\n", p.Date.Format("2006-01-02"), p.Count)
+	}
+
+	fmt.Println("\nDuration expectations (the paper's Fig. 4 for this window):")
+	for _, row := range report.Fig4() {
+		fmt.Printf("  E[duration | >%2d days] = %6.1f days  (n=%d)\n",
+			row.ThresholdDays, row.Expectation, row.N)
+	}
+
+	ds := report.DurationSummary()
+	fmt.Printf("\n%d conflicts total; %d seen a single day; longest %d days; %d ongoing at end\n",
+		report.Registry().Len(), ds.OneDayConflicts, ds.MaxDuration, ds.Ongoing)
+
+	// The registry is queryable per prefix.
+	for _, c := range report.Registry().Conflicts()[:3] {
+		fmt.Printf("  %s: days=%d origins=%v class=%s\n",
+			c.Prefix, c.DaysObserved, c.OriginsEver, c.DominantClass())
+	}
+}

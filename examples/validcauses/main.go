@@ -1,0 +1,71 @@
+// Valid vs invalid conflicts: the paper's §VI argument that duration
+// separates operational practice from faults. The scenario carries ground
+// truth for every conflict (exchange points, static multihoming,
+// private-AS substitution, split-view engineering, misconfigurations,
+// hijack storms); this example re-measures the §VI-F observation that
+// valid causes produce long conflicts and faults produce short ones.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"moas"
+)
+
+func main() {
+	study := moas.NewStudy(moas.SmallScale())
+	report, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Join detected conflicts with the scenario's ground truth by prefix.
+	type bucket struct {
+		days  []int
+		valid bool
+	}
+	byCause := map[moas.Cause]*bucket{}
+	sc := report.Scenario()
+	for i := range sc.Episodes {
+		e := &sc.Episodes[i]
+		c, ok := report.Registry().Get(e.Prefix)
+		if !ok {
+			continue
+		}
+		b := byCause[e.Cause]
+		if b == nil {
+			b = &bucket{valid: e.Cause.Valid()}
+			byCause[e.Cause] = b
+		}
+		b.days = append(b.days, c.DaysObserved)
+	}
+
+	var causes []moas.Cause
+	for c := range byCause {
+		causes = append(causes, c)
+	}
+	sort.Slice(causes, func(i, j int) bool { return causes[i] < causes[j] })
+
+	fmt.Println("Observed conflict durations by ground-truth cause (§VI-F):")
+	fmt.Printf("  %-16s %-8s %6s %8s %8s\n", "cause", "valid?", "n", "mean(d)", "max(d)")
+	for _, c := range causes {
+		b := byCause[c]
+		sum, max := 0, 0
+		for _, d := range b.days {
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		fmt.Printf("  %-16s %-8v %6d %8.1f %8d\n",
+			c, b.valid, len(b.days), float64(sum)/float64(len(b.days)), max)
+	}
+
+	fmt.Println("\nExchange-point prefixes (§VI-A) persist for essentially the whole")
+	fmt.Println("study; multihoming causes last months; misconfigurations and hijack")
+	fmt.Println("storms clear within days. Duration is a useful heuristic for")
+	fmt.Println("validity — but §VI-F's caveat stands: the distributions overlap, so")
+	fmt.Println("duration alone cannot validate a conflict.")
+}

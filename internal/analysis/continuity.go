@@ -1,0 +1,41 @@
+package analysis
+
+import "moas/internal/core"
+
+// ContinuityStats quantifies the paper's §IV-B remark that a conflict's
+// duration counts its days "regardless of whether the conflict was
+// continuous": how many conflicts were actually observed on every archive
+// day of their first..last span, and how many recurred after breaks.
+type ContinuityStats struct {
+	Total        int
+	Continuous   int // observed on every archive day in the span
+	Intermittent int
+	// MaxMissedDays is the largest number of in-span archive days a
+	// single conflict skipped.
+	MaxMissedDays int
+}
+
+// Continuity computes the stats; isObserved reports whether a calendar day
+// had archive data (gap days never count against continuity).
+func Continuity(reg *core.Registry, isObserved func(day int) bool) ContinuityStats {
+	var s ContinuityStats
+	for _, c := range reg.Conflicts() {
+		s.Total++
+		expected := 0
+		for d := c.FirstDay; d <= c.LastDay; d++ {
+			if isObserved(d) {
+				expected++
+			}
+		}
+		missed := expected - c.DaysObserved
+		if missed <= 0 {
+			s.Continuous++
+			continue
+		}
+		s.Intermittent++
+		if missed > s.MaxMissedDays {
+			s.MaxMissedDays = missed
+		}
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"testing"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+)
+
+func TestContinuity(t *testing.T) {
+	reg := core.NewRegistry()
+	p1 := bgp.MustParsePrefix("10.0.0.0/24") // continuous: days 1,2,3
+	p2 := bgp.MustParsePrefix("10.0.1.0/24") // intermittent: days 1 and 5
+	p3 := bgp.MustParsePrefix("10.0.2.0/24") // continuous across a gap day
+	for _, d := range []int{1, 2, 3} {
+		reg.Record(d, p1, []bgp.ASN{1, 2}, core.ClassDistinctPaths)
+	}
+	for _, d := range []int{1, 5} {
+		reg.Record(d, p2, []bgp.ASN{1, 2}, core.ClassDistinctPaths)
+	}
+	// Day 8 is an archive gap; p3 active 7 and 9 is still "continuous".
+	for _, d := range []int{7, 9} {
+		reg.Record(d, p3, []bgp.ASN{1, 2}, core.ClassDistinctPaths)
+	}
+	isObserved := func(day int) bool { return day != 8 }
+
+	s := Continuity(reg, isObserved)
+	if s.Total != 3 {
+		t.Fatalf("total = %d", s.Total)
+	}
+	if s.Continuous != 2 || s.Intermittent != 1 {
+		t.Fatalf("continuous/intermittent = %d/%d, want 2/1", s.Continuous, s.Intermittent)
+	}
+	// p2 spans days 1..5 (all observed) = 5 expected, 2 observed → 3 missed.
+	if s.MaxMissedDays != 3 {
+		t.Fatalf("MaxMissedDays = %d, want 3", s.MaxMissedDays)
+	}
+}
+
+func TestContinuityEmpty(t *testing.T) {
+	s := Continuity(core.NewRegistry(), func(int) bool { return true })
+	if s.Total != 0 || s.Continuous != 0 || s.Intermittent != 0 {
+		t.Fatalf("empty registry stats = %+v", s)
+	}
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+)
+
+// Validity prediction is the paper's stated future work (§VII): given only
+// the detected conflict data, decide whether a conflict is operationally
+// valid (multihoming, exchange points) or invalid (fault, hijack). §VI-F
+// observes that duration separates the two imperfectly; this module
+// implements that heuristic plus a mass-origination signal and evaluates
+// both against ground truth.
+
+// ValidityEval scores one predictor configuration against ground truth.
+// Positives are *invalid* conflicts (the detection target).
+type ValidityEval struct {
+	Name           string
+	TP, FP, TN, FN int
+}
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (e ValidityEval) Precision() float64 {
+	if e.TP+e.FP == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (e ValidityEval) Recall() float64 {
+	if e.TP+e.FN == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (e ValidityEval) F1() float64 {
+	p, r := e.Precision(), e.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders a one-line scorecard.
+func (e ValidityEval) String() string {
+	return fmt.Sprintf("%-24s precision=%.3f recall=%.3f f1=%.3f (tp=%d fp=%d tn=%d fn=%d)",
+		e.Name, e.Precision(), e.Recall(), e.F1(), e.TP, e.FP, e.TN, e.FN)
+}
+
+// Truth reports ground truth for a conflict's prefix: whether the conflict
+// is valid, and whether truth is known for it.
+type Truth func(p bgp.Prefix) (valid, known bool)
+
+// EvaluatePredictor scores predictInvalid over every conflict with known
+// truth.
+func EvaluatePredictor(name string, conflicts []*core.Conflict, truth Truth, predictInvalid func(*core.Conflict) bool) ValidityEval {
+	e := ValidityEval{Name: name}
+	for _, c := range conflicts {
+		valid, known := truth(c.Prefix)
+		if !known {
+			continue
+		}
+		pred := predictInvalid(c)
+		switch {
+		case pred && !valid:
+			e.TP++
+		case pred && valid:
+			e.FP++
+		case !pred && valid:
+			e.TN++
+		default:
+			e.FN++
+		}
+	}
+	return e
+}
+
+// DurationHeuristic predicts invalid when the conflict lasted at most
+// maxDays observed days — §VI-F's "duration can be a useful heuristic".
+func DurationHeuristic(maxDays int) func(*core.Conflict) bool {
+	return func(c *core.Conflict) bool { return c.DaysObserved <= maxDays }
+}
+
+// MassOriginGroups finds origin ASes that begin conflicts with at least
+// minGroup prefixes on a single day — the §VI-E storm signature (one AS
+// suddenly originating thousands of prefixes). It returns the set of
+// conflicts belonging to such groups.
+func MassOriginGroups(conflicts []*core.Conflict, minGroup int) map[bgp.Prefix]bool {
+	type key struct {
+		day    int
+		origin bgp.ASN
+	}
+	counts := map[key]int{}
+	for _, c := range conflicts {
+		for _, o := range c.OriginsEver {
+			counts[key{c.FirstDay, o}]++
+		}
+	}
+	out := map[bgp.Prefix]bool{}
+	for _, c := range conflicts {
+		for _, o := range c.OriginsEver {
+			if counts[key{c.FirstDay, o}] >= minGroup {
+				out[c.Prefix] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CombinedHeuristic predicts invalid when the conflict is short-lived OR
+// belongs to a mass-origination group — the refinement the paper's
+// summary anticipates.
+func CombinedHeuristic(maxDays int, mass map[bgp.Prefix]bool) func(*core.Conflict) bool {
+	short := DurationHeuristic(maxDays)
+	return func(c *core.Conflict) bool { return short(c) || mass[c.Prefix] }
+}
+
+// ValiditySweep evaluates the duration heuristic across thresholds and the
+// combined heuristic at each, sorted by threshold — the ablation table.
+func ValiditySweep(conflicts []*core.Conflict, truth Truth, thresholds []int, massMin int) []ValidityEval {
+	mass := MassOriginGroups(conflicts, massMin)
+	var out []ValidityEval
+	ts := append([]int(nil), thresholds...)
+	sort.Ints(ts)
+	for _, t := range ts {
+		out = append(out, EvaluatePredictor(
+			fmt.Sprintf("duration<=%dd", t), conflicts, truth, DurationHeuristic(t)))
+		out = append(out, EvaluatePredictor(
+			fmt.Sprintf("duration<=%dd+mass", t), conflicts, truth, CombinedHeuristic(t, mass)))
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+)
+
+func conflictWith(prefix string, firstDay, days int, origins ...bgp.ASN) *core.Conflict {
+	return &core.Conflict{
+		Prefix:       bgp.MustParsePrefix(prefix),
+		FirstDay:     firstDay,
+		LastDay:      firstDay + days - 1,
+		DaysObserved: days,
+		OriginsEver:  origins,
+	}
+}
+
+func TestValidityEvalScores(t *testing.T) {
+	e := ValidityEval{TP: 8, FP: 2, TN: 5, FN: 2}
+	if math.Abs(e.Precision()-0.8) > 1e-9 {
+		t.Fatalf("precision = %v", e.Precision())
+	}
+	if math.Abs(e.Recall()-0.8) > 1e-9 {
+		t.Fatalf("recall = %v", e.Recall())
+	}
+	if math.Abs(e.F1()-0.8) > 1e-9 {
+		t.Fatalf("f1 = %v", e.F1())
+	}
+	zero := ValidityEval{}
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Fatal("degenerate eval must be 0")
+	}
+	if len(e.String()) == 0 {
+		t.Fatal("empty scorecard")
+	}
+}
+
+func TestEvaluatePredictorCounts(t *testing.T) {
+	conflicts := []*core.Conflict{
+		conflictWith("10.0.0.0/24", 0, 1, 1, 2),   // invalid (truth), short → TP
+		conflictWith("10.0.1.0/24", 0, 100, 1, 3), // valid, long → TN
+		conflictWith("10.0.2.0/24", 0, 2, 1, 4),   // valid, short → FP
+		conflictWith("10.0.3.0/24", 0, 50, 1, 5),  // invalid, long → FN
+		conflictWith("10.0.4.0/24", 0, 1, 1, 6),   // unknown truth → skipped
+	}
+	truth := func(p bgp.Prefix) (bool, bool) {
+		switch p.String() {
+		case "10.0.0.0/24":
+			return false, true
+		case "10.0.1.0/24":
+			return true, true
+		case "10.0.2.0/24":
+			return true, true
+		case "10.0.3.0/24":
+			return false, true
+		}
+		return false, false
+	}
+	e := EvaluatePredictor("d<=9", conflicts, truth, DurationHeuristic(9))
+	if e.TP != 1 || e.TN != 1 || e.FP != 1 || e.FN != 1 {
+		t.Fatalf("eval = %+v", e)
+	}
+}
+
+func TestMassOriginGroups(t *testing.T) {
+	var conflicts []*core.Conflict
+	// 5 conflicts all starting day 7 with origin 8584 → a mass group.
+	for i := 0; i < 5; i++ {
+		conflicts = append(conflicts,
+			conflictWith(bgp.PrefixFromUint32(uint32(0x0A000000+i*256), 24).String(), 7, 1, bgp.ASN(100+i), 8584))
+	}
+	// One conflict starting a different day with 8584: not grouped.
+	conflicts = append(conflicts, conflictWith("192.168.0.0/24", 9, 1, 200, 8584))
+	mass := MassOriginGroups(conflicts, 5)
+	if len(mass) != 5 {
+		t.Fatalf("mass group size = %d, want 5", len(mass))
+	}
+	if mass[bgp.MustParsePrefix("192.168.0.0/24")] {
+		t.Fatal("straggler grouped")
+	}
+	// Combined heuristic catches a long-lived storm member that the
+	// duration rule alone would miss.
+	longStorm := conflictWith(bgp.PrefixFromUint32(0x0A000000, 24).String(), 7, 50, 100, 8584)
+	pred := CombinedHeuristic(3, mass)
+	if !pred(longStorm) {
+		t.Fatal("combined heuristic missed a mass-group member")
+	}
+	if DurationHeuristic(3)(longStorm) {
+		t.Fatal("test premise broken: duration rule should miss it")
+	}
+}
+
+func TestValiditySweepShape(t *testing.T) {
+	conflicts := []*core.Conflict{
+		conflictWith("10.0.0.0/24", 0, 1, 1, 2),
+		conflictWith("10.0.1.0/24", 0, 100, 1, 3),
+	}
+	truth := func(p bgp.Prefix) (bool, bool) { return p.String() != "10.0.0.0/24", true }
+	out := ValiditySweep(conflicts, truth, []int{9, 1, 29}, 1000)
+	if len(out) != 6 {
+		t.Fatalf("sweep rows = %d", len(out))
+	}
+	// Sorted by threshold, duration rule before combined.
+	if out[0].Name != "duration<=1d" || out[1].Name != "duration<=1d+mass" || out[4].Name != "duration<=29d" {
+		t.Fatalf("sweep order: %v, %v, %v", out[0].Name, out[1].Name, out[4].Name)
+	}
+}

@@ -1,0 +1,206 @@
+package bgp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func sampleAttrs() *Attrs {
+	return &Attrs{
+		Origin:       OriginIGP,
+		ASPath:       MustParsePath("701 1239 8584"),
+		NextHop:      [4]byte{192, 0, 2, 1},
+		MED:          10,
+		HasMED:       true,
+		LocalPref:    100,
+		HasLocalPref: true,
+		Communities:  []uint32{0x02BD0001, 0x02BD0002},
+	}
+}
+
+func TestAttrsWireRoundTrip(t *testing.T) {
+	a := sampleAttrs()
+	a.AtomicAggregate = true
+	a.Aggregator = &Aggregator{AS: 701, Addr: [4]byte{10, 0, 0, 1}}
+	enc := a.AppendWire(nil)
+	var b Attrs
+	if err := b.DecodeAttrs(enc); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(&b) {
+		t.Fatalf("round trip mismatch:\n a=%+v\n b=%+v", a, &b)
+	}
+}
+
+func TestAttrsMinimalRoundTrip(t *testing.T) {
+	a := &Attrs{Origin: OriginIncomplete, ASPath: MustParsePath("3561 15412"), NextHop: [4]byte{10, 1, 1, 1}}
+	var b Attrs
+	if err := b.DecodeAttrs(a.AppendWire(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(&b) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", a, &b)
+	}
+	if b.HasMED || b.HasLocalPref || b.AtomicAggregate || b.Aggregator != nil || b.Communities != nil {
+		t.Fatalf("absent attributes materialized: %+v", &b)
+	}
+}
+
+func TestAttrsExtendedLength(t *testing.T) {
+	// A path long enough that the AS_PATH body exceeds 255 bytes forces the
+	// extended-length flag.
+	ases := make([]ASN, 200)
+	for i := range ases {
+		ases[i] = ASN(i + 1)
+	}
+	a := &Attrs{ASPath: Path{{Type: SegSequence, ASes: ases}}, NextHop: [4]byte{1, 2, 3, 4}}
+	var b Attrs
+	if err := b.DecodeAttrs(a.AppendWire(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ASPath.Equal(b.ASPath) {
+		t.Fatal("extended-length AS_PATH mismatch")
+	}
+}
+
+func TestAttrsSkipsUnknownOptional(t *testing.T) {
+	a := &Attrs{ASPath: Seq(1), NextHop: [4]byte{1, 2, 3, 4}}
+	enc := a.AppendWire(nil)
+	// Append an unknown optional transitive attribute (type 200).
+	enc = append(enc, flagOptional|flagTransitive, 200, 2, 0xde, 0xad)
+	var b Attrs
+	if err := b.DecodeAttrs(enc); err != nil {
+		t.Fatalf("unknown optional attr not skipped: %v", err)
+	}
+}
+
+func TestAttrsRejectsUnknownWellKnown(t *testing.T) {
+	enc := []byte{flagTransitive, 99, 1, 0} // well-known (non-optional) type 99
+	var b Attrs
+	if err := b.DecodeAttrs(enc); !errors.Is(err, ErrBadAttrs) {
+		t.Fatalf("err = %v, want ErrBadAttrs", err)
+	}
+}
+
+func TestAttrsDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		{flagTransitive},                      // truncated header
+		{flagTransitive | flagExtLen, 1, 0},   // truncated ext length
+		{flagTransitive, AttrOrigin, 2, 0, 0}, // ORIGIN wrong length
+		{flagTransitive, AttrNextHop, 3, 1, 2, 3},
+		{flagOptional, AttrMED, 3, 1, 2, 3},
+		{flagTransitive, AttrLocalPref, 5, 1, 2, 3, 4, 5},
+		{flagTransitive, AttrAtomicAggregate, 1, 0},
+		{flagOptional | flagTransitive, AttrAggregator, 5, 1, 2, 3, 4, 5},
+		{flagOptional | flagTransitive, AttrCommunities, 3, 1, 2, 3},
+		{flagTransitive, AttrASPath, 2, 2, 9}, // truncated path segment
+	}
+	for _, enc := range bad {
+		var b Attrs
+		if err := b.DecodeAttrs(enc); err == nil {
+			t.Errorf("DecodeAttrs(% x) succeeded, want error", enc)
+		}
+	}
+}
+
+func TestAttrsCloneIndependence(t *testing.T) {
+	a := sampleAttrs()
+	a.Aggregator = &Aggregator{AS: 1}
+	c := a.Clone()
+	c.ASPath[0].ASes[0] = 9999
+	c.Communities[0] = 7
+	c.Aggregator.AS = 2
+	if a.ASPath[0].ASes[0] != 701 || a.Communities[0] != 0x02BD0001 || a.Aggregator.AS != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	var nilAttrs *Attrs
+	if nilAttrs.Clone() != nil {
+		t.Fatal("Clone(nil) != nil")
+	}
+}
+
+func TestAttrsEqualEdgeCases(t *testing.T) {
+	a := sampleAttrs()
+	if !a.Equal(a.Clone()) {
+		t.Fatal("Equal(clone) = false")
+	}
+	b := a.Clone()
+	b.MED = 11
+	if a.Equal(b) {
+		t.Fatal("differing MED compares equal")
+	}
+	b = a.Clone()
+	b.Communities = b.Communities[:1]
+	if a.Equal(b) {
+		t.Fatal("differing communities compare equal")
+	}
+	if a.Equal(nil) || (*Attrs)(nil).Equal(a) {
+		t.Fatal("nil comparisons wrong")
+	}
+	if !(*Attrs)(nil).Equal(nil) {
+		t.Fatal("nil.Equal(nil) = false")
+	}
+}
+
+func TestQuickAttrsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 1500; i++ {
+		a := &Attrs{
+			Origin:  Origin(r.Intn(3)),
+			ASPath:  randPath(r),
+			NextHop: [4]byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))},
+		}
+		if r.Intn(2) == 0 {
+			a.MED, a.HasMED = r.Uint32(), true
+		}
+		if r.Intn(2) == 0 {
+			a.LocalPref, a.HasLocalPref = r.Uint32(), true
+		}
+		if r.Intn(4) == 0 {
+			a.AtomicAggregate = true
+		}
+		if r.Intn(4) == 0 {
+			a.Aggregator = &Aggregator{AS: ASN(r.Intn(65536)), Addr: [4]byte{1, 2, 3, 4}}
+		}
+		for j := r.Intn(4); j > 0; j-- {
+			a.Communities = append(a.Communities, r.Uint32())
+		}
+		var b Attrs
+		if err := b.DecodeAttrs(a.AppendWire(nil)); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !a.Equal(&b) {
+			t.Fatalf("round trip mismatch:\n a=%+v\n b=%+v", a, &b)
+		}
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginIGP.String() != "IGP" || OriginEGP.String() != "EGP" || OriginIncomplete.String() != "INCOMPLETE" {
+		t.Error("Origin.String misrendered")
+	}
+	if Origin(9).String() != "ORIGIN(9)" {
+		t.Error("unknown origin misrendered")
+	}
+}
+
+func BenchmarkAttrsAppendWire(b *testing.B) {
+	a := sampleAttrs()
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = a.AppendWire(buf[:0])
+	}
+}
+
+func BenchmarkAttrsDecode(b *testing.B) {
+	enc := sampleAttrs().AppendWire(nil)
+	var a Attrs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := a.DecodeAttrs(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

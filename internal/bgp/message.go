@@ -1,0 +1,204 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Message type codes (RFC 4271 §4.1).
+const (
+	MsgOpen         = 1
+	MsgUpdate       = 2
+	MsgNotification = 3
+	MsgKeepalive    = 4
+)
+
+// Header sizes.
+const (
+	headerLen = 19
+	maxMsgLen = 4096
+)
+
+// ErrBadMessage reports a malformed BGP message.
+var ErrBadMessage = errors.New("bgp: bad message")
+
+// Open is a BGP OPEN message.
+type Open struct {
+	Version   uint8
+	AS        ASN // 2-octet on the wire
+	HoldTime  uint16
+	BGPID     [4]byte
+	OptParams []byte
+}
+
+// Update is a BGP UPDATE message: withdrawn routes, path attributes and the
+// NLRI the attributes apply to. IPv4 only, as in BGP-4 without
+// multiprotocol extensions (the study-era encoding).
+type Update struct {
+	Withdrawn []Prefix
+	Attrs     *Attrs // nil when the update only withdraws
+	NLRI      []Prefix
+}
+
+// Notification is a BGP NOTIFICATION message.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+func appendHeader(dst []byte, msgType byte, bodyLen int) []byte {
+	for i := 0; i < 16; i++ {
+		dst = append(dst, 0xFF)
+	}
+	total := headerLen + bodyLen
+	return append(dst, byte(total>>8), byte(total), msgType)
+}
+
+// AppendWire appends the wire form of the OPEN message to dst.
+func (m *Open) AppendWire(dst []byte) []byte {
+	dst = appendHeader(dst, MsgOpen, 10+len(m.OptParams))
+	dst = append(dst, m.Version, byte(m.AS>>8), byte(m.AS), byte(m.HoldTime>>8), byte(m.HoldTime))
+	dst = append(dst, m.BGPID[:]...)
+	dst = append(dst, byte(len(m.OptParams)))
+	return append(dst, m.OptParams...)
+}
+
+// AppendWire appends the wire form of the UPDATE message to dst.
+func (m *Update) AppendWire(dst []byte) []byte {
+	var wd []byte
+	for _, p := range m.Withdrawn {
+		wd = p.AppendNLRI(wd)
+	}
+	var attrs []byte
+	if m.Attrs != nil {
+		attrs = m.Attrs.AppendWire(nil)
+	}
+	var nlri []byte
+	for _, p := range m.NLRI {
+		nlri = p.AppendNLRI(nlri)
+	}
+	body := 2 + len(wd) + 2 + len(attrs) + len(nlri)
+	dst = appendHeader(dst, MsgUpdate, body)
+	dst = append(dst, byte(len(wd)>>8), byte(len(wd)))
+	dst = append(dst, wd...)
+	dst = append(dst, byte(len(attrs)>>8), byte(len(attrs)))
+	dst = append(dst, attrs...)
+	return append(dst, nlri...)
+}
+
+// AppendWire appends the wire form of the NOTIFICATION message to dst.
+func (m *Notification) AppendWire(dst []byte) []byte {
+	dst = appendHeader(dst, MsgNotification, 2+len(m.Data))
+	dst = append(dst, m.Code, m.Subcode)
+	return append(dst, m.Data...)
+}
+
+// AppendKeepalive appends a KEEPALIVE message to dst.
+func AppendKeepalive(dst []byte) []byte {
+	return appendHeader(dst, MsgKeepalive, 0)
+}
+
+// DecodeMessage decodes one BGP message from b, returning the decoded
+// message (*Open, *Update, *Notification, or nil for KEEPALIVE), the number
+// of bytes consumed, and any error.
+func DecodeMessage(b []byte) (msg any, n int, err error) {
+	if len(b) < headerLen {
+		return nil, 0, fmt.Errorf("%w: short header", ErrBadMessage)
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != 0xFF {
+			return nil, 0, fmt.Errorf("%w: bad marker", ErrBadMessage)
+		}
+	}
+	total := int(b[16])<<8 | int(b[17])
+	msgType := b[18]
+	if total < headerLen || total > maxMsgLen {
+		return nil, 0, fmt.Errorf("%w: length %d", ErrBadMessage, total)
+	}
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("%w: truncated body", ErrBadMessage)
+	}
+	body := b[headerLen:total]
+	switch msgType {
+	case MsgOpen:
+		m, err := decodeOpen(body)
+		return m, total, err
+	case MsgUpdate:
+		m, err := DecodeUpdateBody(body)
+		return m, total, err
+	case MsgNotification:
+		if len(body) < 2 {
+			return nil, 0, fmt.Errorf("%w: short notification", ErrBadMessage)
+		}
+		return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, total, nil
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, 0, fmt.Errorf("%w: keepalive with body", ErrBadMessage)
+		}
+		return nil, total, nil
+	}
+	return nil, 0, fmt.Errorf("%w: type %d", ErrBadMessage, msgType)
+}
+
+func decodeOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, fmt.Errorf("%w: short open", ErrBadMessage)
+	}
+	m := &Open{
+		Version:  body[0],
+		AS:       ASN(body[1])<<8 | ASN(body[2]),
+		HoldTime: uint16(body[3])<<8 | uint16(body[4]),
+	}
+	copy(m.BGPID[:], body[5:9])
+	optLen := int(body[9])
+	if len(body) < 10+optLen {
+		return nil, fmt.Errorf("%w: truncated open params", ErrBadMessage)
+	}
+	m.OptParams = append([]byte(nil), body[10:10+optLen]...)
+	return m, nil
+}
+
+// DecodeUpdateBody decodes the body of an UPDATE message (without the
+// 19-byte header); MRT BGP4MP records embed whole messages, while
+// TABLE_DUMP records embed bare attribute blocks decoded via Attrs.
+func DecodeUpdateBody(body []byte) (*Update, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: short update", ErrBadMessage)
+	}
+	wdLen := int(body[0])<<8 | int(body[1])
+	if len(body) < 2+wdLen+2 {
+		return nil, fmt.Errorf("%w: truncated withdrawn block", ErrBadMessage)
+	}
+	m := &Update{}
+	wd := body[2 : 2+wdLen]
+	for len(wd) > 0 {
+		p, n, err := DecodeNLRI(wd, FamilyIPv4)
+		if err != nil {
+			return nil, err
+		}
+		m.Withdrawn = append(m.Withdrawn, p)
+		wd = wd[n:]
+	}
+	rest := body[2+wdLen:]
+	attrLen := int(rest[0])<<8 | int(rest[1])
+	if len(rest) < 2+attrLen {
+		return nil, fmt.Errorf("%w: truncated attribute block", ErrBadMessage)
+	}
+	if attrLen > 0 {
+		m.Attrs = new(Attrs)
+		if err := m.Attrs.DecodeAttrs(rest[2 : 2+attrLen]); err != nil {
+			return nil, err
+		}
+	}
+	nlri := rest[2+attrLen:]
+	for len(nlri) > 0 {
+		p, n, err := DecodeNLRI(nlri, FamilyIPv4)
+		if err != nil {
+			return nil, err
+		}
+		m.NLRI = append(m.NLRI, p)
+		nlri = nlri[n:]
+	}
+	return m, nil
+}

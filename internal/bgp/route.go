@@ -1,0 +1,33 @@
+package bgp
+
+import "fmt"
+
+// Route binds a prefix to the path attributes a particular peer advertised
+// for it. It is the unit the RIB, collector and MOAS detector exchange.
+type Route struct {
+	Prefix Prefix
+	Attrs  *Attrs
+}
+
+// Origin returns the origin AS of the route's AS path, with ok=false when
+// the path terminates in an AS_SET (such routes are excluded from MOAS
+// analysis, per §III of the paper).
+func (r Route) Origin() (ASN, bool) {
+	if r.Attrs == nil {
+		return 0, false
+	}
+	return r.Attrs.ASPath.Origin()
+}
+
+// Path returns the route's AS path (nil when attributes are absent).
+func (r Route) Path() Path {
+	if r.Attrs == nil {
+		return nil
+	}
+	return r.Attrs.ASPath
+}
+
+// String renders a bgpdump-style one-liner.
+func (r Route) String() string {
+	return fmt.Sprintf("%s via [%s]", r.Prefix, r.Path())
+}

@@ -1,0 +1,140 @@
+// Package collector plays the role of the Oregon Route Views server: it
+// assembles the per-peer daily tables a scenario produces and writes them
+// as MRT TABLE_DUMP archives — the on-disk format of the NLANR and PCH
+// collections the paper parsed — and reads such archives back into the
+// table views the detector consumes.
+package collector
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"moas/internal/bgp"
+	"moas/internal/mrt"
+	"moas/internal/rib"
+	"moas/internal/scenario"
+)
+
+// ViewNum identifies the collector's single view in TABLE_DUMP records.
+const ViewNum = 0
+
+// peerIPFor synthesizes a stable collector-LAN address for a peer index.
+func peerIPFor(peerID uint16) [16]byte {
+	return [16]byte{198, 32, byte(peerID >> 8), byte(peerID)}
+}
+
+// nextHopFor synthesizes the peer's announced next hop.
+func nextHopFor(peerID uint16) [4]byte {
+	return [4]byte{198, 32, byte(peerID >> 8), byte(peerID)}
+}
+
+// WriteDay serializes one calendar day's complete multi-peer table as an
+// MRT TABLE_DUMP stream: one record per (prefix, peer route), in canonical
+// prefix order, with the day's date as the record timestamp.
+func WriteDay(w io.Writer, sc *scenario.Scenario, day int) error {
+	view := sc.TableViewAt(day)
+	return WriteView(w, view, uint32(sc.DayDate(day).Unix()))
+}
+
+// WriteView serializes an arbitrary table view at the given timestamp.
+func WriteView(w io.Writer, view *rib.TableView, timestamp uint32) error {
+	mw := mrt.NewWriter(w)
+	seq := uint16(0)
+	var werr error
+	for _, prefix := range view.Prefixes() {
+		for _, pr := range view.Routes(prefix) {
+			attrs := pr.Route.Attrs
+			if attrs == nil {
+				continue
+			}
+			td := &mrt.TableDump{
+				ViewNum:        ViewNum,
+				Seq:            seq,
+				Prefix:         prefix,
+				Status:         1,
+				OriginatedTime: timestamp,
+				PeerIP:         peerIPFor(pr.PeerID),
+				PeerAS:         pr.PeerAS,
+				Attrs:          attrs,
+			}
+			if !attrsHaveNextHop(attrs) {
+				// TABLE_DUMP attributes carry NEXT_HOP on the wire; the
+				// simulator does not model next hops, so synthesize one.
+				cp := *attrs
+				cp.NextHop = nextHopFor(pr.PeerID)
+				td.Attrs = &cp
+			}
+			if err := mw.WriteTableDump(timestamp, td); err != nil {
+				werr = err
+				break
+			}
+			seq++ // wraps at 65535, as in real multi-100k-record dumps
+		}
+	}
+	if werr != nil {
+		return werr
+	}
+	return mw.Flush()
+}
+
+func attrsHaveNextHop(a *bgp.Attrs) bool {
+	return a.NextHop != [4]byte{}
+}
+
+// ReadDay parses a TABLE_DUMP stream back into a table view, mapping each
+// distinct (peer IP, peer AS) to a stable peer ID in order of first
+// appearance — exactly how the paper's tooling reconstructed per-peer
+// tables from archive files. Gzip-compressed input (the NLANR archives
+// shipped as oix-full-snapshot-*.gz) is detected and decompressed
+// transparently. Unknown record types are skipped.
+func ReadDay(r io.Reader) (*rib.TableView, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("collector: gzip: %w", err)
+		}
+		defer gz.Close()
+		return readDayMRT(gz)
+	}
+	return readDayMRT(br)
+}
+
+func readDayMRT(r io.Reader) (*rib.TableView, error) {
+	mr := mrt.NewReader(r)
+	view := rib.NewTableView()
+	type peerKey struct {
+		ip [16]byte
+		as bgp.ASN
+	}
+	peerIDs := map[peerKey]uint16{}
+	var td mrt.TableDump
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return view, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != mrt.TypeTableDump {
+			continue
+		}
+		if err := td.DecodeTableDump(rec.Body, rec.Subtype); err != nil {
+			return nil, fmt.Errorf("collector: record %d: %w", view.Len(), err)
+		}
+		key := peerKey{ip: td.PeerIP, as: td.PeerAS}
+		id, ok := peerIDs[key]
+		if !ok {
+			id = uint16(len(peerIDs))
+			peerIDs[key] = id
+		}
+		view.Add(rib.PeerRoute{
+			PeerID: id,
+			PeerAS: td.PeerAS,
+			Route:  bgp.Route{Prefix: td.Prefix, Attrs: td.Attrs.Clone()},
+		})
+	}
+}

@@ -1,0 +1,272 @@
+package collector
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+	"moas/internal/mrt"
+	"moas/internal/rib"
+	"moas/internal/scenario"
+)
+
+func smallScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	spec := scenario.TestSpec()
+	spec.Topology.Stubs = 80
+	spec.Plan.MeanPrefixesPerStub = 3
+	spec.Anchors = []scenario.YearAnchor{{Date: spec.Start, Active: 15}, {Date: spec.End, Active: 20}}
+	spec.Storms = nil
+	sc, err := scenario.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestWriteReadRoundTripPreservesDetection is the end-to-end archive
+// fidelity test: a day serialized to genuine MRT bytes and parsed back
+// must yield the same conflicts, origins and classifications as the
+// in-memory view — the property that makes the synthetic archive a valid
+// stand-in for the NLANR/PCH files.
+func TestWriteReadRoundTripPreservesDetection(t *testing.T) {
+	sc := smallScenario(t)
+	day := sc.ObservedDays[len(sc.ObservedDays)/2]
+
+	var buf bytes.Buffer
+	if err := WriteDay(&buf, sc, day); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty archive")
+	}
+
+	parsed, err := ReadDay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := sc.TableViewAt(day)
+	if parsed.Len() != direct.Len() {
+		t.Fatalf("prefix counts differ: parsed %d, direct %d", parsed.Len(), direct.Len())
+	}
+
+	dDirect := core.NewDetector()
+	obsDirect := dDirect.ObserveView(day, direct)
+	dParsed := core.NewDetector()
+	obsParsed := dParsed.ObserveView(day, parsed)
+
+	if obsDirect.Count() != obsParsed.Count() {
+		t.Fatalf("conflict counts differ: direct %d, parsed %d", obsDirect.Count(), obsParsed.Count())
+	}
+	if obsDirect.ExcludedASSet != obsParsed.ExcludedASSet {
+		t.Fatalf("AS_SET exclusions differ: %d vs %d", obsDirect.ExcludedASSet, obsParsed.ExcludedASSet)
+	}
+	for i := range obsDirect.Conflicts {
+		a, b := obsDirect.Conflicts[i], obsParsed.Conflicts[i]
+		if a.Prefix != b.Prefix || a.Class != b.Class || len(a.Origins) != len(b.Origins) {
+			t.Fatalf("conflict %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Origins {
+			if a.Origins[j] != b.Origins[j] {
+				t.Fatalf("conflict %d origins differ", i)
+			}
+		}
+	}
+}
+
+func TestWriteDayRecordShape(t *testing.T) {
+	sc := smallScenario(t)
+	day := sc.ObservedDays[0]
+	var buf bytes.Buffer
+	if err := WriteDay(&buf, sc, day); err != nil {
+		t.Fatal(err)
+	}
+	wantTS := uint32(sc.DayDate(day).Unix())
+	r := mrt.NewReader(&buf)
+	records := 0
+	var td mrt.TableDump
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		records++
+		if rec.Type != mrt.TypeTableDump {
+			t.Fatalf("record type %v", rec.Type)
+		}
+		if rec.Timestamp != wantTS {
+			t.Fatalf("timestamp %d, want %d", rec.Timestamp, wantTS)
+		}
+		if err := td.DecodeTableDump(rec.Body, rec.Subtype); err != nil {
+			t.Fatal(err)
+		}
+		if td.Attrs.NextHop == ([4]byte{}) {
+			t.Fatal("record without NEXT_HOP")
+		}
+	}
+	view := sc.TableViewAt(day)
+	wantRecords := 0
+	view.Walk(func(_ bgp.Prefix, rs []rib.PeerRoute) bool { wantRecords += len(rs); return true })
+	if records != wantRecords {
+		t.Fatalf("records = %d, want %d", records, wantRecords)
+	}
+}
+
+func TestReadDaySkipsUnknownRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	// A BGP4MP record the table reader must skip.
+	if err := w.WriteBGP4MPStateChange(1, &mrt.BGP4MPStateChange{Family: bgp.FamilyIPv4, OldState: 1, NewState: 6}); err != nil {
+		t.Fatal(err)
+	}
+	td := &mrt.TableDump{
+		Prefix: bgp.MustParsePrefix("10.0.0.0/8"),
+		PeerAS: 701,
+		Attrs:  &bgp.Attrs{ASPath: bgp.Seq(701, 9), NextHop: [4]byte{1, 2, 3, 4}},
+	}
+	if err := w.WriteTableDump(2, td); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	view, err := ReadDay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 1 {
+		t.Fatalf("view has %d prefixes", view.Len())
+	}
+}
+
+func TestReadDayPeerIdentity(t *testing.T) {
+	// Two routes from the same peer must get one peer ID; a third from a
+	// different peer must get another.
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	mk := func(prefix string, peerAS bgp.ASN, peerIP byte) *mrt.TableDump {
+		return &mrt.TableDump{
+			Prefix: bgp.MustParsePrefix(prefix),
+			PeerAS: peerAS,
+			PeerIP: [16]byte{peerIP},
+			Attrs:  &bgp.Attrs{ASPath: bgp.Seq(peerAS, 9), NextHop: [4]byte{1, 2, 3, 4}},
+		}
+	}
+	for _, td := range []*mrt.TableDump{
+		mk("10.0.0.0/8", 701, 1), mk("20.0.0.0/8", 701, 1), mk("10.0.0.0/8", 3356, 2),
+	} {
+		if err := w.WriteTableDump(1, td); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	view, err := ReadDay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := view.Routes(bgp.MustParsePrefix("10.0.0.0/8"))
+	if len(routes) != 2 || routes[0].PeerID == routes[1].PeerID {
+		t.Fatalf("peer identity wrong: %+v", routes)
+	}
+	r2 := view.Routes(bgp.MustParsePrefix("20.0.0.0/8"))
+	if len(r2) != 1 || r2[0].PeerID != routes[0].PeerID {
+		t.Fatalf("same-peer routes got different IDs")
+	}
+}
+
+func TestReadDayGzip(t *testing.T) {
+	sc := smallScenario(t)
+	day := sc.ObservedDays[0]
+	var raw bytes.Buffer
+	if err := WriteDay(&raw, sc, day); err != nil {
+		t.Fatal(err)
+	}
+	var gzbuf bytes.Buffer
+	gz := gzip.NewWriter(&gzbuf)
+	if _, err := gz.Write(raw.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ReadDay(bytes.NewReader(raw.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipped, err := ReadDay(&gzbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != zipped.Len() {
+		t.Fatalf("gzip round trip lost prefixes: %d vs %d", plain.Len(), zipped.Len())
+	}
+	// Corrupt gzip header after magic bytes must error cleanly.
+	if _, err := ReadDay(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0xff})); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}
+
+func TestReadDayCorruptRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	// Hand-write a TABLE_DUMP record with a garbage body.
+	if err := w.WriteRecord(1, mrt.TypeTableDump, mrt.SubtypeAFIIPv4, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDay(&buf); err == nil {
+		t.Fatal("corrupt record accepted")
+	}
+}
+
+func BenchmarkWriteDay(b *testing.B) {
+	spec := scenario.TestSpec()
+	spec.Topology.Stubs = 80
+	spec.Plan.MeanPrefixesPerStub = 3
+	spec.Storms = nil
+	sc, err := scenario.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := sc.ObservedDays[0]
+	var buf bytes.Buffer
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteDay(&buf, sc, day); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkReadDay(b *testing.B) {
+	spec := scenario.TestSpec()
+	spec.Topology.Stubs = 80
+	spec.Plan.MeanPrefixesPerStub = 3
+	spec.Storms = nil
+	sc, err := scenario.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDay(&buf, sc, sc.ObservedDays[0]); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadDay(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"moas/internal/bgp"
+	"moas/internal/rib"
+)
+
+func path(s string) bgp.Path { return bgp.MustParsePath(s) }
+
+func TestClassifyPair(t *testing.T) {
+	cases := []struct {
+		name   string
+		p1, p2 string
+		want   Class
+	}{
+		{"origin as transit", "701 2001", "1239 2001 3003", ClassOrigTranAS},
+		{"origin as transit reversed", "1239 2001 3003", "701 2001", ClassOrigTranAS},
+		{"split view", "701 2001 3001", "1239 2001 3003", ClassSplitView},
+		{"distinct", "701 2001 3001", "1239 2002 3002", ClassDistinctPaths},
+		{"related upstream overlap", "701 2001 3001", "701 2002 3002", ClassRelated},
+		{"same origin", "701 3001", "1239 3001", ClassNone},
+		{"set-terminated", "701 {1,2}", "1239 3001", ClassNone},
+		{"empty", "", "1239 3001", ClassNone},
+	}
+	for _, c := range cases {
+		if got := ClassifyPair(path(c.p1), path(c.p2)); got != c.want {
+			t.Errorf("%s: ClassifyPair(%q,%q) = %v, want %v", c.name, c.p1, c.p2, got, c.want)
+		}
+	}
+}
+
+func TestClassifyPairSymmetric(t *testing.T) {
+	pairs := [][2]string{
+		{"701 2001", "1239 2001 3003"},
+		{"701 2001 3001", "1239 2001 3003"},
+		{"701 2001 3001", "1239 2002 3002"},
+		{"701 2001 3001", "701 2002 3002"},
+	}
+	for _, pr := range pairs {
+		a, b := path(pr[0]), path(pr[1])
+		if ClassifyPair(a, b) != ClassifyPair(b, a) {
+			t.Errorf("ClassifyPair not symmetric for %q / %q", pr[0], pr[1])
+		}
+	}
+}
+
+func TestClassifyPairPrecedence(t *testing.T) {
+	// Both OrigTranAS and SplitView signatures present: OrigTranAS wins.
+	// p1 = (701 2001), p2 = (9 701 2001 3003): origin of p1 (2001) is
+	// transit in p2, and the penultimate check would also fire via 2001.
+	got := ClassifyPair(path("701 2001"), path("9 701 2001 3003"))
+	if got != ClassOrigTranAS {
+		t.Fatalf("precedence: got %v, want OrigTranAS", got)
+	}
+}
+
+func prs(paths ...string) []rib.PeerRoute {
+	out := make([]rib.PeerRoute, len(paths))
+	for i, s := range paths {
+		out[i] = rib.PeerRoute{
+			PeerID: uint16(i),
+			Route: bgp.Route{
+				Prefix: bgp.MustParsePrefix("203.0.113.0/24"),
+				Attrs:  &bgp.Attrs{ASPath: path(s)},
+			},
+		}
+	}
+	return out
+}
+
+func TestClassifyRoutes(t *testing.T) {
+	cases := []struct {
+		name  string
+		paths []string
+		want  Class
+	}{
+		{"no conflict", []string{"701 3001", "1239 3001"}, ClassNone},
+		{"distinct dominant", []string{"701 2001 3001", "1239 2002 3002"}, ClassDistinctPaths},
+		{"split beats distinct", []string{
+			"701 2001 3001",  // origin 3001
+			"1239 2001 3003", // origin 3003: split with the first
+			"209 2002 3002",  // origin 3002: distinct with both
+		}, ClassSplitView},
+		{"origtran beats all", []string{
+			"701 2001",       // origin 2001
+			"1239 2001 3003", // 2001 transits: OrigTranAS
+			"209 2002 3002",  // distinct
+		}, ClassOrigTranAS},
+		{"related only", []string{"701 2001 3001", "701 2002 3002"}, ClassRelated},
+		{"single route", []string{"701 3001"}, ClassNone},
+		{"empty", nil, ClassNone},
+	}
+	for _, c := range cases {
+		if got := ClassifyRoutes(prs(c.paths...)); got != c.want {
+			t.Errorf("%s: ClassifyRoutes = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyRoutesIgnoresASSetRoutes(t *testing.T) {
+	routes := prs("701 2001 3001", "1239 {7,8}", "209 2002 3002")
+	if got := ClassifyRoutes(routes); got != ClassDistinctPaths {
+		t.Fatalf("AS_SET route not ignored: %v", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassNone: "None", ClassOrigTranAS: "OrigTranAS", ClassSplitView: "SplitView",
+		ClassDistinctPaths: "DistinctPaths", ClassRelated: "Related",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestPenultimateHelper(t *testing.T) {
+	cases := []struct {
+		path string
+		want bgp.ASN
+		ok   bool
+	}{
+		{"701 2001 3001", 2001, true},
+		{"3001", 0, false},
+		{"", 0, false},
+		{"701 {1,2}", 0, false},  // no origin at all
+		{"{1,2} 3001", 0, false}, // set immediately before origin-only seq
+		{"701 {1,2} 3001", 0, false} /* set in penultimate position */, {"701 9 3001", 9, true},
+	}
+	for _, c := range cases {
+		got, ok := path(c.path).Penultimate()
+		if ok != c.ok || got != c.want {
+			t.Errorf("Penultimate(%q) = (%v,%v), want (%v,%v)", c.path, got, ok, c.want, c.ok)
+		}
+	}
+}

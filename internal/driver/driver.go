@@ -1,0 +1,255 @@
+// Package driver runs a scenario through the MOAS detection pipeline and
+// collects the per-day statistics the analysis layer turns into the
+// paper's tables and figures.
+//
+// Two drivers are provided. Run is the incremental multi-year driver: it
+// walks the observation calendar with a cursor and summarizes each episode
+// exactly once (an episode's advertisement set — hence its origin set and
+// classification — is constant for its lifetime, and non-conflicted
+// background prefixes cannot enter conflict without an episode). RunFullScan
+// materializes every day's complete multi-peer table and runs the paper's
+// full-table methodology over it; a test proves the two produce identical
+// registries, which is what licenses the fast path.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+	"moas/internal/rib"
+	"moas/internal/scenario"
+)
+
+// MaxPrefixBits sizes per-length accumulators (IPv4 /0../32).
+const MaxPrefixBits = 33
+
+// Config parameterizes a run.
+type Config struct {
+	Spec scenario.Spec
+
+	// Watch lists ASes whose per-day conflict involvement is tracked
+	// (spike attribution, §VI-E).
+	Watch []bgp.ASN
+
+	// WatchSeqs lists AS-path subsequences (e.g. 3561→15412) whose
+	// per-day occurrence across conflicts is tracked.
+	WatchSeqs [][2]bgp.ASN
+
+	// Progress, when non-nil, receives coarse progress lines.
+	Progress func(string)
+}
+
+// DayStats is one observed day's aggregate detection output.
+type DayStats struct {
+	Day  int // calendar-day index
+	Date time.Time
+
+	// Total is the number of MOAS conflicts observed (Fig. 1).
+	Total int
+
+	// ByClass counts conflicts per classification (Fig. 6).
+	ByClass [core.NumClasses]int
+
+	// ByLen counts conflicts per prefix length (Fig. 5).
+	ByLen [MaxPrefixBits]int
+
+	// Involvement[i] counts conflicts whose origin set includes Watch[i].
+	Involvement []int
+
+	// SeqHits[i] counts conflicts with WatchSeqs[i] consecutive in some
+	// observed AS path.
+	SeqHits []int
+}
+
+// Result is a completed run.
+type Result struct {
+	Scenario *scenario.Scenario
+	Registry *core.Registry
+	Days     []DayStats
+	// FinalDay is the last observed calendar day (for ongoing counts).
+	FinalDay int
+}
+
+// episodeSummary caches the per-episode facts the incremental driver
+// needs; they are invariant over the episode's life.
+type episodeSummary struct {
+	visible  bool
+	origins  []bgp.ASN
+	class    core.Class
+	bits     uint8
+	involves []bool // aligned with Config.Watch
+	seqHits  []bool // aligned with Config.WatchSeqs
+}
+
+// Run executes the incremental driver.
+func Run(cfg Config) (*Result, error) {
+	sc, err := scenario.Build(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return RunScenario(sc, cfg)
+}
+
+// RunScenario executes the incremental driver over a pre-built scenario
+// (callers reuse one scenario across experiments; builds are expensive).
+func RunScenario(sc *scenario.Scenario, cfg Config) (*Result, error) {
+	detector := core.NewDetector()
+	res := &Result{
+		Scenario: sc,
+		Registry: detector.Registry(),
+		FinalDay: sc.FinalObservedDay(),
+	}
+
+	summaries := make(map[int]*episodeSummary)
+	summarize := func(id int) *episodeSummary {
+		if s, ok := summaries[id]; ok {
+			return s
+		}
+		s := buildSummary(sc, cfg, id)
+		summaries[id] = s
+		return s
+	}
+
+	cursor := sc.NewCursor()
+	for i, day := range sc.ObservedDays {
+		active := cursor.Advance(day)
+		ds := DayStats{
+			Day:         day,
+			Date:        sc.DayDate(day),
+			Involvement: make([]int, len(cfg.Watch)),
+			SeqHits:     make([]int, len(cfg.WatchSeqs)),
+		}
+		for id := range active {
+			s := summarize(id)
+			if !s.visible {
+				continue
+			}
+			detector.Registry().Record(day, sc.Episodes[id].Prefix, s.origins, s.class)
+			ds.Total++
+			ds.ByClass[s.class]++
+			ds.ByLen[s.bits]++
+			for w := range cfg.Watch {
+				if s.involves[w] {
+					ds.Involvement[w]++
+				}
+			}
+			for w := range cfg.WatchSeqs {
+				if s.seqHits[w] {
+					ds.SeqHits[w]++
+				}
+			}
+		}
+		res.Days = append(res.Days, ds)
+		if cfg.Progress != nil && (i%200 == 0 || i == len(sc.ObservedDays)-1) {
+			cfg.Progress(fmt.Sprintf("day %d/%d (%s): %d conflicts",
+				i+1, len(sc.ObservedDays), ds.Date.Format("2006-01-02"), ds.Total))
+		}
+	}
+	return res, nil
+}
+
+// buildSummary materializes one episode's routes, extracts the invariant
+// facts, and lets the routes go.
+func buildSummary(sc *scenario.Scenario, cfg Config, id int) *episodeSummary {
+	routes := sc.EpisodeRoutesNoCache(id)
+	origins, _ := rib.OriginsOf(routes)
+	s := &episodeSummary{
+		bits:     sc.Episodes[id].Prefix.Bits(),
+		involves: make([]bool, len(cfg.Watch)),
+		seqHits:  make([]bool, len(cfg.WatchSeqs)),
+	}
+	if len(origins) < 2 {
+		return s // invisible: never a conflict at the collector
+	}
+	s.visible = true
+	s.origins = origins
+	s.class = core.ClassifyRoutes(routes)
+	for w, a := range cfg.Watch {
+		for _, o := range origins {
+			if o == a {
+				s.involves[w] = true
+				break
+			}
+		}
+	}
+	for w, seq := range cfg.WatchSeqs {
+		for _, pr := range routes {
+			if hasSeq(pr.Route.Path(), seq) {
+				s.seqHits[w] = true
+				break
+			}
+		}
+	}
+	return s
+}
+
+// hasSeq reports whether the consecutive AS pair appears in the path.
+func hasSeq(p bgp.Path, seq [2]bgp.ASN) bool {
+	for _, seg := range p {
+		if seg.Type != bgp.SegSequence {
+			continue
+		}
+		for i := 0; i+1 < len(seg.ASes); i++ {
+			if seg.ASes[i] == seq[0] && seg.ASes[i+1] == seq[1] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunFullScan executes the paper's methodology literally: for every
+// observed day it assembles the complete multi-peer table (background,
+// episodes, AS_SET aggregates) and full-scans it. It is O(table) per day —
+// used for fidelity tests and archive generation, not the 1279-day run.
+func RunFullScan(cfg Config) (*Result, error) {
+	sc, err := scenario.Build(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return RunFullScanScenario(sc, cfg)
+}
+
+// RunFullScanScenario is RunFullScan over a pre-built scenario.
+func RunFullScanScenario(sc *scenario.Scenario, cfg Config) (*Result, error) {
+	detector := core.NewDetector()
+	res := &Result{
+		Scenario: sc,
+		Registry: detector.Registry(),
+		FinalDay: sc.FinalObservedDay(),
+	}
+	for _, day := range sc.ObservedDays {
+		view := sc.TableViewAt(day)
+		obs := detector.ObserveView(day, view)
+		ds := DayStats{
+			Day:         day,
+			Date:        sc.DayDate(day),
+			Total:       obs.Count(),
+			Involvement: make([]int, len(cfg.Watch)),
+			SeqHits:     make([]int, len(cfg.WatchSeqs)),
+		}
+		for _, c := range obs.Conflicts {
+			ds.ByClass[c.Class]++
+			ds.ByLen[c.Prefix.Bits()]++
+		}
+		for w, a := range cfg.Watch {
+			ds.Involvement[w] = obs.InvolvementOf(a)
+		}
+		for w, seq := range cfg.WatchSeqs {
+			n := 0
+			for _, c := range obs.Conflicts {
+				for _, pr := range view.Routes(c.Prefix) {
+					if hasSeq(pr.Route.Path(), seq) {
+						n++
+						break
+					}
+				}
+			}
+			ds.SeqHits[w] = n
+		}
+		res.Days = append(res.Days, ds)
+	}
+	return res, nil
+}

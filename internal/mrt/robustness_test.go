@@ -1,0 +1,81 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// Robustness: the MRT layer parses whatever an archive contains; random
+// and corrupted record bodies must produce errors, never panics, and the
+// stream reader must always terminate.
+
+func TestDecodeRecordNeverPanicsOnRandomBodies(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	types := []Type{TypeTableDump, TypeTableDumpV2, TypeBGP4MP, Type(99)}
+	subs := []uint16{0, 1, 2, 4, 9}
+	for i := 0; i < 30000; i++ {
+		body := make([]byte, r.Intn(80))
+		for j := range body {
+			body[j] = byte(r.Intn(256))
+		}
+		rec := Record{
+			Header: Header{
+				Type:    types[r.Intn(len(types))],
+				Subtype: subs[r.Intn(len(subs))],
+				Length:  uint32(len(body)),
+			},
+			Body: body,
+		}
+		_, _ = DecodeRecord(rec)
+	}
+}
+
+func TestReaderTerminatesOnGarbageStreams(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for i := 0; i < 500; i++ {
+		garbage := make([]byte, r.Intn(4096))
+		for j := range garbage {
+			garbage[j] = byte(r.Intn(256))
+		}
+		reader := NewReader(bytes.NewReader(garbage))
+		for steps := 0; steps < 10000; steps++ {
+			_, err := reader.Next()
+			if err != nil {
+				break // io.EOF, ErrBadRecord or ErrUnexpectedEOF: all fine
+			}
+		}
+	}
+}
+
+func TestReaderMutatedValidStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 20; i++ {
+		d := sampleTableDump()
+		d.Seq = uint16(i)
+		if err := w.WriteTableDump(uint32(i), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	r := rand.New(rand.NewSource(107))
+	for i := 0; i < 2000; i++ {
+		b := append([]byte(nil), valid...)
+		for j := 1 + r.Intn(8); j > 0; j-- {
+			b[r.Intn(len(b))] = byte(r.Intn(256))
+		}
+		reader := NewReader(bytes.NewReader(b))
+		for {
+			rec, err := reader.Next()
+			if err == io.EOF || err != nil {
+				break
+			}
+			_, _ = DecodeRecord(rec) // must not panic
+		}
+	}
+}

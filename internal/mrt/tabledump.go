@@ -1,0 +1,97 @@
+package mrt
+
+import (
+	"fmt"
+
+	"moas/internal/bgp"
+)
+
+// TableDump is one TABLE_DUMP record: a single peer's RIB entry for one
+// prefix, the format of the NLANR/PCH Route Views archives used in the
+// paper. AS numbers inside the attributes are 2 octets.
+type TableDump struct {
+	ViewNum        uint16
+	Seq            uint16 // wraps at 65535 in long dumps, as in real archives
+	Prefix         bgp.Prefix
+	Status         uint8
+	OriginatedTime uint32
+	PeerIP         [16]byte // IPv4 peers occupy the first 4 bytes
+	PeerAS         bgp.ASN
+	Attrs          *bgp.Attrs
+}
+
+// Subtype returns the record subtype (the AFI of the dumped prefix).
+func (d *TableDump) Subtype() uint16 {
+	if d.Prefix.Family() == bgp.FamilyIPv6 {
+		return SubtypeAFIIPv6
+	}
+	return SubtypeAFIIPv4
+}
+
+// AppendBody appends the TABLE_DUMP body encoding to dst.
+func (d *TableDump) AppendBody(dst []byte) []byte {
+	n := 4
+	if d.Prefix.Family() == bgp.FamilyIPv6 {
+		n = 16
+	}
+	dst = appendU16(dst, d.ViewNum)
+	dst = appendU16(dst, d.Seq)
+	addr := d.Prefix.Addr16()
+	dst = append(dst, addr[:n]...)
+	dst = append(dst, d.Prefix.Bits(), d.Status)
+	dst = appendU32(dst, d.OriginatedTime)
+	dst = append(dst, d.PeerIP[:n]...)
+	dst = appendU16(dst, uint16(d.PeerAS))
+	attrs := d.Attrs.AppendWire(nil)
+	dst = appendU16(dst, uint16(len(attrs)))
+	return append(dst, attrs...)
+}
+
+// DecodeTableDump decodes a TABLE_DUMP record body for the given subtype
+// into d, overwriting its previous contents.
+func (d *TableDump) DecodeTableDump(b []byte, subtype uint16) error {
+	n, fam, err := afiAddrBytes(subtype)
+	if err != nil {
+		return err
+	}
+	// fixed part: view(2) seq(2) prefix(n) len(1) status(1) time(4) peer(n) as(2) alen(2)
+	fixed := 2 + 2 + n + 1 + 1 + 4 + n + 2 + 2
+	if len(b) < fixed {
+		return fmt.Errorf("%w: TABLE_DUMP body %d < %d", ErrBadRecord, len(b), fixed)
+	}
+	d.ViewNum = u16(b)
+	d.Seq = u16(b[2:])
+	var addr [16]byte
+	copy(addr[:], b[4:4+n])
+	bits := b[4+n]
+	if bits > famBits(fam) {
+		return fmt.Errorf("%w: prefix length %d", ErrBadRecord, bits)
+	}
+	if fam == bgp.FamilyIPv4 {
+		d.Prefix = bgp.PrefixFrom4([4]byte(addr[:4]), bits)
+	} else {
+		d.Prefix = bgp.PrefixFrom16(addr, bits)
+	}
+	d.Status = b[4+n+1]
+	d.OriginatedTime = u32(b[4+n+2:])
+	d.PeerIP = [16]byte{}
+	copy(d.PeerIP[:], b[4+n+6:4+n+6+n])
+	d.PeerAS = bgp.ASN(u16(b[4+n+6+n:]))
+	attrLen := int(u16(b[4+n+6+n+2:]))
+	rest := b[fixed:]
+	if len(rest) < attrLen {
+		return fmt.Errorf("%w: TABLE_DUMP attrs %d < %d", ErrBadRecord, len(rest), attrLen)
+	}
+	if d.Attrs == nil {
+		d.Attrs = new(bgp.Attrs)
+	}
+	return d.Attrs.DecodeAttrs(rest[:attrLen])
+}
+
+// famBits returns the address width in bits for a family.
+func famBits(f bgp.Family) uint8 {
+	if f == bgp.FamilyIPv6 {
+		return 128
+	}
+	return 32
+}

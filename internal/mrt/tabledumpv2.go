@@ -1,0 +1,196 @@
+package mrt
+
+import (
+	"fmt"
+
+	"moas/internal/bgp"
+)
+
+// Peer is one entry of a TABLE_DUMP_V2 PEER_INDEX_TABLE.
+type Peer struct {
+	BGPID  [4]byte
+	IP     [16]byte // IPv4 peers occupy the first 4 bytes
+	Family bgp.Family
+	AS     bgp.ASN
+	AS4    bool // whether the AS was encoded in 4 octets
+}
+
+// PeerIndexTable is the TABLE_DUMP_V2 preamble record mapping peer indexes
+// to peers; RIB entries refer to peers by index into it.
+type PeerIndexTable struct {
+	CollectorBGPID [4]byte
+	ViewName       string
+	Peers          []Peer
+}
+
+// Peer type flag bits (RFC 6396 §4.3.1).
+const (
+	peerFlagIPv6 = 0x1
+	peerFlagAS4  = 0x2
+)
+
+// AppendBody appends the PEER_INDEX_TABLE body encoding to dst.
+func (t *PeerIndexTable) AppendBody(dst []byte) []byte {
+	dst = append(dst, t.CollectorBGPID[:]...)
+	dst = appendU16(dst, uint16(len(t.ViewName)))
+	dst = append(dst, t.ViewName...)
+	dst = appendU16(dst, uint16(len(t.Peers)))
+	for _, p := range t.Peers {
+		var flags byte
+		if p.Family == bgp.FamilyIPv6 {
+			flags |= peerFlagIPv6
+		}
+		if p.AS4 {
+			flags |= peerFlagAS4
+		}
+		dst = append(dst, flags)
+		dst = append(dst, p.BGPID[:]...)
+		if p.Family == bgp.FamilyIPv6 {
+			dst = append(dst, p.IP[:]...)
+		} else {
+			dst = append(dst, p.IP[:4]...)
+		}
+		if p.AS4 {
+			dst = appendU32(dst, uint32(p.AS))
+		} else {
+			dst = appendU16(dst, uint16(p.AS))
+		}
+	}
+	return dst
+}
+
+// DecodePeerIndexTable decodes a PEER_INDEX_TABLE body into t.
+func (t *PeerIndexTable) DecodePeerIndexTable(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("%w: short PEER_INDEX_TABLE", ErrBadRecord)
+	}
+	copy(t.CollectorBGPID[:], b[:4])
+	nameLen := int(u16(b[4:]))
+	if len(b) < 6+nameLen+2 {
+		return fmt.Errorf("%w: PEER_INDEX_TABLE name overrun", ErrBadRecord)
+	}
+	t.ViewName = string(b[6 : 6+nameLen])
+	b = b[6+nameLen:]
+	count := int(u16(b))
+	b = b[2:]
+	t.Peers = make([]Peer, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 5 {
+			return fmt.Errorf("%w: peer %d truncated", ErrBadRecord, i)
+		}
+		flags := b[0]
+		var p Peer
+		copy(p.BGPID[:], b[1:5])
+		b = b[5:]
+		ipLen := 4
+		p.Family = bgp.FamilyIPv4
+		if flags&peerFlagIPv6 != 0 {
+			ipLen = 16
+			p.Family = bgp.FamilyIPv6
+		}
+		asLen := 2
+		if flags&peerFlagAS4 != 0 {
+			asLen = 4
+			p.AS4 = true
+		}
+		if len(b) < ipLen+asLen {
+			return fmt.Errorf("%w: peer %d body truncated", ErrBadRecord, i)
+		}
+		copy(p.IP[:], b[:ipLen])
+		if p.AS4 {
+			p.AS = bgp.ASN(u32(b[ipLen:]))
+		} else {
+			p.AS = bgp.ASN(u16(b[ipLen:]))
+		}
+		b = b[ipLen+asLen:]
+		t.Peers = append(t.Peers, p)
+	}
+	return nil
+}
+
+// RIBEntry is one peer's route within a TABLE_DUMP_V2 RIB record.
+// Attribute AS numbers are 4 octets per RFC 6396 §4.3.4.
+type RIBEntry struct {
+	PeerIndex      uint16
+	OriginatedTime uint32
+	Attrs          *bgp.Attrs
+}
+
+// RIB is a TABLE_DUMP_V2 RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record: all
+// peers' routes for one prefix.
+type RIB struct {
+	Seq     uint32
+	Prefix  bgp.Prefix
+	Entries []RIBEntry
+}
+
+// Subtype returns the record subtype matching the prefix family.
+func (r *RIB) Subtype() uint16 {
+	if r.Prefix.Family() == bgp.FamilyIPv6 {
+		return SubtypeRIBIPv6Unicast
+	}
+	return SubtypeRIBIPv4Unicast
+}
+
+// AppendBody appends the RIB body encoding to dst.
+func (r *RIB) AppendBody(dst []byte) []byte {
+	dst = appendU32(dst, r.Seq)
+	dst = r.Prefix.AppendNLRI(dst)
+	dst = appendU16(dst, uint16(len(r.Entries)))
+	for _, e := range r.Entries {
+		dst = appendU16(dst, e.PeerIndex)
+		dst = appendU32(dst, e.OriginatedTime)
+		attrs := e.Attrs.AppendWireEx(nil, true)
+		dst = appendU16(dst, uint16(len(attrs)))
+		dst = append(dst, attrs...)
+	}
+	return dst
+}
+
+// DecodeRIB decodes a RIB record body for the given subtype into r.
+func (r *RIB) DecodeRIB(b []byte, subtype uint16) error {
+	var fam bgp.Family
+	switch subtype {
+	case SubtypeRIBIPv4Unicast:
+		fam = bgp.FamilyIPv4
+	case SubtypeRIBIPv6Unicast:
+		fam = bgp.FamilyIPv6
+	default:
+		return fmt.Errorf("%w: RIB subtype %d", ErrBadRecord, subtype)
+	}
+	if len(b) < 4 {
+		return fmt.Errorf("%w: short RIB", ErrBadRecord)
+	}
+	r.Seq = u32(b)
+	b = b[4:]
+	p, n, err := bgp.DecodeNLRI(b, fam)
+	if err != nil {
+		return fmt.Errorf("%w: RIB prefix: %v", ErrBadRecord, err)
+	}
+	r.Prefix = p
+	b = b[n:]
+	if len(b) < 2 {
+		return fmt.Errorf("%w: RIB missing entry count", ErrBadRecord)
+	}
+	count := int(u16(b))
+	b = b[2:]
+	r.Entries = make([]RIBEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 8 {
+			return fmt.Errorf("%w: RIB entry %d truncated", ErrBadRecord, i)
+		}
+		e := RIBEntry{PeerIndex: u16(b), OriginatedTime: u32(b[2:])}
+		attrLen := int(u16(b[6:]))
+		b = b[8:]
+		if len(b) < attrLen {
+			return fmt.Errorf("%w: RIB entry %d attrs truncated", ErrBadRecord, i)
+		}
+		e.Attrs = new(bgp.Attrs)
+		if err := e.Attrs.DecodeAttrsEx(b[:attrLen], true); err != nil {
+			return err
+		}
+		b = b[attrLen:]
+		r.Entries = append(r.Entries, e)
+	}
+	return nil
+}

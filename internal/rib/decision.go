@@ -1,0 +1,87 @@
+package rib
+
+import "moas/internal/bgp"
+
+// PeerRoute is a route as learned from a specific collector peer. PeerID
+// disambiguates peers that share an AS (a large ISP exporting from several
+// routers, as at Oregon Route Views).
+type PeerRoute struct {
+	PeerID uint16
+	PeerAS bgp.ASN
+	Route  bgp.Route
+}
+
+// defaultLocalPref is assumed when LOCAL_PREF is absent (RFC 4271 §9.1.1
+// leaves the default to configuration; 100 is the universal convention).
+const defaultLocalPref = 100
+
+func localPref(a *bgp.Attrs) uint32 {
+	if a != nil && a.HasLocalPref {
+		return a.LocalPref
+	}
+	return defaultLocalPref
+}
+
+// Better reports whether route a is preferred over route b under the BGP-4
+// decision process (RFC 4271 §9.1.2.2), in the collector's passive-peer
+// setting:
+//
+//  1. highest LOCAL_PREF
+//  2. shortest AS path (AS_SET counts 1)
+//  3. lowest ORIGIN code (IGP < EGP < INCOMPLETE)
+//  4. lowest MED, compared only between routes from the same neighbor AS
+//  5. lowest peer ID (the deterministic stand-in for router-ID tie-break)
+//
+// Interior-gateway metric and eBGP-over-iBGP steps do not apply to a
+// route collector and are omitted.
+func Better(a, b PeerRoute) bool {
+	la, lb := localPref(a.Route.Attrs), localPref(b.Route.Attrs)
+	if la != lb {
+		return la > lb
+	}
+	ha, hb := a.Route.Path().HopCount(), b.Route.Path().HopCount()
+	if ha != hb {
+		return ha < hb
+	}
+	var oa, ob bgp.Origin
+	if a.Route.Attrs != nil {
+		oa = a.Route.Attrs.Origin
+	}
+	if b.Route.Attrs != nil {
+		ob = b.Route.Attrs.Origin
+	}
+	if oa != ob {
+		return oa < ob
+	}
+	// MED comparison only between the same neighbor AS.
+	fa, okA := a.Route.Path().First()
+	fb, okB := b.Route.Path().First()
+	if okA && okB && fa == fb && a.Route.Attrs != nil && b.Route.Attrs != nil {
+		ma, mb := uint32(0), uint32(0)
+		if a.Route.Attrs.HasMED {
+			ma = a.Route.Attrs.MED
+		}
+		if b.Route.Attrs.HasMED {
+			mb = b.Route.Attrs.MED
+		}
+		if ma != mb {
+			return ma < mb
+		}
+	}
+	return a.PeerID < b.PeerID
+}
+
+// BestRoute returns the most preferred route among rs, or false for an
+// empty slice.
+func BestRoute(rs []PeerRoute) (PeerRoute, bool) {
+	if len(rs) == 0 {
+		return PeerRoute{}, false
+	}
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if Better(r, best) {
+			best = r
+		}
+	}
+	return best, true
+}

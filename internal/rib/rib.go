@@ -1,0 +1,87 @@
+package rib
+
+import (
+	"moas/internal/bgp"
+)
+
+// AdjRIBIn is one peer's advertised table as seen by the collector: the
+// routes currently announced and not withdrawn.
+type AdjRIBIn struct {
+	PeerID uint16
+	PeerAS bgp.ASN
+	routes *Trie[bgp.Route]
+}
+
+// NewAdjRIBIn returns an empty per-peer table.
+func NewAdjRIBIn(peerID uint16, peerAS bgp.ASN) *AdjRIBIn {
+	return &AdjRIBIn{PeerID: peerID, PeerAS: peerAS, routes: NewTrie[bgp.Route]()}
+}
+
+// Update applies a BGP UPDATE: withdrawals then announcements, as on the
+// wire.
+func (a *AdjRIBIn) Update(u *bgp.Update) {
+	for _, p := range u.Withdrawn {
+		a.routes.Delete(p)
+	}
+	if u.Attrs == nil {
+		return
+	}
+	for _, p := range u.NLRI {
+		a.routes.Insert(p, bgp.Route{Prefix: p, Attrs: u.Attrs})
+	}
+}
+
+// Announce inserts or replaces a single route.
+func (a *AdjRIBIn) Announce(r bgp.Route) { a.routes.Insert(r.Prefix, r) }
+
+// Withdraw removes a prefix, reporting whether it was present.
+func (a *AdjRIBIn) Withdraw(p bgp.Prefix) bool { return a.routes.Delete(p) }
+
+// Len returns the number of announced prefixes.
+func (a *AdjRIBIn) Len() int { return a.routes.Len() }
+
+// Lookup returns this peer's route for exactly p.
+func (a *AdjRIBIn) Lookup(p bgp.Prefix) (bgp.Route, bool) { return a.routes.Get(p) }
+
+// Walk visits every announced route in canonical prefix order.
+func (a *AdjRIBIn) Walk(fn func(bgp.Route) bool) {
+	a.routes.Walk(func(_ bgp.Prefix, r bgp.Route) bool { return fn(r) })
+}
+
+// LocRIB is a best-path table computed from a set of per-peer tables via
+// the decision process; it mirrors what a single router would install.
+type LocRIB struct {
+	best *Trie[PeerRoute]
+}
+
+// ComputeLocRIB runs the decision process over all peers' routes for every
+// prefix any peer announces.
+func ComputeLocRIB(peers []*AdjRIBIn) *LocRIB {
+	l := &LocRIB{best: NewTrie[PeerRoute]()}
+	for _, p := range peers {
+		peer := p
+		p.Walk(func(r bgp.Route) bool {
+			cand := PeerRoute{PeerID: peer.PeerID, PeerAS: peer.PeerAS, Route: r}
+			if cur, ok := l.best.Get(r.Prefix); !ok || Better(cand, cur) {
+				l.best.Insert(r.Prefix, cand)
+			}
+			return true
+		})
+	}
+	return l
+}
+
+// Len returns the number of installed prefixes.
+func (l *LocRIB) Len() int { return l.best.Len() }
+
+// Lookup returns the installed best route for exactly p.
+func (l *LocRIB) Lookup(p bgp.Prefix) (PeerRoute, bool) { return l.best.Get(p) }
+
+// LookupLPM returns the best route whose prefix is the longest match
+// covering p — the forwarding decision for a destination inside p.
+func (l *LocRIB) LookupLPM(p bgp.Prefix) (bgp.Prefix, PeerRoute, bool) {
+	return l.best.LookupLPM(p)
+}
+
+// Walk visits every installed route in canonical prefix order.
+func (l *LocRIB) Walk(fn func(bgp.Prefix, PeerRoute) bool) { l.best.Walk(fn) }

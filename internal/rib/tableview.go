@@ -1,0 +1,99 @@
+package rib
+
+import (
+	"sort"
+
+	"moas/internal/bgp"
+)
+
+// TableView is the multi-peer snapshot the MOAS methodology operates on:
+// for each prefix, every collector peer's route, exactly the information
+// content of one day's Route Views table dump.
+type TableView struct {
+	routes map[bgp.Prefix][]PeerRoute
+}
+
+// NewTableView returns an empty view.
+func NewTableView() *TableView {
+	return &TableView{routes: make(map[bgp.Prefix][]PeerRoute)}
+}
+
+// FromPeers assembles a view from per-peer tables.
+func FromPeers(peers []*AdjRIBIn) *TableView {
+	v := NewTableView()
+	for _, p := range peers {
+		peer := p
+		p.Walk(func(r bgp.Route) bool {
+			v.Add(PeerRoute{PeerID: peer.PeerID, PeerAS: peer.PeerAS, Route: r})
+			return true
+		})
+	}
+	return v
+}
+
+// Add appends one peer route to the view.
+func (v *TableView) Add(pr PeerRoute) {
+	v.routes[pr.Route.Prefix] = append(v.routes[pr.Route.Prefix], pr)
+}
+
+// Len returns the number of distinct prefixes in the view.
+func (v *TableView) Len() int { return len(v.routes) }
+
+// Routes returns all peer routes for p (shared slice; do not mutate).
+func (v *TableView) Routes(p bgp.Prefix) []PeerRoute { return v.routes[p] }
+
+// Prefixes returns every prefix in the view in canonical order. The sort
+// makes downstream processing deterministic.
+func (v *TableView) Prefixes() []bgp.Prefix {
+	out := make([]bgp.Prefix, 0, len(v.routes))
+	for p := range v.routes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Walk visits each prefix's routes in map order (fast, nondeterministic);
+// use Prefixes for deterministic iteration.
+func (v *TableView) Walk(fn func(bgp.Prefix, []PeerRoute) bool) {
+	for p, rs := range v.routes {
+		if !fn(p, rs) {
+			return
+		}
+	}
+}
+
+// OriginSet returns the distinct origin ASes for p in ascending order,
+// excluding routes whose AS path ends in an AS_SET (the paper's §III
+// exclusion). The second result is the number of routes excluded that way.
+func (v *TableView) OriginSet(p bgp.Prefix) ([]bgp.ASN, int) {
+	return OriginsOf(v.routes[p])
+}
+
+// OriginsOf extracts the ascending distinct origin set from a route list,
+// excluding AS_SET-terminated paths; it returns the set and the excluded
+// route count.
+func OriginsOf(rs []PeerRoute) ([]bgp.ASN, int) {
+	var excluded int
+	var origins []bgp.ASN
+	for _, pr := range rs {
+		o, ok := pr.Route.Origin()
+		if !ok {
+			excluded++
+			continue
+		}
+		origins = append(origins, o)
+	}
+	if len(origins) == 0 {
+		return nil, excluded
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	// Deduplicate in place.
+	out := origins[:1]
+	for _, o := range origins[1:] {
+		if o != out[len(out)-1] {
+			out = append(out, o)
+		}
+	}
+	return out, excluded
+}

@@ -1,0 +1,295 @@
+// Package rib implements the routing-table substrate: a path-compressed
+// binary trie keyed by prefix, per-peer Adj-RIB-In tables, the BGP-4
+// decision process, and the multi-peer TableView the MOAS detector
+// consumes (the stand-in for a Route Views daily snapshot).
+package rib
+
+import (
+	"moas/internal/bgp"
+)
+
+// Trie is a path-compressed binary trie mapping prefixes to values of type
+// V. It supports exact match, longest-prefix match, covered-subtree walks
+// and deletion. The zero value... is not usable; call NewTrie.
+//
+// All prefixes in one trie must share an address family; mixing families
+// panics, which surfaces programming errors immediately.
+type Trie[V any] struct {
+	root   *trieNode[V]
+	family bgp.Family
+	size   int
+}
+
+type trieNode[V any] struct {
+	prefix   bgp.Prefix
+	child    [2]*trieNode[V]
+	hasValue bool
+	value    V
+}
+
+// NewTrie returns an empty trie.
+func NewTrie[V any]() *Trie[V] { return &Trie[V]{} }
+
+// Len returns the number of stored prefixes.
+func (t *Trie[V]) Len() int { return t.size }
+
+// bitAt returns bit i (0 = most significant) of addr.
+func bitAt(addr [16]byte, i uint8) byte {
+	return (addr[i/8] >> (7 - i%8)) & 1
+}
+
+// commonBits returns the length of the longest common prefix of a and b,
+// capped at max.
+func commonBits(a, b [16]byte, max uint8) uint8 {
+	var n uint8
+	for i := 0; i < 16 && n < max; i++ {
+		x := a[i] ^ b[i]
+		if x == 0 {
+			n += 8
+			continue
+		}
+		for m := byte(0x80); m != 0 && n < max; m >>= 1 {
+			if x&m != 0 {
+				return n
+			}
+			n++
+		}
+		break
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
+func (t *Trie[V]) checkFamily(p bgp.Prefix) {
+	if !p.IsValid() {
+		panic("rib: invalid prefix")
+	}
+	if t.family == bgp.FamilyNone {
+		t.family = p.Family()
+	} else if t.family != p.Family() {
+		panic("rib: mixed address families in one trie")
+	}
+}
+
+// truncate returns p cut down to n bits.
+func truncate(p bgp.Prefix, n uint8) bgp.Prefix {
+	addr := p.Addr16()
+	if p.Family() == bgp.FamilyIPv4 {
+		return bgp.PrefixFrom4([4]byte(addr[:4]), n)
+	}
+	return bgp.PrefixFrom16(addr, n)
+}
+
+// Insert stores v under p, replacing any existing value.
+func (t *Trie[V]) Insert(p bgp.Prefix, v V) {
+	t.checkFamily(p)
+	if t.root == nil {
+		t.root = &trieNode[V]{prefix: p, hasValue: true, value: v}
+		t.size++
+		return
+	}
+	n := &t.root
+	for {
+		cur := *n
+		cb := commonBits(cur.prefix.Addr16(), p.Addr16(), minU8(cur.prefix.Bits(), p.Bits()))
+		switch {
+		case cb == cur.prefix.Bits() && cb == p.Bits():
+			// Same node.
+			if !cur.hasValue {
+				t.size++
+			}
+			cur.hasValue, cur.value = true, v
+			return
+		case cb == cur.prefix.Bits():
+			// p extends below cur.
+			b := bitAt(p.Addr16(), cur.prefix.Bits())
+			if cur.child[b] == nil {
+				cur.child[b] = &trieNode[V]{prefix: p, hasValue: true, value: v}
+				t.size++
+				return
+			}
+			n = &cur.child[b]
+		case cb == p.Bits():
+			// p is an ancestor of cur: insert p above.
+			node := &trieNode[V]{prefix: p, hasValue: true, value: v}
+			node.child[bitAt(cur.prefix.Addr16(), cb)] = cur
+			*n = node
+			t.size++
+			return
+		default:
+			// Diverge: create a valueless join node at cb bits.
+			join := &trieNode[V]{prefix: truncate(p, cb)}
+			join.child[bitAt(cur.prefix.Addr16(), cb)] = cur
+			join.child[bitAt(p.Addr16(), cb)] = &trieNode[V]{prefix: p, hasValue: true, value: v}
+			*n = join
+			t.size++
+			return
+		}
+	}
+}
+
+func minU8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Get returns the value stored under exactly p.
+func (t *Trie[V]) Get(p bgp.Prefix) (V, bool) {
+	var zero V
+	if t.root == nil || !p.IsValid() || p.Family() != t.family {
+		return zero, false
+	}
+	cur := t.root
+	for cur != nil {
+		if cur.prefix.Bits() > p.Bits() || !cur.prefix.Covers(p) {
+			return zero, false
+		}
+		if cur.prefix.Bits() == p.Bits() {
+			if cur.hasValue {
+				return cur.value, true
+			}
+			return zero, false
+		}
+		cur = cur.child[bitAt(p.Addr16(), cur.prefix.Bits())]
+	}
+	return zero, false
+}
+
+// LookupLPM returns the value of the longest stored prefix covering p
+// (which may be a host /32 or /128) and that prefix.
+func (t *Trie[V]) LookupLPM(p bgp.Prefix) (bgp.Prefix, V, bool) {
+	var best *trieNode[V]
+	if t.root == nil || !p.IsValid() || p.Family() != t.family {
+		var zero V
+		return bgp.Prefix{}, zero, false
+	}
+	cur := t.root
+	for cur != nil {
+		if cur.prefix.Bits() > p.Bits() || !cur.prefix.Covers(p) {
+			break
+		}
+		if cur.hasValue {
+			best = cur
+		}
+		if cur.prefix.Bits() == p.Bits() {
+			break
+		}
+		cur = cur.child[bitAt(p.Addr16(), cur.prefix.Bits())]
+	}
+	if best == nil {
+		var zero V
+		return bgp.Prefix{}, zero, false
+	}
+	return best.prefix, best.value, true
+}
+
+// Delete removes p and reports whether it was present. Join nodes left
+// with a single child are compressed away.
+func (t *Trie[V]) Delete(p bgp.Prefix) bool {
+	if t.root == nil || !p.IsValid() || p.Family() != t.family {
+		return false
+	}
+	return t.delete(&t.root, p)
+}
+
+func (t *Trie[V]) delete(n **trieNode[V], p bgp.Prefix) bool {
+	cur := *n
+	if cur == nil || cur.prefix.Bits() > p.Bits() || !cur.prefix.Covers(p) {
+		return false
+	}
+	if cur.prefix.Bits() == p.Bits() {
+		if !cur.hasValue {
+			return false
+		}
+		cur.hasValue = false
+		var zero V
+		cur.value = zero
+		t.size--
+		t.compress(n)
+		return true
+	}
+	child := &cur.child[bitAt(p.Addr16(), cur.prefix.Bits())]
+	if !t.delete(child, p) {
+		return false
+	}
+	t.compress(n)
+	return true
+}
+
+// compress removes *n if it is a valueless node with fewer than two
+// children.
+func (t *Trie[V]) compress(n **trieNode[V]) {
+	cur := *n
+	if cur == nil || cur.hasValue {
+		return
+	}
+	switch {
+	case cur.child[0] == nil && cur.child[1] == nil:
+		*n = nil
+	case cur.child[0] == nil:
+		*n = cur.child[1]
+	case cur.child[1] == nil:
+		*n = cur.child[0]
+	}
+}
+
+// Walk visits every stored (prefix, value) pair in canonical prefix order.
+// The walk stops if fn returns false.
+func (t *Trie[V]) Walk(fn func(bgp.Prefix, V) bool) {
+	t.walk(t.root, fn)
+}
+
+func (t *Trie[V]) walk(n *trieNode[V], fn func(bgp.Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.hasValue && !fn(n.prefix, n.value) {
+		return false
+	}
+	return t.walk(n.child[0], fn) && t.walk(n.child[1], fn)
+}
+
+// WalkCovered visits every stored prefix covered by p (p's subtree),
+// including p itself if stored.
+func (t *Trie[V]) WalkCovered(p bgp.Prefix, fn func(bgp.Prefix, V) bool) {
+	if t.root == nil || !p.IsValid() || p.Family() != t.family {
+		return
+	}
+	cur := t.root
+	for cur != nil && cur.prefix.Bits() < p.Bits() {
+		if !cur.prefix.Covers(p) {
+			return
+		}
+		cur = cur.child[bitAt(p.Addr16(), cur.prefix.Bits())]
+	}
+	if cur != nil && p.Covers(cur.prefix) {
+		t.walk(cur, fn)
+	}
+}
+
+// CoveringPrefixes returns every stored prefix that covers p, shortest
+// first (the chain of aggregates above p).
+func (t *Trie[V]) CoveringPrefixes(p bgp.Prefix) []bgp.Prefix {
+	var out []bgp.Prefix
+	if t.root == nil || !p.IsValid() || p.Family() != t.family {
+		return nil
+	}
+	cur := t.root
+	for cur != nil {
+		if cur.prefix.Bits() > p.Bits() || !cur.prefix.Covers(p) {
+			break
+		}
+		if cur.hasValue {
+			out = append(out, cur.prefix)
+		}
+		if cur.prefix.Bits() == p.Bits() {
+			break
+		}
+		cur = cur.child[bitAt(p.Addr16(), cur.prefix.Bits())]
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+package rib
+
+import (
+	"math/rand"
+	"testing"
+
+	"moas/internal/bgp"
+)
+
+func pfx(s string) bgp.Prefix { return bgp.MustParsePrefix(s) }
+
+func TestTrieInsertGet(t *testing.T) {
+	tr := NewTrie[int]()
+	entries := map[string]int{
+		"10.0.0.0/8":       1,
+		"10.0.0.0/16":      2,
+		"10.128.0.0/9":     3,
+		"192.168.0.0/16":   4,
+		"192.168.1.0/24":   5,
+		"0.0.0.0/0":        6,
+		"198.51.100.64/26": 7,
+	}
+	for s, v := range entries {
+		tr.Insert(pfx(s), v)
+	}
+	if tr.Len() != len(entries) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(entries))
+	}
+	for s, v := range entries {
+		got, ok := tr.Get(pfx(s))
+		if !ok || got != v {
+			t.Errorf("Get(%s) = (%d,%v), want (%d,true)", s, got, ok, v)
+		}
+	}
+	if _, ok := tr.Get(pfx("10.0.0.0/24")); ok {
+		t.Error("Get on absent prefix returned ok")
+	}
+	if _, ok := tr.Get(pfx("11.0.0.0/8")); ok {
+		t.Error("Get on absent sibling returned ok")
+	}
+}
+
+func TestTrieInsertReplace(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	tr.Insert(pfx("10.0.0.0/8"), 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	if v, _ := tr.Get(pfx("10.0.0.0/8")); v != 2 {
+		t.Fatalf("value after replace = %d", v)
+	}
+}
+
+func TestTrieLookupLPM(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(pfx("0.0.0.0/0"), "default")
+	tr.Insert(pfx("10.0.0.0/8"), "eight")
+	tr.Insert(pfx("10.1.0.0/16"), "sixteen")
+	cases := []struct {
+		q, want string
+	}{
+		{"10.1.2.3/32", "sixteen"},
+		{"10.2.2.3/32", "eight"},
+		{"11.0.0.1/32", "default"},
+		{"10.1.0.0/16", "sixteen"},
+		{"10.0.0.0/7", "default"}, // shorter than /8: only default covers
+	}
+	for _, c := range cases {
+		_, v, ok := tr.LookupLPM(pfx(c.q))
+		if !ok || v != c.want {
+			t.Errorf("LookupLPM(%s) = (%q,%v), want %q", c.q, v, ok, c.want)
+		}
+	}
+	empty := NewTrie[string]()
+	if _, _, ok := empty.LookupLPM(pfx("1.2.3.4/32")); ok {
+		t.Error("LPM on empty trie returned ok")
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	tr := NewTrie[int]()
+	ps := []string{"10.0.0.0/8", "10.0.0.0/16", "10.128.0.0/9", "192.168.0.0/16"}
+	for i, s := range ps {
+		tr.Insert(pfx(s), i)
+	}
+	if !tr.Delete(pfx("10.0.0.0/16")) {
+		t.Fatal("Delete existing returned false")
+	}
+	if tr.Delete(pfx("10.0.0.0/16")) {
+		t.Fatal("Delete twice returned true")
+	}
+	if tr.Delete(pfx("99.0.0.0/8")) {
+		t.Fatal("Delete absent returned true")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Remaining entries still reachable.
+	for _, s := range []string{"10.0.0.0/8", "10.128.0.0/9", "192.168.0.0/16"} {
+		if _, ok := tr.Get(pfx(s)); !ok {
+			t.Errorf("Get(%s) lost after delete", s)
+		}
+	}
+	// Delete everything; trie must be empty and reusable.
+	for _, s := range []string{"10.0.0.0/8", "10.128.0.0/9", "192.168.0.0/16"} {
+		if !tr.Delete(pfx(s)) {
+			t.Fatalf("Delete(%s) failed", s)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after full delete = %d", tr.Len())
+	}
+	tr.Insert(pfx("10.0.0.0/8"), 9)
+	if v, ok := tr.Get(pfx("10.0.0.0/8")); !ok || v != 9 {
+		t.Fatal("reuse after full delete failed")
+	}
+}
+
+func TestTrieWalkOrder(t *testing.T) {
+	tr := NewTrie[int]()
+	in := []string{"192.168.1.0/24", "10.0.0.0/8", "10.0.0.0/16", "172.16.0.0/12"}
+	for i, s := range in {
+		tr.Insert(pfx(s), i)
+	}
+	var got []string
+	tr.Walk(func(p bgp.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"10.0.0.0/8", "10.0.0.0/16", "172.16.0.0/12", "192.168.1.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	tr := NewTrie[int]()
+	for i, s := range []string{"10.0.0.0/8", "11.0.0.0/8", "12.0.0.0/8"} {
+		tr.Insert(pfx(s), i)
+	}
+	count := 0
+	tr.Walk(func(bgp.Prefix, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestTrieWalkCovered(t *testing.T) {
+	tr := NewTrie[int]()
+	for i, s := range []string{
+		"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "10.200.0.0/16", "11.0.0.0/8",
+	} {
+		tr.Insert(pfx(s), i)
+	}
+	var got []string
+	tr.WalkCovered(pfx("10.1.0.0/16"), func(p bgp.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != 2 || got[0] != "10.1.0.0/16" || got[1] != "10.1.2.0/24" {
+		t.Fatalf("WalkCovered = %v", got)
+	}
+	// Covered walk from an uninserted midpoint prefix.
+	got = nil
+	tr.WalkCovered(pfx("10.0.0.0/9"), func(p bgp.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != 2 || got[0] != "10.1.0.0/16" || got[1] != "10.1.2.0/24" {
+		t.Fatalf("WalkCovered from /9 = %v", got)
+	}
+}
+
+func TestTrieCoveringPrefixes(t *testing.T) {
+	tr := NewTrie[int]()
+	for i, s := range []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"} {
+		tr.Insert(pfx(s), i)
+	}
+	got := tr.CoveringPrefixes(pfx("10.1.2.0/24"))
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("CoveringPrefixes = %v", got)
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Fatalf("CoveringPrefixes[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTrieMixedFamilyPanics(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(pfx("10.0.0.0/8"), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed-family insert did not panic")
+		}
+	}()
+	tr.Insert(pfx("2001:db8::/32"), 2)
+}
+
+func TestTrieIPv6(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(pfx("2001:db8::/32"), 1)
+	tr.Insert(pfx("2001:db8:1::/48"), 2)
+	if _, v, ok := tr.LookupLPM(pfx("2001:db8:1:2::/64")); !ok || v != 2 {
+		t.Fatalf("v6 LPM = (%d,%v)", v, ok)
+	}
+	if v, ok := tr.Get(pfx("2001:db8::/32")); !ok || v != 1 {
+		t.Fatalf("v6 Get = (%d,%v)", v, ok)
+	}
+}
+
+// TestQuickTrieVsMap cross-checks the trie against a reference map under a
+// random insert/delete workload — the core data-structure invariant.
+func TestQuickTrieVsMap(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	tr := NewTrie[uint32]()
+	ref := map[bgp.Prefix]uint32{}
+	// Small universe to force collisions, splits and ancestor inserts.
+	randPrefix := func() bgp.Prefix {
+		bits := uint8(8 + r.Intn(25)) // /8../32
+		addr := uint32(10)<<24 | uint32(r.Intn(1<<16))<<8
+		return bgp.PrefixFromUint32(addr, bits)
+	}
+	for i := 0; i < 20000; i++ {
+		p := randPrefix()
+		switch r.Intn(3) {
+		case 0, 1:
+			v := r.Uint32()
+			tr.Insert(p, v)
+			ref[p] = v
+		case 2:
+			got := tr.Delete(p)
+			_, want := ref[p]
+			if got != want {
+				t.Fatalf("Delete(%s) = %v, map says %v", p, got, want)
+			}
+			delete(ref, p)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len = %d, map has %d", tr.Len(), len(ref))
+		}
+	}
+	// Full consistency check at the end.
+	for p, v := range ref {
+		got, ok := tr.Get(p)
+		if !ok || got != v {
+			t.Fatalf("Get(%s) = (%d,%v), want (%d,true)", p, got, ok, v)
+		}
+	}
+	n := 0
+	tr.Walk(func(p bgp.Prefix, v uint32) bool {
+		if ref[p] != v {
+			t.Fatalf("Walk yielded (%s,%d) not in map", p, v)
+		}
+		n++
+		return true
+	})
+	if n != len(ref) {
+		t.Fatalf("Walk visited %d, map has %d", n, len(ref))
+	}
+}
+
+// TestQuickLPMVsLinear cross-checks LookupLPM against a linear scan.
+func TestQuickLPMVsLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	tr := NewTrie[int]()
+	var all []bgp.Prefix
+	for i := 0; i < 500; i++ {
+		p := bgp.PrefixFromUint32(uint32(10)<<24|uint32(r.Intn(1<<12))<<12, uint8(8+r.Intn(17)))
+		if _, ok := tr.Get(p); !ok {
+			tr.Insert(p, i)
+			all = append(all, p)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		q := bgp.PrefixFromUint32(uint32(10)<<24|uint32(r.Intn(1<<24)), 32)
+		var want bgp.Prefix
+		found := false
+		for _, p := range all {
+			if p.Covers(q) && (!found || p.Bits() > want.Bits()) {
+				want, found = p, true
+			}
+		}
+		gotP, _, ok := tr.LookupLPM(q)
+		if ok != found || (found && gotP != want) {
+			t.Fatalf("LookupLPM(%s) = (%s,%v), linear scan says (%s,%v)", q, gotP, ok, want, found)
+		}
+	}
+}
+
+func BenchmarkTrieInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ps := make([]bgp.Prefix, 100000)
+	for i := range ps {
+		ps[i] = bgp.PrefixFromUint32(r.Uint32(), 24)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	tr := NewTrie[int]()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(ps[i%len(ps)], i)
+	}
+}
+
+func BenchmarkTrieLPM(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	tr := NewTrie[int]()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(bgp.PrefixFromUint32(r.Uint32(), uint8(8+r.Intn(17))), i)
+	}
+	qs := make([]bgp.Prefix, 1024)
+	for i := range qs {
+		qs[i] = bgp.PrefixFromUint32(r.Uint32(), 32)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.LookupLPM(qs[i%len(qs)])
+	}
+}

@@ -1,0 +1,559 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"moas/internal/bgp"
+	"moas/internal/rib"
+	"moas/internal/simnet"
+	"moas/internal/topology"
+)
+
+// Scenario is a fully materialized study: topology, address plan,
+// collector vantages, the ground-truth episode set, and the observation
+// calendar. It is deterministic for a given Spec.
+type Scenario struct {
+	Spec Spec
+
+	Graph    *topology.Graph
+	Plan     *topology.Plan
+	Net      *simnet.Net
+	Vantages []bgp.ASN
+
+	Episodes []Episode
+
+	// AggregatePrefixes are the AS_SET-terminated aggregates (§III's 12
+	// excluded routes): prefix, aggregating AS, and the set members.
+	AggregatePrefixes []Aggregate
+
+	// ObservedDays lists calendar-day indexes with archive data, ascending.
+	ObservedDays []int
+
+	// BackgroundPool is every allocated prefix never used by an episode —
+	// the single-origin bulk of the table for full-fidelity days.
+	BackgroundPool []bgp.Prefix
+
+	// startsOn[d] / endsOn[d] index episodes by activation day for the
+	// incremental driver.
+	startsOn map[int][]int
+	endsOn   map[int][]int
+
+	// routeCache memoizes EpisodeRoutes materializations.
+	routeCache map[int][]rib.PeerRoute
+}
+
+// Aggregate is one AS_SET-terminated aggregate route specification.
+type Aggregate struct {
+	Prefix     bgp.Prefix
+	Aggregator bgp.ASN
+	SetMembers []bgp.ASN
+}
+
+// prefixPool hands out unique prefixes to episodes; rejected draws can be
+// returned for use as plain background prefixes.
+type prefixPool struct {
+	items []bgp.Prefix
+}
+
+func (p *prefixPool) pop() (bgp.Prefix, error) {
+	if len(p.items) == 0 {
+		return bgp.Prefix{}, fmt.Errorf("scenario: prefix pool exhausted; enlarge the plan")
+	}
+	out := p.items[len(p.items)-1]
+	p.items = p.items[:len(p.items)-1]
+	return out, nil
+}
+
+func (p *prefixPool) pushBack(ps []bgp.Prefix) {
+	// Prepend so returned prefixes are not immediately re-drawn.
+	p.items = append(ps, p.items...)
+}
+
+// incident ASes placed into the topology for the scripted storms.
+const (
+	as8584  bgp.ASN = 8584
+	as15412 bgp.ASN = 15412
+	as3561  bgp.ASN = 3561
+)
+
+// Build materializes a scenario from a spec. Every random draw flows from
+// spec.Seed; two builds of the same spec are identical.
+func Build(spec Spec) (*Scenario, error) {
+	if spec.Days() < 2 {
+		return nil, fmt.Errorf("scenario: window %s..%s too short", spec.Start, spec.End)
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+
+	// --- Topology, with incident ASes present.
+	topo := spec.Topology
+	required := append([]bgp.ASN{}, topo.RequiredStubs...)
+	for _, a := range []bgp.ASN{as8584, as15412} {
+		found := false
+		for _, b := range required {
+			found = found || a == b
+		}
+		if !found {
+			required = append(required, a)
+		}
+	}
+	topo.RequiredStubs = required
+	g, err := topology.Generate(topo)
+	if err != nil {
+		return nil, err
+	}
+	// The 2001 storm's signature needs AS 15412 behind AS 3561.
+	if g.Has(as3561) && !g.Connected(as3561, as15412) {
+		g.AddTransit(as3561, as15412)
+	}
+
+	plan, err := topology.BuildPlan(g, spec.Plan)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := &Scenario{
+		Spec:     spec,
+		Graph:    g,
+		Plan:     plan,
+		Net:      simnet.New(g),
+		startsOn: make(map[int][]int),
+		endsOn:   make(map[int][]int),
+	}
+	sc.pickVantages(r)
+	sc.Net.SetVantages(sc.Vantages)
+	sc.pickObservedDays(r)
+
+	// --- Prefix pool: shuffled; episodes pop from the tail.
+	pool := &prefixPool{items: append([]bgp.Prefix{}, plan.All...)}
+	r.Shuffle(len(pool.items), func(i, j int) {
+		pool.items[i], pool.items[j] = pool.items[j], pool.items[i]
+	})
+
+	if err := sc.buildExchangePoints(r, pool); err != nil {
+		return nil, err
+	}
+	if err := sc.buildBackground(r, pool); err != nil {
+		return nil, err
+	}
+	if err := sc.buildStorms(r, pool); err != nil {
+		return nil, err
+	}
+	if err := sc.buildAggregates(r, pool); err != nil {
+		return nil, err
+	}
+	sc.BackgroundPool = pool.items
+
+	// --- Index episodes by activation for the incremental driver.
+	days := spec.Days()
+	for i := range sc.Episodes {
+		e := &sc.Episodes[i]
+		start := e.Start
+		if start < 0 {
+			start = 0
+		}
+		if start >= days || e.End() <= 0 {
+			continue
+		}
+		end := e.End()
+		if end > days {
+			end = days
+		}
+		sc.startsOn[start] = append(sc.startsOn[start], i)
+		sc.endsOn[end] = append(sc.endsOn[end], i)
+	}
+	return sc, nil
+}
+
+// pickVantages selects the collector's peers: every tier-1, then tier-2
+// and tier-3 ASes round-robin until NumVantages.
+func (sc *Scenario) pickVantages(r *rand.Rand) {
+	g := sc.Graph
+	var t1, t2, t3 []bgp.ASN
+	for _, a := range g.ASes() {
+		switch g.TierOf(a) {
+		case topology.Tier1:
+			t1 = append(t1, a)
+		case topology.Tier2:
+			t2 = append(t2, a)
+		case topology.Tier3:
+			t3 = append(t3, a)
+		}
+	}
+	r.Shuffle(len(t2), func(i, j int) { t2[i], t2[j] = t2[j], t2[i] })
+	r.Shuffle(len(t3), func(i, j int) { t3[i], t3[j] = t3[j], t3[i] })
+	vs := append([]bgp.ASN{}, t1...)
+	for i := 0; len(vs) < sc.Spec.NumVantages && (i < len(t2) || i < len(t3)); i++ {
+		if i < len(t2) && len(vs) < sc.Spec.NumVantages {
+			vs = append(vs, t2[i])
+		}
+		if i < len(t3) && len(vs) < sc.Spec.NumVantages {
+			vs = append(vs, t3[i])
+		}
+	}
+	if len(vs) > sc.Spec.NumVantages {
+		vs = vs[:sc.Spec.NumVantages]
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	sc.Vantages = vs
+}
+
+// pickObservedDays removes GapDays random days, never a storm day, the
+// first day or the last day.
+func (sc *Scenario) pickObservedDays(r *rand.Rand) {
+	days := sc.Spec.Days()
+	protected := map[int]bool{0: true, days - 1: true}
+	for _, st := range sc.Spec.Storms {
+		d0 := sc.Spec.DayIndex(st.Date)
+		for i := range st.DayCounts {
+			protected[d0+i] = true
+		}
+	}
+	gaps := map[int]bool{}
+	for len(gaps) < sc.Spec.GapDays {
+		d := r.Intn(days)
+		if !protected[d] && !gaps[d] {
+			gaps[d] = true
+		}
+	}
+	for d := 0; d < days; d++ {
+		if !gaps[d] {
+			sc.ObservedDays = append(sc.ObservedDays, d)
+		}
+	}
+}
+
+// buildExchangePoints creates the §VI-A IX mesh episodes: long-lived,
+// many origins, valid.
+func (sc *Scenario) buildExchangePoints(r *rand.Rand, pool *prefixPool) error {
+	g := sc.Graph
+	var transit []bgp.ASN
+	for _, a := range g.ASes() {
+		if t := g.TierOf(a); t == topology.Tier2 || t == topology.Tier3 {
+			transit = append(transit, a)
+		}
+	}
+	days := sc.Spec.Days()
+	for i := 0; i < sc.Spec.ExchangePoints; i++ {
+		p, err := pool.pop()
+		if err != nil {
+			return err
+		}
+		nm := 3 + r.Intn(6)
+		members := make([]bgp.ASN, 0, nm)
+		seen := map[bgp.ASN]bool{}
+		for len(members) < nm {
+			a := transit[r.Intn(len(transit))]
+			if !seen[a] {
+				seen[a] = true
+				members = append(members, a)
+			}
+		}
+		start := r.Intn(sc.Spec.ExchangePointStartMax + 1)
+		sc.Episodes = append(sc.Episodes, Episode{
+			ID: len(sc.Episodes), Prefix: p, Cause: CauseExchangePoint,
+			Start: start, Len: days - start,
+			Owner: members[0], Members: members,
+		})
+	}
+	return nil
+}
+
+// activeTarget interpolates the anchor curve at calendar day d.
+func (sc *Scenario) activeTarget(d int) float64 {
+	anchors := sc.Spec.Anchors
+	t := sc.Spec.DayDate(d)
+	if len(anchors) == 0 {
+		return 0
+	}
+	if !t.After(anchors[0].Date) {
+		return anchors[0].Active
+	}
+	for i := 1; i < len(anchors); i++ {
+		if !t.After(anchors[i].Date) {
+			span := anchors[i].Date.Sub(anchors[i-1].Date).Hours()
+			frac := t.Sub(anchors[i-1].Date).Hours() / span
+			return anchors[i-1].Active + frac*(anchors[i].Active-anchors[i-1].Active)
+		}
+	}
+	// Extrapolate with the last segment's slope.
+	last, prev := anchors[len(anchors)-1], anchors[0]
+	if len(anchors) >= 2 {
+		prev = anchors[len(anchors)-2]
+	} else {
+		return last.Active
+	}
+	slope := (last.Active - prev.Active) / last.Date.Sub(prev.Date).Hours()
+	return last.Active + slope*t.Sub(last.Date).Hours()
+}
+
+// buildBackground draws the background episode stream: warm-up arrivals
+// (negative start days) seed the initial population; in-window arrivals
+// follow the anchor-driven Poisson rate.
+func (sc *Scenario) buildBackground(r *rand.Rand, pool *prefixPool) error {
+	mix := sc.Spec.Mix
+	mix.normalize()
+	meanD := mix.MeanCalendarDays()
+	days := sc.Spec.Days()
+
+	// The warm-up must cover the longest possible duration, or the initial
+	// population under-represents long-lived conflicts by E[(D-W)+]/E[D].
+	warmup := maxInt(sc.Spec.WarmupDays, int(mix.TailMax*mix.TailStretch)+1)
+
+	for d := -warmup; d < days; d++ {
+		target := sc.activeTarget(maxInt(d, 0))
+		lambda := target / meanD
+		for k := poisson(r, lambda); k > 0; k-- {
+			length := mix.Sample(r)
+			if d+length <= 0 {
+				continue // warm-up episode over before the window opens
+			}
+			if err := sc.addBackgroundEpisode(r, pool, d, length); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addBackgroundEpisode casts one background episode: short ones are faults
+// or transitions, long ones draw a valid multihoming cause. Placements
+// that would not be visible as a conflict from the vantages are redrawn.
+func (sc *Scenario) addBackgroundEpisode(r *rand.Rand, pool *prefixPool, start, length int) error {
+	prefix, err := pool.pop()
+	if err != nil {
+		return err
+	}
+	owner := sc.Plan.Owner[prefix]
+
+	for attempt := 0; attempt < 8; attempt++ {
+		e := Episode{
+			ID: len(sc.Episodes), Prefix: prefix,
+			Start: start, Len: length, Owner: owner,
+		}
+		switch {
+		case length == 1:
+			e.Cause = CauseMisconfig
+			e.Other = sc.randomOtherAS(r, owner)
+		case length <= 9:
+			if r.Float64() < 0.5 {
+				e.Cause = CauseMisconfig
+				e.Other = sc.randomOtherAS(r, owner)
+			} else {
+				e.Cause = CauseTransition
+				e.Other = sc.randomTransit(r, owner)
+			}
+		default:
+			e = sc.castTailEpisode(r, e)
+		}
+		if sc.episodeVisible(&e) {
+			sc.Episodes = append(sc.Episodes, e)
+			return nil
+		}
+	}
+	// Visibility failed repeatedly (pathological placement): fall back to
+	// a plain hijack, redrawing the attacker until the conflict surfaces.
+	e := Episode{
+		ID: len(sc.Episodes), Prefix: prefix, Cause: CauseMisconfig,
+		Start: start, Len: length, Owner: owner,
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		e.Other = sc.randomOtherAS(r, owner)
+		if sc.episodeVisible(&e) {
+			break
+		}
+	}
+	sc.Episodes = append(sc.Episodes, e)
+	return nil
+}
+
+// castTailEpisode assigns a long-lived valid cause and its cast.
+func (sc *Scenario) castTailEpisode(r *rand.Rand, e Episode) Episode {
+	w := sc.Spec.TailCauseWeights
+	total := w.StaticDisjoint + w.PrivateASE + w.OrigTran + w.SplitView
+	x := r.Float64() * total
+	g := sc.Graph
+	providers := g.Providers(e.Owner)
+	switch {
+	case x < w.StaticDisjoint:
+		e.Cause = CauseStaticDisjoint
+		if len(providers) > 0 {
+			e.Via = providers[r.Intn(len(providers))]
+		}
+		e.Other = sc.randomTransit(r, e.Owner)
+	case x < w.StaticDisjoint+w.PrivateASE:
+		e.Cause = CausePrivateASE
+		// Both origins are transit ASes; the real customer's private AS
+		// was substituted away.
+		e.Owner = sc.randomTransit(r, 0)
+		e.Other = sc.randomTransit(r, e.Owner)
+	case x < w.StaticDisjoint+w.PrivateASE+w.OrigTran:
+		e.Cause = CauseOrigTran
+		if len(providers) > 0 {
+			e.Transit = providers[r.Intn(len(providers))]
+		} else {
+			e.Transit = sc.randomTransit(r, e.Owner)
+		}
+	default:
+		e.Cause = CauseSplitView
+		// A transit AS with ≥2 customers splits between two of them.
+		e.Transit, e.Other = sc.randomSplitPair(r, e.Owner)
+	}
+	return e
+}
+
+// randomOtherAS draws any AS other than owner (hijackers can be anyone).
+func (sc *Scenario) randomOtherAS(r *rand.Rand, owner bgp.ASN) bgp.ASN {
+	ases := sc.Graph.ASes()
+	for {
+		a := ases[r.Intn(len(ases))]
+		if a != owner {
+			return a
+		}
+	}
+}
+
+// randomTransit draws a tier-2/3 AS other than excl.
+func (sc *Scenario) randomTransit(r *rand.Rand, excl bgp.ASN) bgp.ASN {
+	g := sc.Graph
+	ases := g.ASes()
+	for {
+		a := ases[r.Intn(len(ases))]
+		if a == excl {
+			continue
+		}
+		if t := g.TierOf(a); t == topology.Tier2 || t == topology.Tier3 {
+			return a
+		}
+	}
+}
+
+// randomSplitPair finds a transit AS that has both the owner-side customer
+// and a second customer to split toward; falls back to the owner's
+// provider and a sibling customer.
+func (sc *Scenario) randomSplitPair(r *rand.Rand, owner bgp.ASN) (transit, other bgp.ASN) {
+	g := sc.Graph
+	providers := g.Providers(owner)
+	if len(providers) == 0 {
+		return sc.randomTransit(r, owner), sc.randomOtherAS(r, owner)
+	}
+	t := providers[r.Intn(len(providers))]
+	customers := g.Customers(t)
+	for attempt := 0; attempt < 16; attempt++ {
+		c := customers[r.Intn(len(customers))]
+		if c != owner {
+			return t, c
+		}
+	}
+	return t, sc.randomOtherAS(r, owner)
+}
+
+// episodeVisible checks that the episode's advertisements actually surface
+// two or more origins at the collector — conflicts the vantages cannot see
+// would silently deflate every calibration target.
+func (sc *Scenario) episodeVisible(e *Episode) bool {
+	vrs := sc.Net.CollectorPaths(e.Advertisements(sc.Net))
+	seen := map[bgp.ASN]bool{}
+	for _, vr := range vrs {
+		if o, ok := vr.Path.Origin(); ok {
+			seen[o] = true
+			if len(seen) >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildStorms scripts the mass false-origination incidents. Victim
+// prefixes are drawn fresh from the pool; a declining DayCounts profile is
+// realized by giving prefix i a lifetime of as many days as there are
+// profile entries ≥ its index (cleanup removes the most recently counted
+// prefixes first).
+func (sc *Scenario) buildStorms(r *rand.Rand, pool *prefixPool) error {
+	for _, st := range sc.Spec.Storms {
+		d0 := sc.Spec.DayIndex(st.Date)
+		if len(st.DayCounts) == 0 {
+			continue
+		}
+		peak := 0
+		for _, c := range st.DayCounts {
+			if c > peak {
+				peak = c
+			}
+		}
+		attacker := bgp.ASN(st.Attacker)
+		via := bgp.ASN(st.Via)
+		// Victim prefixes must actually surface as conflicts: a prefix
+		// owned by the attacker, or one where the false origin wins at
+		// every vantage, never shows two origins. Such draws go back to
+		// the background pool.
+		var rejected []bgp.Prefix
+		pickVictim := func(life int) (Episode, error) {
+			for {
+				prefix, err := pool.pop()
+				if err != nil {
+					return Episode{}, err
+				}
+				e := Episode{
+					Prefix: prefix, Cause: CauseHijackStorm,
+					Start: d0, Len: life,
+					Owner: sc.Plan.Owner[prefix], Other: attacker, Via: via,
+				}
+				if e.Owner != attacker && sc.episodeVisible(&e) {
+					return e, nil
+				}
+				rejected = append(rejected, prefix)
+			}
+		}
+		for i := 0; i < peak; i++ {
+			// Lifetime: number of consecutive days from d0 the profile
+			// still includes this prefix (profiles must be non-increasing
+			// after day 0 for this construction).
+			life := 0
+			for _, c := range st.DayCounts {
+				if i < c {
+					life++
+				} else {
+					break
+				}
+			}
+			if life == 0 {
+				continue
+			}
+			e, err := pickVictim(life)
+			if err != nil {
+				return err
+			}
+			e.ID = len(sc.Episodes)
+			sc.Episodes = append(sc.Episodes, e)
+		}
+		pool.pushBack(rejected)
+	}
+	return nil
+}
+
+// buildAggregates creates the AS_SET-terminated aggregates excluded by
+// §III.
+func (sc *Scenario) buildAggregates(r *rand.Rand, pool *prefixPool) error {
+	for i := 0; i < sc.Spec.AggregatePrefixes; i++ {
+		p, err := pool.pop()
+		if err != nil {
+			return err
+		}
+		agg := sc.randomTransit(r, 0)
+		members := []bgp.ASN{sc.randomOtherAS(r, agg), sc.randomOtherAS(r, agg)}
+		sc.AggregatePrefixes = append(sc.AggregatePrefixes, Aggregate{
+			Prefix: p, Aggregator: agg, SetMembers: members,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"time"
+
+	"moas/internal/topology"
+)
+
+// Calibration derivation (all targets from the paper; see DESIGN.md §5).
+//
+// Interpreting Fig. 3/4 with duration = days observed (the only reading
+// consistent across the paper's own numbers):
+//
+//	total conflicts            38 225
+//	observed once (D=1)        13 730   (11 358 from the 1998-04-07 fault)
+//	D>1                        24 495   E=47.7  → ΣD ≈ 1 168 411
+//	D>9                        10 177   E=107.5 → ΣD ≈ 1 094 028
+//	D>300                       1 002
+//
+// Cross-check: E[D | all] from row one (30.9×38 225 ≈ 1 181 152) equals
+// ΣD(D=1) + ΣD(D>1) = 13 730 + 1 168 411 = 1 182 141 within rounding, so
+// the rows are mutually consistent under this reading.
+//
+// Decomposing by source:
+//
+//	1998 storm: 11 357 one-day conflicts (AS 8584)
+//	2001 storm: 8 940 conflicts lasting 1..5 days
+//	            (day profile 8 940/8 000/7 200/6 300/5 534,
+//	             so D=1:940, D=2:800, D=3:900, D=4:766, D=5:5 534)
+//	exchange points: 30 full-period conflicts
+//	background: 38 225 − 11 357 − 8 940 − 30 = 17 898, split as
+//	            D=1: 13 730−11 357−940          = 1 433  → w = 0.0801
+//	            2≤D≤9: (24 495−10 177) − 8 000  = 6 318  → w = 0.3530
+//	            D≥10: 10 177 − 30               = 10 147 → w = 0.5669
+//
+// For the ≥10-day tail a truncated Pareto with α = 1.5 on [10, 1150]
+// gives, analytically, E[D | D>9] = 107.3 (paper: 107.5), n(D>300) ≈ 998
+// (paper: 1002), E[D | D>29] = 185.7 (paper: 175.3, +6%) and
+// E[D | D>89] = 321.8 (paper: 281.8, +14%) — the shape the reproduction
+// targets. Arrival rates follow from Little's law: the yearly median
+// active counts (683 / 810.5 / 951 / 1294) divided by the mixture's mean
+// calendar duration.
+
+// DefaultSpec returns the full-scale reproduction scenario.
+func DefaultSpec() Spec {
+	topo := topology.DefaultGenConfig()
+	topo.RequiredStubs = nil // build.go adds the incident ASes
+
+	plan := topology.DefaultPlanConfig()
+	// ~48k prefixes: enough for 38 225 distinct conflicted prefixes plus a
+	// non-conflicted background pool.
+	plan.MeanPrefixesPerStub = 18
+	plan.TransitPrefixes = 4
+
+	return Spec{
+		Seed:  42,
+		Start: date(1997, time.November, 8),
+		End:   date(2001, time.July, 18),
+		// 1349 calendar days − 70 gaps = 1279 observed days, the paper's
+		// archive coverage.
+		GapDays: 70,
+
+		Topology:    topo,
+		Plan:        plan,
+		NumVantages: 30,
+
+		// Anchor levels LEAD the Fig. 2 median targets (683/810.5/951/1294
+		// minus the 30 ever-present IX conflicts): with a growing arrival
+		// rate and heavy-tailed durations the realized active count lags
+		// λ·E[D], so anchors carry an empirically calibrated boost that
+		// grows with the growth rate (one fixed-point iteration against
+		// the measured medians; see EXPERIMENTS.md).
+		Anchors: []YearAnchor{
+			{date(1997, time.November, 8), 630},
+			{date(1998, time.July, 1), 688},
+			{date(1999, time.July, 1), 852},
+			{date(2000, time.July, 1), 1029},
+			{date(2001, time.April, 1), 1530},
+		},
+
+		Mix: DurationMix{
+			WOneDay: 0.0801,
+			WShort:  0.3530,
+			WTail:   0.5669,
+			TailMin: 10,
+			TailMax: 1150,
+			Alpha:   1.5,
+			// Beyond the gap-day correction (1349/1279 ≈ 1.055), the
+			// stretch compensates for left/right censoring at the study
+			// edges, which truncates observed durations of the tail.
+			TailStretch: 1.16,
+		},
+
+		TailCauseWeights: CauseWeights{
+			StaticDisjoint: 0.72,
+			PrivateASE:     0.10,
+			OrigTran:       0.12,
+			SplitView:      0.06,
+		},
+
+		ExchangePoints:        30,
+		ExchangePointStartMax: 120,
+		AggregatePrefixes:     12,
+
+		Storms: []Storm{
+			{
+				// AS 8584 falsely originates 11 357 prefixes for one day
+				// (NANOG "AS8584 taking over the internet", 1998-04-07).
+				Date:      date(1998, time.April, 7),
+				Attacker:  8584,
+				DayCounts: []int{11357},
+			},
+			{
+				// AS 15412 (via AS 3561) leaks thousands of prefixes with
+				// progressive cleanup over five days (NANOG "C&W routing
+				// instability", 2001-04-06).
+				Date:      date(2001, time.April, 6),
+				Attacker:  15412,
+				Via:       3561,
+				DayCounts: []int{8940, 8000, 7200, 6300, 5534},
+			},
+		},
+
+		WarmupDays: 1200,
+	}
+}
+
+// TestSpec returns a scaled-down scenario (~60 observed days, small
+// topology) for unit and integration tests.
+func TestSpec() Spec {
+	s := DefaultSpec()
+	s.Start = date(2001, time.January, 1)
+	s.End = date(2001, time.March, 5)
+	s.GapDays = 4
+	s.Topology.Tier2, s.Topology.Tier3, s.Topology.Stubs = 15, 40, 300
+	s.Plan.MeanPrefixesPerStub = 8
+	s.NumVantages = 12
+	s.Anchors = []YearAnchor{
+		{s.Start, 60},
+		{s.End, 80},
+	}
+	s.ExchangePoints = 4
+	s.ExchangePointStartMax = 10
+	s.AggregatePrefixes = 3
+	s.Storms = []Storm{{
+		Date:      date(2001, time.February, 10),
+		Attacker:  8584,
+		DayCounts: []int{150, 60},
+	}}
+	s.WarmupDays = 150
+	return s
+}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"fmt"
+
+	"moas/internal/bgp"
+	"moas/internal/simnet"
+)
+
+// Cause labels why an episode's prefix shows multiple origins — the ground
+// truth the paper could only infer (§VI). The analysis re-derives its
+// conclusions from the detected data alone; the labels let EXPERIMENTS.md
+// check the inference against the truth.
+type Cause uint8
+
+// Episode causes.
+const (
+	// CauseMisconfig is a short-lived false origination (§VI-E): an AS
+	// wrongly originates someone else's prefix until the fault is fixed.
+	CauseMisconfig Cause = iota
+	// CauseTransition is a brief valid conflict while a non-BGP customer
+	// switches providers and both originate the prefix (§VI-F).
+	CauseTransition
+	// CauseStaticDisjoint is multi-homing without BGP (§VI-B): the owner
+	// announces via its primary provider while a second provider reaches
+	// the prefix statically and originates it — disjoint paths.
+	CauseStaticDisjoint
+	// CausePrivateASE is private-AS multihoming (§VI-C): the customer's
+	// private AS is stripped on egress so each provider appears as origin.
+	CausePrivateASE
+	// CauseOrigTran is a provider originating a customer prefix on part of
+	// its border while transiting the customer's announcement elsewhere —
+	// the OrigTranAS signature.
+	CauseOrigTran
+	// CauseSplitView is a transit AS announcing different customer origins
+	// to different neighbors (traffic engineering, §V).
+	CauseSplitView
+	// CauseExchangePoint is an exchange-point mesh prefix originated by
+	// all members (§VI-A).
+	CauseExchangePoint
+	// CauseHijackStorm marks prefixes swept into a scripted mass false
+	// origination (the 1998 AS 8584 and 2001 AS 15412 incidents).
+	CauseHijackStorm
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseMisconfig:
+		return "misconfig"
+	case CauseTransition:
+		return "transition"
+	case CauseStaticDisjoint:
+		return "static-disjoint"
+	case CausePrivateASE:
+		return "private-ase"
+	case CauseOrigTran:
+		return "orig-tran"
+	case CauseSplitView:
+		return "split-view"
+	case CauseExchangePoint:
+		return "exchange-point"
+	case CauseHijackStorm:
+		return "hijack-storm"
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// Valid reports whether the cause is an operationally legitimate one (the
+// paper's valid/invalid distinction: faults and hijacks are invalid).
+func (c Cause) Valid() bool {
+	switch c {
+	case CauseMisconfig, CauseHijackStorm:
+		return false
+	}
+	return true
+}
+
+// Episode is one conflict's ground truth: a prefix showing multiple
+// origins over a span of calendar days, with the cast of ASes that
+// produces the cause's AS-path signature.
+type Episode struct {
+	ID     int
+	Prefix bgp.Prefix
+	Cause  Cause
+
+	// Start is the first calendar day (may be negative: left-censored
+	// conflicts that began before the study window). Len counts calendar
+	// days; the episode is active on [Start, Start+Len).
+	Start, Len int
+
+	// Cast: interpretation depends on Cause.
+	Owner   bgp.ASN   // legitimate origin (or first origin)
+	Other   bgp.ASN   // second origin: attacker, static provider, ASE peer
+	Transit bgp.ASN   // split-view / orig-tran transit AS
+	Via     bgp.ASN   // restricted first hop for the owner's announcement
+	Members []bgp.ASN // exchange-point members
+}
+
+// ActiveOn reports whether the episode is active on calendar day d.
+func (e *Episode) ActiveOn(d int) bool { return d >= e.Start && d < e.Start+e.Len }
+
+// End returns the first calendar day after the episode.
+func (e *Episode) End() int { return e.Start + e.Len }
+
+// Advertisements materializes the cause's advertisement set for the
+// routing simulator.
+func (e *Episode) Advertisements(n *simnet.Net) []simnet.Advertisement {
+	switch e.Cause {
+	case CauseMisconfig, CauseHijackStorm:
+		if e.Via != 0 {
+			// Storm hijacker announcing through one provider: the 2001
+			// C&W signature (… 3561 15412).
+			return []simnet.Advertisement{
+				{Origin: e.Owner},
+				{Origin: e.Other, FirstHops: []bgp.ASN{e.Via}},
+			}
+		}
+		return simnet.AdvertiseHijack(e.Owner, e.Other)
+	case CauseTransition, CausePrivateASE:
+		return simnet.AdvertisePrivateASE(e.Owner, e.Other)
+	case CauseStaticDisjoint:
+		return simnet.AdvertiseDisjointStatic(e.Owner, e.Via, e.Other)
+	case CauseOrigTran:
+		return n.AdvertiseOrigTranAS(e.Transit, e.Owner)
+	case CauseSplitView:
+		return n.AdvertiseSplitView(e.Transit, e.Owner, e.Other)
+	case CauseExchangePoint:
+		return simnet.AdvertiseExchangePoint(e.Members...)
+	}
+	return simnet.AdvertiseSingle(e.Owner)
+}

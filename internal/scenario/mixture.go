@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DurationMix is the background conflict-duration mixture, calibrated so
+// the detected duration statistics reproduce the paper's Figure 4 (see
+// DESIGN.md §5 and the derivation in defaults.go):
+//
+//   - WOneDay: conflicts observed a single day ("lasting less than one
+//     day" in the paper's terms);
+//   - WShort: 2..9-day conflicts, uniform;
+//   - WTail: a discrete power law (Pareto, exponent Alpha) on
+//     [TailMin, TailMax] days — the heavy tail that produces the paper's
+//     conditional expectations 107.5 / 175.3 / 281.8 days and its ~1000
+//     conflicts lasting beyond 300 days.
+type DurationMix struct {
+	WOneDay float64
+	WShort  float64
+	WTail   float64
+
+	TailMin, TailMax float64
+	Alpha            float64
+
+	// TailStretch converts observed-day targets to calendar-day samples,
+	// compensating for archive gap days (observed ≈ calendar × 1279/1349).
+	TailStretch float64
+}
+
+// normalize rescales the weights to sum to 1.
+func (m *DurationMix) normalize() {
+	s := m.WOneDay + m.WShort + m.WTail
+	m.WOneDay /= s
+	m.WShort /= s
+	m.WTail /= s
+}
+
+// Sample draws a duration in calendar days (≥1).
+func (m *DurationMix) Sample(r *rand.Rand) int {
+	x := r.Float64()
+	switch {
+	case x < m.WOneDay:
+		return 1
+	case x < m.WOneDay+m.WShort:
+		return 2 + r.Intn(8) // uniform 2..9
+	}
+	return int(math.Round(m.sampleTail(r) * m.TailStretch))
+}
+
+// sampleTail draws from the truncated Pareto via inverse CDF.
+func (m *DurationMix) sampleTail(r *rand.Rand) float64 {
+	// F(x) ∝ x^(1-α) on [min,max]; invert.
+	a, b, alpha := m.TailMin, m.TailMax, m.Alpha
+	u := r.Float64()
+	pa := math.Pow(a, 1-alpha)
+	pb := math.Pow(b, 1-alpha)
+	return math.Pow(pa+u*(pb-pa), 1/(1-alpha))
+}
+
+// MeanCalendarDays returns the analytic expectation of Sample, used to set
+// arrival rates from the target active-conflict counts (Little's law:
+// active ≈ arrival rate × mean duration).
+func (m *DurationMix) MeanCalendarDays() float64 {
+	a, b, alpha := m.TailMin, m.TailMax, m.Alpha
+	// Mean of the truncated Pareto: ∫x·x^-α / ∫x^-α over [a,b].
+	num := (math.Pow(b, 2-alpha) - math.Pow(a, 2-alpha)) / (2 - alpha)
+	den := (math.Pow(b, 1-alpha) - math.Pow(a, 1-alpha)) / (1 - alpha)
+	tailMean := num / den * m.TailStretch
+	return m.WOneDay*1 + m.WShort*5.5 + m.WTail*tailMean
+}
+
+// poisson draws a Poisson-distributed count via Knuth's method; the rates
+// in this scenario are small (≈10-20/day) so the loop is short.
+func poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 { // unreachable at scenario rates; guards corrupt input
+			return k
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"time"
+
+	"moas/internal/topology"
+)
+
+// Storm scripts one mass false-origination incident: on consecutive days
+// starting at Date, the attacker originates DayCounts[i] victim prefixes
+// (a declining profile models progressive cleanup, as in the 2001 C&W
+// event). Via, when nonzero, restricts the attacker's announcement to one
+// provider so every hijacked path carries the (Via, Attacker) sequence.
+type Storm struct {
+	Date      time.Time
+	Attacker  uint32 // ASN (kept integral so Spec stays a plain value)
+	Via       uint32
+	DayCounts []int
+}
+
+// YearAnchor pins the target background active-conflict level at a date;
+// arrival rates interpolate linearly between anchors (Little's law
+// converts level targets to arrival rates).
+type YearAnchor struct {
+	Date   time.Time
+	Active float64
+}
+
+// Spec fully parameterizes a study scenario. DefaultSpec reproduces the
+// paper; tests use scaled-down variants.
+type Spec struct {
+	Seed int64
+
+	// Study window (inclusive calendar dates) and archive gap days.
+	Start, End time.Time
+	GapDays    int
+
+	Topology topology.GenConfig
+	Plan     topology.PlanConfig
+
+	// NumVantages is the number of collector peers (Oregon Route Views
+	// peered with 54 routers in 43 ASes; the default uses a smaller but
+	// structurally similar set).
+	NumVantages int
+
+	// Anchors drive the background arrival rate over time.
+	Anchors []YearAnchor
+
+	Mix DurationMix
+
+	// Cause weights for tail (≥10-day) episodes; shorter episodes are
+	// misconfigs/transitions (see build.go).
+	TailCauseWeights CauseWeights
+
+	// ExchangePoints is the number of IX mesh prefixes (§VI-A: 30).
+	ExchangePoints int
+	// ExchangePointStartMax: IX episodes start uniformly in the first this
+	// many days (sets the maximum observable duration).
+	ExchangePointStartMax int
+
+	// AggregatePrefixes is the number of AS_SET-terminated aggregate
+	// prefixes in the table (§III: ~12, excluded from the study).
+	AggregatePrefixes int
+
+	Storms []Storm
+
+	// WarmupDays seeds the initial conflict population: arrivals are drawn
+	// for this many days before Start so day 0 begins at steady state.
+	WarmupDays int
+}
+
+// CauseWeights splits long-lived background episodes among the valid
+// multihoming causes; the active population is duration-weighted, so these
+// are what Figure 6's class mix reflects.
+type CauseWeights struct {
+	StaticDisjoint float64
+	PrivateASE     float64
+	OrigTran       float64
+	SplitView      float64
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// Days returns the number of calendar days in the window (inclusive).
+func (s Spec) Days() int {
+	return int(s.End.Sub(s.Start).Hours()/24) + 1
+}
+
+// DayDate maps a calendar-day index to its date.
+func (s Spec) DayDate(i int) time.Time { return s.Start.AddDate(0, 0, i) }
+
+// DayIndex maps a date to its calendar-day index.
+func (s Spec) DayIndex(t time.Time) int {
+	return int(t.Sub(s.Start).Hours() / 24)
+}

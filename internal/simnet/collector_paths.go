@@ -1,0 +1,102 @@
+package simnet
+
+import (
+	"moas/internal/bgp"
+)
+
+// vantageSummary is the per-vantage extract of one advertisement's route
+// table: preference class, hop count and reconstructed path for each
+// configured vantage. Summaries are small (O(vantages)) where full route
+// tables are O(ASes), so the Net can cache one per distinct advertisement
+// across a multi-year scenario without holding the tables themselves.
+type vantageSummary struct {
+	class []int8
+	hops  []int32
+	path  []bgp.Path // nil when unreachable
+}
+
+// SetVantages fixes the collector's peer set for CollectorPaths. Calling
+// it clears the summary cache.
+func (n *Net) SetVantages(vs []bgp.ASN) {
+	n.vantages = append([]bgp.ASN(nil), vs...)
+	n.vsCache = make(map[string]*vantageSummary)
+}
+
+// Vantages returns the configured collector peer set (do not mutate).
+func (n *Net) Vantages() []bgp.ASN { return n.vantages }
+
+// summaryFor computes (or returns cached) the vantage summary for one
+// advertisement. The full route table is discarded after extraction.
+func (n *Net) summaryFor(a Advertisement) *vantageSummary {
+	key := cacheKey(a.root(), a.FirstHops)
+	if s, ok := n.vsCache[key]; ok {
+		return s
+	}
+	t := n.propagate(a.root(), a.FirstHops)
+	s := &vantageSummary{
+		class: make([]int8, len(n.vantages)),
+		hops:  make([]int32, len(n.vantages)),
+		path:  make([]bgp.Path, len(n.vantages)),
+	}
+	for i, v := range n.vantages {
+		vi := n.G.Index(v)
+		if vi < 0 || !t.reachable(vi) {
+			s.class[i] = classNone
+			continue
+		}
+		s.class[i] = t.class[vi]
+		s.hops[i] = t.hops[vi]
+		var ases []bgp.ASN
+		for j := vi; ; {
+			ases = append(ases, n.G.ByIndex(j))
+			if t.next[j] < 0 {
+				break
+			}
+			j = int(t.next[j])
+		}
+		s.path[i] = bgp.Path{{Type: bgp.SegSequence, ASes: ases}}
+	}
+	n.vsCache[key] = s
+	return s
+}
+
+// CollectorPaths is VantagePaths against the configured vantage set, backed
+// by the summary cache: the form the multi-year scenario driver uses. The
+// returned paths are shared; callers must not mutate them.
+func (n *Net) CollectorPaths(advs []Advertisement) []VantageRoute {
+	if len(advs) == 0 || len(n.vantages) == 0 {
+		return nil
+	}
+	sums := make([]*vantageSummary, len(advs))
+	for i, a := range advs {
+		sums[i] = n.summaryFor(a)
+	}
+	out := make([]VantageRoute, 0, len(n.vantages))
+	for vi, v := range n.vantages {
+		best := -1
+		var bestClass int8
+		var bestHops int32
+		for ai, s := range sums {
+			if s.class[vi] == classNone {
+				continue
+			}
+			cl, hops := s.class[vi], s.hops[vi]
+			if advs[ai].root() != advs[ai].Origin {
+				hops++
+			}
+			if best < 0 || cl < bestClass || (cl == bestClass && hops < bestHops) ||
+				(cl == bestClass && hops == bestHops && advs[ai].Origin < advs[best].Origin) {
+				best, bestClass, bestHops = ai, cl, hops
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		p := sums[best].path[vi]
+		if advs[best].root() != advs[best].Origin {
+			p = appendOrigin(p, advs[best].Origin)
+		}
+		out = append(out, VantageRoute{Vantage: v, Path: p})
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package simnet
+
+import (
+	"testing"
+
+	"moas/internal/bgp"
+	"moas/internal/topology"
+)
+
+// TestCollectorPathsMatchesVantagePaths proves the summary-cached fast path
+// is equivalent to the direct computation — the property the multi-year
+// driver relies on.
+func TestCollectorPathsMatchesVantagePaths(t *testing.T) {
+	cfg := topology.DefaultGenConfig()
+	cfg.Tier2, cfg.Tier3, cfg.Stubs = 12, 30, 150
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(g)
+	ases := g.ASes()
+	vantages := []bgp.ASN{ases[0], ases[3], ases[10], ases[40], ases[100]}
+	n.SetVantages(vantages)
+
+	stubs := ases[len(ases)-60:]
+	cases := [][]Advertisement{
+		AdvertiseSingle(stubs[0]),
+		AdvertiseHijack(stubs[1], stubs[2]),
+		AdvertiseDisjointStatic(stubs[3], g.Providers(stubs[3])[0], ases[9]),
+		AdvertisePrivateASE(ases[9], ases[10]),
+		AdvertiseExchangePoint(ases[9], ases[10], ases[11]),
+		n.AdvertiseSplitView(ases[9], g.Customers(ases[9])[0], stubs[4]),
+		n.AdvertiseOrigTranAS(g.Providers(stubs[5])[0], stubs[5]),
+	}
+	for ci, advs := range cases {
+		slow := n.VantagePaths(vantages, advs)
+		fast := n.CollectorPaths(advs)
+		if len(slow) != len(fast) {
+			t.Fatalf("case %d: %d vs %d routes", ci, len(slow), len(fast))
+		}
+		for i := range slow {
+			if slow[i].Vantage != fast[i].Vantage || !slow[i].Path.Equal(fast[i].Path) {
+				t.Fatalf("case %d vantage %v: %q vs %q",
+					ci, slow[i].Vantage, slow[i].Path, fast[i].Path)
+			}
+		}
+		// Second call must hit the cache and stay identical.
+		again := n.CollectorPaths(advs)
+		for i := range fast {
+			if !again[i].Path.Equal(fast[i].Path) {
+				t.Fatalf("case %d: cached result differs", ci)
+			}
+		}
+	}
+}
+
+func TestCollectorPathsNoVantages(t *testing.T) {
+	g := testGraph(t)
+	n := New(g)
+	if out := n.CollectorPaths(AdvertiseSingle(3001)); out != nil {
+		t.Fatalf("CollectorPaths without vantages = %v", out)
+	}
+	n.SetVantages([]bgp.ASN{701})
+	if out := n.CollectorPaths(nil); out != nil {
+		t.Fatalf("CollectorPaths with no advertisements = %v", out)
+	}
+	if vs := n.Vantages(); len(vs) != 1 || vs[0] != 701 {
+		t.Fatalf("Vantages = %v", vs)
+	}
+}

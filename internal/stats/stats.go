@@ -1,0 +1,121 @@
+// Package stats provides the small statistical toolkit the analysis layer
+// uses: medians, conditional expectations and histograms over integer
+// samples. Implementations are deliberately simple and allocation-light.
+package stats
+
+import "sort"
+
+// Median returns the median of xs (mean of the middle pair for even n,
+// matching the paper's fractional yearly medians such as 810.5).
+// It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MedianInts is Median over ints.
+func MedianInts(xs []int) float64 {
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x)
+	}
+	return Median(f)
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CondExp returns the expectation of the samples strictly greater than
+// threshold, and how many qualified — the paper's Figure 4 measure
+// ("expectation of the duration for conflicts longer than N days").
+func CondExp(xs []int, threshold int) (mean float64, n int) {
+	var sum float64
+	for _, x := range xs {
+		if x > threshold {
+			sum += float64(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// CountOver returns how many samples exceed threshold.
+func CountOver(xs []int, threshold int) int {
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxInt returns the maximum (0 for empty).
+func MaxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Hist builds a histogram of xs: value → count.
+func Hist(xs []int) map[int]int {
+	h := make(map[int]int)
+	for _, x := range xs {
+		h[x]++
+	}
+	return h
+}
+
+// HistBuckets rebins a histogram into fixed-width buckets of the given
+// size, returning ascending (bucketStart, count) pairs — used to render
+// the Figure 3 scatter at terminal resolution.
+func HistBuckets(h map[int]int, width int) (starts []int, counts []int) {
+	if width < 1 {
+		width = 1
+	}
+	agg := map[int]int{}
+	for v, c := range h {
+		agg[(v/width)*width] += c
+	}
+	for s := range agg {
+		starts = append(starts, s)
+	}
+	sort.Ints(starts)
+	counts = make([]int, len(starts))
+	for i, s := range starts {
+		counts[i] = agg[s]
+	}
+	return starts, counts
+}
+
+// GrowthPct returns the percentage growth from a to b (0 when a is 0).
+func GrowthPct(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a * 100
+}

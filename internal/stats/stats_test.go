@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{810, 811}, 810.5}, // the paper's fractional median
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestMedianInts(t *testing.T) {
+	if got := MedianInts([]int{683, 700, 650}); got != 683 {
+		t.Fatalf("MedianInts = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestCondExp(t *testing.T) {
+	xs := []int{1, 1, 5, 10, 20, 300}
+	mean, n := CondExp(xs, 1)
+	if n != 4 || math.Abs(mean-83.75) > 1e-9 {
+		t.Fatalf("CondExp(>1) = (%v, %d)", mean, n)
+	}
+	mean, n = CondExp(xs, 9)
+	if n != 3 || math.Abs(mean-110) > 1e-9 {
+		t.Fatalf("CondExp(>9) = (%v, %d)", mean, n)
+	}
+	if mean, n = CondExp(xs, 1000); n != 0 || mean != 0 {
+		t.Fatalf("CondExp above max = (%v,%d)", mean, n)
+	}
+}
+
+func TestCountOverAndMax(t *testing.T) {
+	xs := []int{1, 5, 301, 500, 299}
+	if CountOver(xs, 300) != 2 {
+		t.Error("CountOver wrong")
+	}
+	if MaxInt(xs) != 500 || MaxInt(nil) != 0 {
+		t.Error("MaxInt wrong")
+	}
+}
+
+func TestHistAndBuckets(t *testing.T) {
+	h := Hist([]int{1, 1, 2, 30, 31, 33})
+	if h[1] != 2 || h[2] != 1 || h[30] != 1 {
+		t.Fatalf("Hist = %v", h)
+	}
+	starts, counts := HistBuckets(h, 10)
+	if len(starts) != 2 || starts[0] != 0 || starts[1] != 30 {
+		t.Fatalf("HistBuckets starts = %v", starts)
+	}
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("HistBuckets counts = %v", counts)
+	}
+	// width<1 is clamped to 1: one bucket per distinct value.
+	s2, _ := HistBuckets(h, 0)
+	if len(s2) != 5 {
+		t.Fatalf("width-0 buckets = %v", s2)
+	}
+}
+
+func TestGrowthPct(t *testing.T) {
+	if got := GrowthPct(683, 810.5); math.Abs(got-18.67) > 0.1 {
+		t.Fatalf("GrowthPct = %v, want ≈18.7 (the paper's 1999 rate)", got)
+	}
+	if GrowthPct(0, 5) != 0 {
+		t.Fatal("GrowthPct(0,·) != 0")
+	}
+}
+
+func TestQuickCondExpConsistent(t *testing.T) {
+	// CondExp(xs, t) over threshold 0 equals Mean of positive samples.
+	f := func(raw []uint8) bool {
+		xs := make([]int, len(raw))
+		var pos []float64
+		for i, v := range raw {
+			xs[i] = int(v)
+			if v > 0 {
+				pos = append(pos, float64(v))
+			}
+		}
+		mean, n := CondExp(xs, 0)
+		if n != len(pos) {
+			return false
+		}
+		if n == 0 {
+			return mean == 0
+		}
+		return math.Abs(mean-Mean(pos)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package textplot renders the paper's figures as ASCII charts for
+// terminal output: line charts (Fig. 1, Fig. 6), log-scale scatter
+// (Fig. 3) and grouped bars (Fig. 5).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line renders series as an ASCII line chart of the given size. Multiple
+// series share axes; each uses its own glyph. Labels annotate the x range.
+func Line(width, height int, xLabel string, series []Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var maxY float64
+	var n int
+	for _, s := range series {
+		for _, v := range s.Y {
+			if v > maxY {
+				maxY = v
+			}
+		}
+		if len(s.Y) > n {
+			n = len(s.Y)
+		}
+	}
+	if n == 0 {
+		return "(no data)\n"
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	grid := newGrid(width, height)
+	for _, s := range series {
+		for i, v := range s.Y {
+			x := i * (width - 1) / maxInt(n-1, 1)
+			y := int(math.Round(v / maxY * float64(height-1)))
+			grid.set(x, height-1-y, s.Glyph)
+		}
+	}
+	var b strings.Builder
+	for row := 0; row < height; row++ {
+		yVal := maxY * float64(height-1-row) / float64(height-1)
+		fmt.Fprintf(&b, "%8.0f |%s\n", yVal, string(grid.cells[row]))
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "%9s %s\n", "", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%9s %c = %s\n", "", s.Glyph, s.Name)
+	}
+	return b.String()
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name  string
+	Glyph byte
+	Y     []float64
+}
+
+// LogScatter renders (x, count) points with a log-10 y axis — the shape of
+// the paper's Figure 3 (counts spanning 1..100k against durations).
+func LogScatter(width, height int, xMax int, xs, counts []int, xLabel string) string {
+	if len(xs) == 0 {
+		return "(no data)\n"
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	logMax := math.Log10(float64(maxInt(maxC, 10)))
+	grid := newGrid(width, height)
+	for i, x := range xs {
+		if counts[i] <= 0 {
+			continue
+		}
+		col := x * (width - 1) / maxInt(xMax, 1)
+		if col >= width {
+			col = width - 1
+		}
+		y := int(math.Round(math.Log10(float64(counts[i])) / logMax * float64(height-1)))
+		grid.set(col, height-1-y, '*')
+	}
+	var b strings.Builder
+	for row := 0; row < height; row++ {
+		yVal := math.Pow(10, logMax*float64(height-1-row)/float64(height-1))
+		fmt.Fprintf(&b, "%8.0f |%s\n", yVal, string(grid.cells[row]))
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "%9s %s (0..%d)\n", "", xLabel, xMax)
+	return b.String()
+}
+
+// Bars renders grouped horizontal bars: one row per category, one bar per
+// group — the per-prefix-length, per-year layout of Figure 5.
+func Bars(categories []string, groups []BarGroup, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var maxV float64
+	for _, g := range groups {
+		for _, v := range g.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for ci, cat := range categories {
+		for gi, g := range groups {
+			n := int(math.Round(g.Values[ci] / maxV * float64(width)))
+			label := ""
+			if gi == 0 {
+				label = cat
+			}
+			fmt.Fprintf(&b, "%6s %-6s |%s %0.0f\n", label, g.Name, strings.Repeat("#", n), g.Values[ci])
+		}
+	}
+	return b.String()
+}
+
+// BarGroup is one group (e.g. a year) across all categories.
+type BarGroup struct {
+	Name   string
+	Values []float64
+}
+
+type grid struct {
+	cells [][]byte
+}
+
+func newGrid(w, h int) *grid {
+	g := &grid{cells: make([][]byte, h)}
+	for i := range g.cells {
+		g.cells[i] = []byte(strings.Repeat(" ", w))
+	}
+	return g
+}
+
+func (g *grid) set(x, y int, ch byte) {
+	if y >= 0 && y < len(g.cells) && x >= 0 && x < len(g.cells[y]) {
+		g.cells[y][x] = ch
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineRendersAllSeries(t *testing.T) {
+	out := Line(40, 8, "date", []Series{
+		{Name: "conflicts", Glyph: '*', Y: []float64{1, 5, 3, 12, 8}},
+		{Name: "baseline", Glyph: '.', Y: []float64{2, 2, 2, 2, 2}},
+	})
+	if !strings.Contains(out, "*") || !strings.Contains(out, ".") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "conflicts") || !strings.Contains(out, "baseline") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "date") {
+		t.Fatalf("x label missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8+2+2 { // rows + axis + label + 2 legend
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestLineEmptyAndDegenerate(t *testing.T) {
+	if out := Line(40, 8, "x", nil); out != "(no data)\n" {
+		t.Fatalf("empty = %q", out)
+	}
+	// All-zero series must not divide by zero.
+	out := Line(20, 4, "x", []Series{{Name: "z", Glyph: 'z', Y: []float64{0, 0}}})
+	if !strings.Contains(out, "z = z") {
+		t.Fatalf("zero series broke rendering:\n%s", out)
+	}
+	// Single point.
+	out = Line(2, 2, "x", []Series{{Name: "p", Glyph: 'p', Y: []float64{7}}})
+	if !strings.Contains(out, "p") {
+		t.Fatal("single point missing")
+	}
+}
+
+func TestLogScatter(t *testing.T) {
+	xs := []int{1, 10, 100, 1000}
+	counts := []int{13730, 500, 40, 2}
+	out := LogScatter(60, 10, 1300, xs, counts, "duration (days)")
+	if strings.Count(out, "*") < 3 {
+		t.Fatalf("points missing:\n%s", out)
+	}
+	if !strings.Contains(out, "duration (days) (0..1300)") {
+		t.Fatalf("label missing:\n%s", out)
+	}
+	if LogScatter(10, 4, 10, nil, nil, "x") != "(no data)\n" {
+		t.Fatal("empty scatter not handled")
+	}
+	// Zero counts are skipped, not plotted at -inf.
+	out = LogScatter(20, 5, 10, []int{1, 2}, []int{0, 5}, "x")
+	if strings.Count(out, "*") != 1 {
+		t.Fatalf("zero count plotted:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars(
+		[]string{"/16", "/24"},
+		[]BarGroup{
+			{Name: "1998", Values: []float64{10, 60}},
+			{Name: "2001", Values: []float64{30, 120}},
+		},
+		20,
+	)
+	if !strings.Contains(out, "/24") || !strings.Contains(out, "1998") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var max24in2001 int
+	for _, l := range lines {
+		if strings.Contains(l, "2001") && strings.Contains(l, "120") {
+			max24in2001 = strings.Count(l, "#")
+		}
+	}
+	if max24in2001 != 20 {
+		t.Fatalf("longest bar = %d hashes, want 20:\n%s", max24in2001, out)
+	}
+	// All-zero values must not divide by zero.
+	out = Bars([]string{"a"}, []BarGroup{{Name: "g", Values: []float64{0}}}, 10)
+	if !strings.Contains(out, "a") {
+		t.Fatal("zero bars broke rendering")
+	}
+}
+
+func TestGridClipping(t *testing.T) {
+	g := newGrid(4, 2)
+	g.set(-1, 0, 'x')
+	g.set(0, -1, 'x')
+	g.set(99, 0, 'x')
+	g.set(0, 99, 'x')
+	g.set(1, 1, 'y')
+	if g.cells[1][1] != 'y' {
+		t.Fatal("in-range set failed")
+	}
+}

@@ -1,0 +1,174 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"moas/internal/bgp"
+)
+
+// Tier1ASNs are well-known default-free-zone AS numbers of the study era,
+// used for the core clique so generated paths read like real ones.
+var Tier1ASNs = []bgp.ASN{701, 1239, 3356, 7018, 2914, 3561, 209, 6453, 1299, 3549}
+
+// GenConfig parameterizes topology generation. The zero value is not
+// useful; start from DefaultGenConfig.
+type GenConfig struct {
+	Tier1 int // size of the core clique (≤ len(Tier1ASNs) keeps real ASNs)
+	Tier2 int // national/large regional transit ASes
+	Tier3 int // small regional transit ASes
+	Stubs int // edge ASes providing no transit
+
+	// MultihomedStubFrac is the fraction of stubs with two providers —
+	// BGP-speaking multihoming, which does not by itself create MOAS
+	// conflicts (the stub originates with its own AS via both providers).
+	MultihomedStubFrac float64
+
+	// Tier2PeerProb is the probability that any two tier-2 ASes peer.
+	Tier2PeerProb float64
+	// Tier3PeerProb is the probability that any two tier-3 ASes peer.
+	Tier3PeerProb float64
+
+	// RequiredStubs are AS numbers that must exist as stubs (the scenario
+	// layer places incident ASes such as 8584 and 15412 here).
+	RequiredStubs []bgp.ASN
+
+	Seed int64
+}
+
+// DefaultGenConfig returns the configuration used by the paper-scale
+// reproduction: a few thousand ASes, matching the 1997-2001 Internet's
+// order of magnitude.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Tier1:              8,
+		Tier2:              60,
+		Tier3:              240,
+		Stubs:              2400,
+		MultihomedStubFrac: 0.25,
+		Tier2PeerProb:      0.15,
+		Tier3PeerProb:      0.01,
+		Seed:               1,
+	}
+}
+
+// Generate builds a tiered Gao-Rexford topology:
+//
+//   - tier-1 ASes form a full peering mesh (the default-free core);
+//   - each tier-2 AS buys transit from 1-3 tier-1s, and tier-2 pairs peer
+//     with probability Tier2PeerProb;
+//   - each tier-3 AS buys transit from 1-3 tier-2s;
+//   - each stub buys transit from one tier-2/tier-3 (two when multihomed).
+//
+// Generation is deterministic for a given config.
+func Generate(cfg GenConfig) (*Graph, error) {
+	if cfg.Tier1 < 1 || cfg.Tier1 > len(Tier1ASNs) {
+		return nil, fmt.Errorf("topology: Tier1 must be 1..%d", len(Tier1ASNs))
+	}
+	if cfg.Tier2 < 1 || cfg.Tier3 < 0 || cfg.Stubs < 0 {
+		return nil, fmt.Errorf("topology: negative or empty tier sizes")
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := NewGraph()
+
+	t1 := make([]bgp.ASN, cfg.Tier1)
+	copy(t1, Tier1ASNs[:cfg.Tier1])
+	for _, a := range t1 {
+		g.AddAS(a, Tier1)
+	}
+	for i := 0; i < len(t1); i++ {
+		for j := i + 1; j < len(t1); j++ {
+			g.AddPeering(t1[i], t1[j])
+		}
+	}
+
+	taken := make(map[bgp.ASN]bool)
+	for _, a := range t1 {
+		taken[a] = true
+	}
+	for _, a := range cfg.RequiredStubs {
+		if taken[a] {
+			return nil, fmt.Errorf("topology: required stub %v collides with the core", a)
+		}
+		taken[a] = true
+	}
+	nextASN := bgp.ASN(10000)
+	alloc := func() bgp.ASN {
+		for taken[nextASN] {
+			nextASN++
+		}
+		a := nextASN
+		taken[a] = true
+		nextASN++
+		return a
+	}
+
+	pickDistinct := func(pool []bgp.ASN, n int) []bgp.ASN {
+		if n > len(pool) {
+			n = len(pool)
+		}
+		perm := r.Perm(len(pool))
+		out := make([]bgp.ASN, n)
+		for i := 0; i < n; i++ {
+			out[i] = pool[perm[i]]
+		}
+		return out
+	}
+
+	t2 := make([]bgp.ASN, cfg.Tier2)
+	for i := range t2 {
+		a := alloc()
+		t2[i] = a
+		g.AddAS(a, Tier2)
+		for _, p := range pickDistinct(t1, 1+r.Intn(3)) {
+			g.AddTransit(p, a)
+		}
+	}
+	for i := 0; i < len(t2); i++ {
+		for j := i + 1; j < len(t2); j++ {
+			if r.Float64() < cfg.Tier2PeerProb {
+				g.AddPeering(t2[i], t2[j])
+			}
+		}
+	}
+
+	t3 := make([]bgp.ASN, cfg.Tier3)
+	for i := range t3 {
+		a := alloc()
+		t3[i] = a
+		g.AddAS(a, Tier3)
+		for _, p := range pickDistinct(t2, 1+r.Intn(3)) {
+			g.AddTransit(p, a)
+		}
+	}
+	for i := 0; i < len(t3); i++ {
+		for j := i + 1; j < len(t3); j++ {
+			if r.Float64() < cfg.Tier3PeerProb {
+				g.AddPeering(t3[i], t3[j])
+			}
+		}
+	}
+
+	transit := append(append([]bgp.ASN{}, t2...), t3...)
+	addStub := func(a bgp.ASN) {
+		g.AddAS(a, TierStub)
+		n := 1
+		if r.Float64() < cfg.MultihomedStubFrac {
+			n = 2
+		}
+		for _, p := range pickDistinct(transit, n) {
+			g.AddTransit(p, a)
+		}
+	}
+	for _, a := range cfg.RequiredStubs {
+		addStub(a)
+	}
+	for i := 0; i < cfg.Stubs; i++ {
+		addStub(alloc())
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

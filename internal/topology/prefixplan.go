@@ -1,0 +1,162 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"moas/internal/bgp"
+)
+
+// LengthBucket is one entry of a prefix-length distribution.
+type LengthBucket struct {
+	Bits   uint8
+	Weight float64
+}
+
+// DefaultLengthDist approximates the global IPv4 table of the study era:
+// /24 carries the bulk of the table (which is why Fig. 5 of the paper puts
+// most conflicts at /24), with the rest spread over /8../23 and a thin tail
+// of longer-than-/24 leaks.
+// The /8 weight is kept tiny: each /8 route consumes an entire /8 of the
+// allocator's space, and the real table of the era carried only a handful.
+var DefaultLengthDist = []LengthBucket{
+	{8, 0.0002}, {12, 0.002}, {13, 0.003}, {14, 0.006}, {15, 0.007},
+	{16, 0.1088}, {17, 0.022}, {18, 0.035}, {19, 0.055}, {20, 0.045},
+	{21, 0.040}, {22, 0.050}, {23, 0.055}, {24, 0.545},
+	{25, 0.008}, {26, 0.008}, {27, 0.005}, {28, 0.003}, {29, 0.002},
+	{30, 0.002}, {32, 0.003},
+}
+
+// PlanConfig parameterizes address-space assignment.
+type PlanConfig struct {
+	// PrefixesPerStub draws how many prefixes a stub originates; the
+	// default is a skewed 1..12 distribution averaging ≈2.
+	MeanPrefixesPerStub float64
+	// TransitPrefixes is how many prefixes each transit AS originates
+	// for its own infrastructure.
+	TransitPrefixes int
+	LengthDist      []LengthBucket
+	Seed            int64
+}
+
+// DefaultPlanConfig returns the reproduction's allocation parameters.
+func DefaultPlanConfig() PlanConfig {
+	return PlanConfig{
+		MeanPrefixesPerStub: 2.0,
+		TransitPrefixes:     3,
+		LengthDist:          DefaultLengthDist,
+		Seed:                2,
+	}
+}
+
+// Plan maps each originating AS to the prefixes it owns.
+type Plan struct {
+	ByAS  map[bgp.ASN][]bgp.Prefix
+	Owner map[bgp.Prefix]bgp.ASN
+	// All lists every prefix in allocation order (deterministic).
+	All []bgp.Prefix
+}
+
+// allocator carves aligned blocks out of the classic unicast space,
+// skipping reserved /8s, so generated tables look like real ones.
+type allocator struct {
+	cursor uint32
+}
+
+func newAllocator() *allocator {
+	return &allocator{cursor: 24 << 24} // start at 24.0.0.0
+}
+
+// reserved8 reports whether the /8 containing addr must be skipped.
+func reserved8(addr uint32) bool {
+	hi := addr >> 24
+	return hi == 127 || hi == 10 || hi >= 224 || hi == 0
+}
+
+// next returns the next free aligned block of the given length.
+func (al *allocator) next(bits uint8) (bgp.Prefix, error) {
+	size := uint32(1) << (32 - bits)
+	// Align up.
+	c := (al.cursor + size - 1) &^ (size - 1)
+	for reserved8(c) {
+		c = ((c >> 24) + 1) << 24
+		c = (c + size - 1) &^ (size - 1)
+	}
+	if c < al.cursor { // wrapped
+		return bgp.Prefix{}, fmt.Errorf("topology: address space exhausted")
+	}
+	al.cursor = c + size
+	return bgp.PrefixFromUint32(c, bits), nil
+}
+
+// BuildPlan assigns prefixes to every AS in g: transit ASes get
+// TransitPrefixes each, stubs draw a skewed count around
+// MeanPrefixesPerStub, and all lengths follow LengthDist.
+func BuildPlan(g *Graph, cfg PlanConfig) (*Plan, error) {
+	if len(cfg.LengthDist) == 0 {
+		cfg.LengthDist = DefaultLengthDist
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	sampler := newLengthSampler(cfg.LengthDist)
+	al := newAllocator()
+	plan := &Plan{
+		ByAS:  make(map[bgp.ASN][]bgp.Prefix),
+		Owner: make(map[bgp.Prefix]bgp.ASN),
+	}
+
+	// Deterministic iteration: index order.
+	for _, a := range g.ASes() {
+		var count int
+		if g.TierOf(a) == TierStub {
+			// Geometric-ish skew: most stubs announce 1-2 prefixes, a few
+			// announce many (the multi-prefix enterprises of the era).
+			count = 1
+			for r.Float64() < 1.0-1.0/cfg.MeanPrefixesPerStub && count < 64 {
+				count++
+			}
+		} else {
+			count = cfg.TransitPrefixes
+		}
+		for i := 0; i < count; i++ {
+			p, err := al.next(sampler.sample(r))
+			if err != nil {
+				return nil, err
+			}
+			plan.ByAS[a] = append(plan.ByAS[a], p)
+			plan.Owner[p] = a
+			plan.All = append(plan.All, p)
+		}
+	}
+	return plan, nil
+}
+
+// lengthSampler draws prefix lengths from a weighted distribution.
+type lengthSampler struct {
+	bits []uint8
+	cum  []float64
+}
+
+func newLengthSampler(dist []LengthBucket) *lengthSampler {
+	s := &lengthSampler{}
+	var total float64
+	for _, b := range dist {
+		total += b.Weight
+	}
+	var acc float64
+	for _, b := range dist {
+		acc += b.Weight / total
+		s.bits = append(s.bits, b.Bits)
+		s.cum = append(s.cum, acc)
+	}
+	return s
+}
+
+func (s *lengthSampler) sample(r *rand.Rand) uint8 {
+	x := r.Float64()
+	i := sort.SearchFloat64s(s.cum, x)
+	if i >= len(s.bits) {
+		i = len(s.bits) - 1
+	}
+	return s.bits[i]
+}

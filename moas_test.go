@@ -1,0 +1,199 @@
+package moas
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func runSmall(t *testing.T) *Report {
+	t.Helper()
+	study := NewStudy(SmallScale())
+	rep, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestStudyRunSmall(t *testing.T) {
+	rep := runSmall(t)
+	if len(rep.Days()) == 0 || rep.Registry().Len() == 0 {
+		t.Fatal("empty report")
+	}
+	if rep.Scenario() == nil {
+		t.Fatal("scenario missing")
+	}
+}
+
+func TestReportFiguresSmall(t *testing.T) {
+	rep := runSmall(t)
+
+	fig1 := rep.Fig1()
+	if len(fig1) != len(rep.Days()) {
+		t.Fatal("Fig1 length mismatch")
+	}
+	s1 := rep.Fig1Summary()
+	if s1.PeakCount < rep.Scenario().Spec.Storms[0].DayCounts[0] {
+		t.Fatalf("peak %d below storm size", s1.PeakCount)
+	}
+
+	if h := rep.Fig3(); len(h) == 0 {
+		t.Fatal("Fig3 empty")
+	}
+	fig4 := rep.Fig4()
+	if len(fig4) != 5 || fig4[0].ThresholdDays != 0 || fig4[4].ThresholdDays != 89 {
+		t.Fatalf("Fig4 rows = %+v", fig4)
+	}
+	// Conditional expectations must be monotone in the threshold.
+	for i := 1; i < len(fig4); i++ {
+		if fig4[i].N > 0 && fig4[i-1].N > 0 && fig4[i].Expectation < fig4[i-1].Expectation {
+			t.Fatalf("Fig4 not monotone: %+v", fig4)
+		}
+	}
+
+	ds := rep.DurationSummary()
+	if ds.MaxDuration == 0 || ds.Ongoing == 0 {
+		t.Fatalf("duration summary = %+v", ds)
+	}
+	// Exchange points run to the end, so ongoing ≥ their count.
+	if ds.Ongoing < rep.Scenario().Spec.ExchangePoints {
+		t.Fatalf("ongoing %d < %d exchange points", ds.Ongoing, rep.Scenario().Spec.ExchangePoints)
+	}
+}
+
+func TestReportAttribution(t *testing.T) {
+	rep := runSmall(t)
+	stormDate := rep.Scenario().Spec.Storms[0].Date
+	a, err := rep.AttributeDay(stormDate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Involved < rep.Scenario().Spec.Storms[0].DayCounts[0] {
+		t.Fatalf("attribution %d below storm size", a.Involved)
+	}
+	if !strings.Contains(a.String(), "AS8584") {
+		t.Fatalf("label missing: %s", a)
+	}
+	if _, err := rep.AttributeDay(stormDate, 99); err == nil {
+		t.Fatal("bad watch index accepted")
+	}
+	if _, err := rep.AttributeDaySeq(stormDate, 99); err == nil {
+		t.Fatal("bad seq index accepted")
+	}
+}
+
+func TestReportRenderers(t *testing.T) {
+	rep := runSmall(t)
+	if out := rep.RenderFig1(60, 10); !strings.Contains(out, "MOAS conflicts per day") {
+		t.Fatalf("RenderFig1:\n%s", out)
+	}
+	if out := rep.RenderFig2(); !strings.Contains(out, "Median of MOAS conflicts") {
+		t.Fatalf("RenderFig2:\n%s", out)
+	}
+	if out := rep.RenderFig3(60, 10); !strings.Contains(out, "duration") {
+		t.Fatalf("RenderFig3:\n%s", out)
+	}
+	if out := rep.RenderFig4(); !strings.Contains(out, "longer than 9 days") {
+		t.Fatalf("RenderFig4:\n%s", out)
+	}
+	if out := rep.RenderFig5(30); !strings.Contains(out, "/24") {
+		t.Fatalf("RenderFig5:\n%s", out)
+	}
+	if out := rep.Summary(); !strings.Contains(out, "paper: 38225") {
+		t.Fatalf("Summary:\n%s", out)
+	}
+	// Fig6's default window falls outside the small scenario; rendering
+	// must still not fail.
+	_ = rep.RenderFig6(40, 8)
+}
+
+func TestReportFig6Window(t *testing.T) {
+	rep := runSmall(t)
+	spec := rep.Scenario().Spec
+	// Use a window inside the small scenario instead of the paper's.
+	pts := rep.Fig6(spec.Start, spec.End)
+	if len(pts) != len(rep.Days()) {
+		t.Fatalf("Fig6 over full window: %d points, want %d", len(pts), len(rep.Days()))
+	}
+	var totals [5]int
+	for _, p := range pts {
+		for c := range p.ByClass {
+			totals[c] += p.ByClass[c]
+		}
+	}
+	if totals[ClassDistinctPaths] == 0 {
+		t.Fatal("no DistinctPaths conflicts")
+	}
+	if totals[ClassDistinctPaths] <= totals[ClassSplitView] {
+		t.Fatalf("DistinctPaths (%d) must dominate SplitView (%d)",
+			totals[ClassDistinctPaths], totals[ClassSplitView])
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	p := MustParsePrefix("198.51.100.0/24")
+	if p.Bits() != 24 {
+		t.Fatal("prefix alias broken")
+	}
+	path := MustParsePath("701 1239 8584")
+	if o, ok := path.Origin(); !ok || o != 8584 {
+		t.Fatal("path alias broken")
+	}
+	if got := ClassifyPair(MustParsePath("701 2001"), MustParsePath("1239 2001 3003")); got != ClassOrigTranAS {
+		t.Fatalf("ClassifyPair = %v", got)
+	}
+	if !Date(2001, time.April, 6).Equal(time.Date(2001, 4, 6, 0, 0, 0, 0, time.UTC)) {
+		t.Fatal("Date helper wrong")
+	}
+	if FullScale().Days() != 1349 {
+		t.Fatal("FullScale window wrong")
+	}
+	if SmallScale().Days() >= FullScale().Days() {
+		t.Fatal("SmallScale not smaller")
+	}
+}
+
+func TestReportContinuity(t *testing.T) {
+	rep := runSmall(t)
+	s := rep.Continuity()
+	if s.Total != rep.Registry().Len() {
+		t.Fatalf("continuity total %d != registry %d", s.Total, rep.Registry().Len())
+	}
+	if s.Continuous+s.Intermittent != s.Total {
+		t.Fatalf("continuity partition broken: %+v", s)
+	}
+	// Episodes are contiguous calendar intervals, so every conflict is
+	// observed on each archive day of its span: all continuous.
+	if s.Intermittent != 0 {
+		t.Fatalf("synthetic contiguous episodes reported intermittent: %+v", s)
+	}
+}
+
+func TestReportValiditySweepSmall(t *testing.T) {
+	rep := runSmall(t)
+	evals := rep.ValiditySweep([]int{1, 9}, 100)
+	if len(evals) != 4 {
+		t.Fatalf("sweep rows = %d", len(evals))
+	}
+	for _, e := range evals {
+		if e.TP+e.FP+e.TN+e.FN == 0 {
+			t.Fatalf("empty confusion matrix: %+v", e)
+		}
+	}
+}
+
+func TestStudyProgressAndSpec(t *testing.T) {
+	study := NewStudy(SmallScale())
+	var lines int
+	study.Progress = func(string) { lines++ }
+	if _, err := study.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("no progress reported")
+	}
+	if study.Spec().Days() != SmallScale().Days() {
+		t.Fatal("Spec accessor wrong")
+	}
+}

@@ -1,0 +1,252 @@
+package moas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"moas/internal/analysis"
+	"moas/internal/core"
+	"moas/internal/driver"
+	"moas/internal/stats"
+	"moas/internal/textplot"
+)
+
+// Report exposes a completed run's data and regenerates each of the
+// paper's exhibits from it.
+type Report struct {
+	Result    *driver.Result
+	watch     []ASN
+	watchSeqs [][2]ASN
+}
+
+// Days returns the per-observed-day statistics.
+func (r *Report) Days() []DayStats { return r.Result.Days }
+
+// Registry returns the cross-day conflict registry.
+func (r *Report) Registry() *Registry { return r.Result.Registry }
+
+// Scenario returns the ground-truth scenario the run detected against.
+func (r *Report) Scenario() *Scenario { return r.Result.Scenario }
+
+// minDaysPerYear excludes years with almost no observations from yearly
+// tables (the paper tabulates 1998-2001 although data starts 1997-11-08).
+const minDaysPerYear = 60
+
+// Fig1 returns the daily conflict-count series (paper Fig. 1).
+func (r *Report) Fig1() []Fig1Point { return analysis.Fig1Series(r.Result.Days) }
+
+// Fig1Summary returns the study totals and the two spike days.
+func (r *Report) Fig1Summary() Fig1Summary {
+	return analysis.SummarizeFig1(r.Result.Days, r.Result.Registry)
+}
+
+// Fig2 returns the yearly median table (paper Fig. 2).
+func (r *Report) Fig2() []Fig2Row {
+	return analysis.Fig2YearlyMedians(r.Result.Days, minDaysPerYear)
+}
+
+// Fig3 returns the duration histogram: duration in observed days → number
+// of conflicts (paper Fig. 3).
+func (r *Report) Fig3() map[int]int { return analysis.Fig3Histogram(r.Result.Registry) }
+
+// Fig4 returns the conditional duration-expectation table (paper Fig. 4).
+func (r *Report) Fig4() []Fig4Row { return analysis.Fig4Expectations(r.Result.Registry) }
+
+// Fig5 returns per-year median-day conflict counts by prefix length
+// (paper Fig. 5).
+func (r *Report) Fig5() []Fig5Row {
+	return analysis.Fig5PrefixLengths(r.Result.Days, minDaysPerYear)
+}
+
+// Fig6Window is the paper's classification window (05/15–08/15 2001).
+func (r *Report) Fig6Window() (from, to time.Time) {
+	year := r.Result.Scenario.Spec.End.Year()
+	return Date(year, time.May, 15), Date(year, time.August, 15)
+}
+
+// Fig6 returns the per-day classification series over [from, to] (paper
+// Fig. 6).
+func (r *Report) Fig6(from, to time.Time) []Fig6Point {
+	return analysis.Fig6ClassSeries(r.Result.Days, from, to)
+}
+
+// DurationSummary returns the §IV-B headline numbers.
+func (r *Report) DurationSummary() DurationSummary {
+	return analysis.SummarizeDurations(r.Result.Registry, r.Result.FinalDay)
+}
+
+// AttributeDay reports how many of one day's conflicts involve the watched
+// AS at index w (§VI-E spike attribution).
+func (r *Report) AttributeDay(date time.Time, w int) (Attribution, error) {
+	if w < 0 || w >= len(r.watch) {
+		return Attribution{}, fmt.Errorf("moas: watch index %d out of range", w)
+	}
+	return analysis.AttributeDay(r.Result.Days, date, w, r.watch[w].String())
+}
+
+// AttributeDaySeq reports how many of one day's conflicts carry the
+// watched consecutive AS pair at index w.
+func (r *Report) AttributeDaySeq(date time.Time, w int) (Attribution, error) {
+	if w < 0 || w >= len(r.watchSeqs) {
+		return Attribution{}, fmt.Errorf("moas: watch-seq index %d out of range", w)
+	}
+	seq := r.watchSeqs[w]
+	label := fmt.Sprintf("(%s %s)", seq[0], seq[1])
+	return analysis.AttributeDaySeq(r.Result.Days, date, w, label)
+}
+
+// RenderFig1 renders the Fig. 1 series as an ASCII line chart.
+func (r *Report) RenderFig1(width, height int) string {
+	pts := r.Fig1()
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		ys[i] = float64(p.Count)
+	}
+	span := ""
+	if len(pts) > 0 {
+		span = fmt.Sprintf("%s .. %s", pts[0].Date.Format("2006-01"), pts[len(pts)-1].Date.Format("2006-01"))
+	}
+	return textplot.Line(width, height, span, []textplot.Series{
+		{Name: "MOAS conflicts per day", Glyph: '*', Y: ys},
+	})
+}
+
+// RenderFig2 renders the yearly-median table.
+func (r *Report) RenderFig2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-24s %s\n", "Year", "Median of MOAS conflicts", "Increase rate")
+	for i, row := range r.Fig2() {
+		rate := ""
+		if i > 0 {
+			rate = fmt.Sprintf("%.1f%%", row.GrowthPct)
+		}
+		fmt.Fprintf(&b, "%-6d %-24.1f %s\n", row.Year, row.Median, rate)
+	}
+	return b.String()
+}
+
+// RenderFig3 renders the duration distribution as a log-scale scatter.
+func (r *Report) RenderFig3(width, height int) string {
+	h := r.Fig3()
+	starts, counts := stats.HistBuckets(h, 10)
+	maxDur := 0
+	for d := range h {
+		if d > maxDur {
+			maxDur = d
+		}
+	}
+	return textplot.LogScatter(width, height, maxDur, starts, counts, "duration (days, 10-day bins)")
+}
+
+// RenderFig4 renders the expectation table in the paper's layout.
+func (r *Report) RenderFig4() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %s\n", "Expectation (days)", "Measured data set")
+	for _, row := range r.Fig4() {
+		fmt.Fprintf(&b, "%-20.1f longer than %d days (n=%d)\n", row.Expectation, row.ThresholdDays, row.N)
+	}
+	ds := r.DurationSummary()
+	fmt.Fprintf(&b, "one-day conflicts: %d; >300 days: %d; max: %d days; ongoing at study end: %d\n",
+		ds.OneDayConflicts, ds.Over300Days, ds.MaxDuration, ds.Ongoing)
+	return b.String()
+}
+
+// RenderFig5 renders per-year prefix-length bars for the lengths that
+// actually carry conflicts.
+func (r *Report) RenderFig5(width int) string {
+	rows := r.Fig5()
+	if len(rows) == 0 {
+		return "(no data)\n"
+	}
+	present := map[int]bool{}
+	for _, row := range rows {
+		for bits, n := range row.ByLen {
+			if n > 0 {
+				present[bits] = true
+			}
+		}
+	}
+	var lengths []int
+	for bits := range present {
+		lengths = append(lengths, bits)
+	}
+	sort.Ints(lengths)
+	cats := make([]string, len(lengths))
+	for i, bits := range lengths {
+		cats[i] = fmt.Sprintf("/%d", bits)
+	}
+	groups := make([]textplot.BarGroup, len(rows))
+	for gi, row := range rows {
+		vals := make([]float64, len(lengths))
+		for i, bits := range lengths {
+			vals[i] = float64(row.ByLen[bits])
+		}
+		groups[gi] = textplot.BarGroup{Name: fmt.Sprint(row.Year), Values: vals}
+	}
+	return textplot.Bars(cats, groups, width)
+}
+
+// RenderFig6 renders the classification series over the paper's window.
+func (r *Report) RenderFig6(width, height int) string {
+	from, to := r.Fig6Window()
+	pts := r.Fig6(from, to)
+	mk := func(c Class) []float64 {
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			ys[i] = float64(p.ByClass[c])
+		}
+		return ys
+	}
+	span := fmt.Sprintf("%s .. %s", from.Format("01/02"), to.Format("01/02"))
+	return textplot.Line(width, height, span, []textplot.Series{
+		{Name: "DistinctPaths", Glyph: 'd', Y: mk(core.ClassDistinctPaths)},
+		{Name: "OrigTranAS", Glyph: 'o', Y: mk(core.ClassOrigTranAS)},
+		{Name: "SplitView", Glyph: 's', Y: mk(core.ClassSplitView)},
+	})
+}
+
+// Continuity quantifies §IV-B's "regardless of whether the conflict was
+// continuous": how many conflicts were seen on every archive day of their
+// span versus recurring after breaks.
+func (r *Report) Continuity() analysis.ContinuityStats {
+	return analysis.Continuity(r.Result.Registry, r.Result.Scenario.IsObserved)
+}
+
+// ValiditySweep evaluates the paper's §VII future work — predicting which
+// conflicts are invalid (faults/hijacks) from detection data alone —
+// against the scenario's ground-truth causes. It scores the §VI-F duration
+// heuristic at each threshold, alone and combined with a mass-origination
+// signal (an AS starting ≥ massMin conflicts the same day).
+func (r *Report) ValiditySweep(thresholds []int, massMin int) []ValidityEval {
+	sc := r.Result.Scenario
+	truthByPrefix := make(map[Prefix]bool, len(sc.Episodes))
+	for i := range sc.Episodes {
+		e := &sc.Episodes[i]
+		truthByPrefix[e.Prefix] = e.Cause.Valid()
+	}
+	truth := func(p Prefix) (valid, known bool) {
+		v, ok := truthByPrefix[p]
+		return v, ok
+	}
+	return analysis.ValiditySweep(r.Result.Registry.Conflicts(), truth, thresholds, massMin)
+}
+
+// Summary formats the run's headline numbers alongside the paper's.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	s1 := r.Fig1Summary()
+	ds := r.DurationSummary()
+	fmt.Fprintf(&b, "observed days:        %d (paper: 1279)\n", s1.ObservedDays)
+	fmt.Fprintf(&b, "total MOAS conflicts: %d (paper: 38225)\n", s1.TotalConflicts)
+	fmt.Fprintf(&b, "peak day:             %d on %s (paper: 11842 on 1998-04-07)\n",
+		s1.PeakCount, s1.PeakDate.Format("2006-01-02"))
+	fmt.Fprintf(&b, "second peak:          %d on %s (paper: 10226 on 2001-04-06)\n",
+		s1.SecondCount, s1.SecondDate.Format("2006-01-02"))
+	fmt.Fprintf(&b, "one-day conflicts:    %d (paper: 13730)\n", ds.OneDayConflicts)
+	fmt.Fprintf(&b, ">300-day conflicts:   %d (paper: 1002)\n", ds.Over300Days)
+	fmt.Fprintf(&b, "longest duration:     %d days (paper: 1246)\n", ds.MaxDuration)
+	fmt.Fprintf(&b, "ongoing at end:       %d (paper: 1326)\n", ds.Ongoing)
+	return b.String()
+}
