@@ -1,0 +1,3 @@
+module moas
+
+go 1.24

@@ -82,7 +82,9 @@ func Fig2YearlyMedians(days []driver.DayStats, minDays int) []Fig2Row {
 	sort.Ints(years)
 	var out []Fig2Row
 	for i, y := range years {
-		row := Fig2Row{Year: y, Median: stats.MedianInts(byYear[y])}
+		counts := byYear[y] // locally built, safe to sort in place
+		sort.Ints(counts)
+		row := Fig2Row{Year: y, Median: stats.MedianIntsSorted(counts)}
 		if i > 0 {
 			row.GrowthPct = stats.GrowthPct(out[i-1].Median, row.Median)
 		}

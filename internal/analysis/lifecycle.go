@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"sort"
+
+	"moas/internal/stats"
+)
+
+// Span is one contiguous activation of a conflict, derived from the
+// streaming engine's lifecycle events: Start is the day the origin set
+// first held two or more ASes, End the day an update dissolved it. Open
+// spans have no End yet.
+type Span struct {
+	Start, End int
+	Open       bool
+}
+
+// Len returns the span's length in observation days as of now: ended spans
+// count [Start, End), open spans [Start, now]. A conflict that started and
+// ended within one day counts 1, matching the registry's "lasting less
+// than one day" convention.
+func (s Span) Len(now int) int {
+	if s.Open {
+		return now - s.Start + 1
+	}
+	if s.End <= s.Start {
+		return 1
+	}
+	return s.End - s.Start
+}
+
+// LifecycleStats summarizes event-derived activation durations — the
+// streaming engine's analogue of the registry's Figure 3/4 inputs, computed
+// from conflict-start/conflict-end events instead of daily table scans.
+// Unlike registry durations it measures contiguous activations: a conflict
+// that recurs after a break contributes several spans.
+type LifecycleStats struct {
+	Spans      int
+	Open       int // activations still ongoing
+	MeanDays   float64
+	MedianDays float64
+	MaxDays    int
+}
+
+// Lifecycle computes duration statistics over activation spans as of
+// observation day now.
+func Lifecycle(spans []Span, now int) LifecycleStats {
+	st := LifecycleStats{Spans: len(spans)}
+	if len(spans) == 0 {
+		return st
+	}
+	ls := make([]int, len(spans))
+	sum := 0
+	for i, s := range spans {
+		if s.Open {
+			st.Open++
+		}
+		l := s.Len(now)
+		ls[i] = l
+		sum += l
+		if l > st.MaxDays {
+			st.MaxDays = l
+		}
+	}
+	sort.Ints(ls)
+	st.MedianDays = stats.MedianIntsSorted(ls)
+	st.MeanDays = float64(sum) / float64(len(ls))
+	return st
+}

@@ -1,0 +1,27 @@
+package collector
+
+import (
+	"io"
+
+	"moas/internal/rib"
+	"moas/internal/scenario"
+)
+
+// WriteUpdateArchive serializes a scenario's complete BGP4MP update
+// archive: a bootstrap burst announcing day 0's full table from empty
+// per-peer state, followed by the derived UPDATE stream between each
+// consecutive pair of observed days, every message stamped with its day's
+// date. Replaying the archive over empty Adj-RIB-In state reconstructs
+// each observed day's snapshot in sequence — the input the live streaming
+// detection engine (internal/stream) consumes.
+func WriteUpdateArchive(w io.Writer, sc *scenario.Scenario) error {
+	prev := rib.NewTableView()
+	for _, day := range sc.ObservedDays {
+		next := sc.TableViewAt(day)
+		if err := WriteViewUpdates(w, prev, next, uint32(sc.DayDate(day).Unix())); err != nil {
+			return err
+		}
+		prev = next
+	}
+	return nil
+}

@@ -95,6 +95,39 @@ func (r *Registry) Record(day int, prefix bgp.Prefix, origins []bgp.ASN, class C
 	c.OriginsEver = mergeOrigins(c.OriginsEver, origins)
 }
 
+// Clone returns a deep copy of c.
+func (c *Conflict) Clone() *Conflict {
+	out := *c
+	out.OriginsEver = append([]bgp.ASN(nil), c.OriginsEver...)
+	return &out
+}
+
+// Absorb merges every record of other into r: day spans union, day counts
+// add, origin sets merge. The additive day accounting is exact when the two
+// registries observed disjoint day sets or disjoint prefixes — the sharded
+// streaming engine's case, where shards partition the prefix space. other
+// is not modified.
+func (r *Registry) Absorb(other *Registry) {
+	for p, c := range other.m {
+		cur, ok := r.m[p]
+		if !ok {
+			r.m[p] = c.Clone()
+			continue
+		}
+		if c.FirstDay < cur.FirstDay {
+			cur.FirstDay = c.FirstDay
+		}
+		if c.LastDay > cur.LastDay {
+			cur.LastDay = c.LastDay
+		}
+		cur.DaysObserved += c.DaysObserved
+		for i := range cur.ClassDays {
+			cur.ClassDays[i] += c.ClassDays[i]
+		}
+		cur.OriginsEver = mergeOrigins(cur.OriginsEver, c.OriginsEver)
+	}
+}
+
 // Len returns the number of distinct conflicts seen.
 func (r *Registry) Len() int { return len(r.m) }
 

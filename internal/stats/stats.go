@@ -14,20 +14,41 @@ func Median(xs []float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
+	return MedianSorted(s)
+}
+
+// MedianSorted is Median over a slice already in ascending order. It does
+// no copy and no sort — the form the hot analysis loops use for samples
+// they sort once and query repeatedly.
+func MedianSorted(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
 	}
-	return (s[n/2-1] + s[n/2]) / 2
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
 // MedianInts is Median over ints.
 func MedianInts(xs []int) float64 {
-	f := make([]float64, len(xs))
-	for i, x := range xs {
-		f[i] = float64(x)
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	return MedianIntsSorted(s)
+}
+
+// MedianIntsSorted is MedianSorted over ascending ints, avoiding both the
+// copy and the int→float64 conversion of the whole sample.
+func MedianIntsSorted(xs []int) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
 	}
-	return Median(f)
+	if n%2 == 1 {
+		return float64(xs[n/2])
+	}
+	return (float64(xs[n/2-1]) + float64(xs[n/2])) / 2
 }
 
 // Mean returns the arithmetic mean (0 for an empty slice).

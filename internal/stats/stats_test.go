@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -36,6 +37,32 @@ func TestMedianDoesNotMutate(t *testing.T) {
 func TestMedianInts(t *testing.T) {
 	if got := MedianInts([]int{683, 700, 650}); got != 683 {
 		t.Fatalf("MedianInts = %v", got)
+	}
+}
+
+func TestMedianSortedAgreesWithMedian(t *testing.T) {
+	f := func(raw []uint8) bool {
+		xs := make([]float64, len(raw))
+		is := make([]int, len(raw))
+		for i, v := range raw {
+			xs[i], is[i] = float64(v), int(v)
+		}
+		want := Median(xs)
+		sort.Float64s(xs)
+		sort.Ints(is)
+		return MedianSorted(xs) == want && MedianIntsSorted(is) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianSortedEdges(t *testing.T) {
+	if MedianSorted(nil) != 0 || MedianIntsSorted(nil) != 0 {
+		t.Fatal("empty median != 0")
+	}
+	if got := MedianIntsSorted([]int{810, 811}); got != 810.5 {
+		t.Fatalf("MedianIntsSorted even = %v, want 810.5", got)
 	}
 }
 

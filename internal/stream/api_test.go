@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"moas/internal/core"
+)
+
+// getJSON fetches url and decodes the JSON body into out.
+func getJSON(t *testing.T, client *http.Client, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decode: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestAPIDuringReplay pauses a replay halfway through the archive and
+// exercises every endpoint against the settled mid-replay state, then
+// resumes and checks the final state — moasd's serving path end to end.
+func TestAPIDuringReplay(t *testing.T) {
+	sc, archive, _ := fixtures(t)
+	e := New(Config{Shards: 2})
+
+	pauseDay := sc.ObservedDays[len(sc.ObservedDays)/2]
+	paused := make(chan struct{})
+	resume := make(chan struct{})
+	replayDone := make(chan error, 1)
+	go func() {
+		err := e.Replay(bytes.NewReader(archive), ScenarioCalendar(sc), &ReplayOptions{
+			OnDayClose: func(day int) {
+				if day == pauseDay {
+					e.Sync() // settle all shards so queries see exactly day pauseDay
+					close(paused)
+					<-resume
+				}
+			},
+		})
+		e.Close()
+		replayDone <- err
+	}()
+
+	srv := httptest.NewServer(NewAPI(e))
+	defer srv.Close()
+	client := srv.Client()
+
+	<-paused
+
+	// The live conflict set must equal the day's batch-scan observation:
+	// after closing day pauseDay the engine state is exactly snapshot(pauseDay).
+	obs := core.NewDetector().ObserveView(pauseDay, sc.TableViewAt(pauseDay))
+
+	var conflicts struct {
+		Count     int `json:"count"`
+		Conflicts []struct {
+			Prefix  string   `json:"prefix"`
+			Origins []uint32 `json:"origins"`
+			Class   string   `json:"class"`
+		} `json:"conflicts"`
+	}
+	getJSON(t, client, srv.URL+"/conflicts", &conflicts)
+	if conflicts.Count != obs.Count() {
+		t.Fatalf("/conflicts count = %d mid-replay, batch scan of day %d sees %d",
+			conflicts.Count, pauseDay, obs.Count())
+	}
+	if len(conflicts.Conflicts) == 0 {
+		t.Fatal("no conflicts serialized")
+	}
+	first := conflicts.Conflicts[0]
+	if len(first.Origins) < 2 || first.Prefix == "" {
+		t.Fatalf("malformed conflict entry: %+v", first)
+	}
+
+	// Per-prefix endpoint for a live conflict.
+	var pfx struct {
+		Prefix  string `json:"prefix"`
+		Active  bool   `json:"active"`
+		Routes  int    `json:"routes"`
+		History []struct {
+			Type string `json:"type"`
+		} `json:"history"`
+	}
+	getJSON(t, client, srv.URL+"/prefix/"+first.Prefix, &pfx)
+	if !pfx.Active || pfx.Prefix != first.Prefix || pfx.Routes == 0 {
+		t.Fatalf("/prefix/%s = %+v, want active with routes", first.Prefix, pfx)
+	}
+	if len(pfx.History) == 0 || pfx.History[0].Type != "conflict-start" {
+		t.Fatalf("history should open with conflict-start: %+v", pfx.History)
+	}
+
+	// Per-AS endpoint for one of its origins.
+	var inv struct {
+		ASN    uint32 `json:"asn"`
+		Active int    `json:"active"`
+	}
+	getJSON(t, client, srv.URL+"/as/"+jsonUint(first.Origins[0]), &inv)
+	if inv.Active == 0 {
+		t.Fatalf("/as/%d reports no active conflicts, but %s is live", first.Origins[0], first.Prefix)
+	}
+
+	// Stats and health mid-replay.
+	var stats struct {
+		LastClosedDay   int  `json:"last_closed_day"`
+		ActiveConflicts int  `json:"active_conflicts"`
+		Replaying       bool `json:"replaying"`
+	}
+	getJSON(t, client, srv.URL+"/stats", &stats)
+	if stats.LastClosedDay != pauseDay || stats.ActiveConflicts != obs.Count() || !stats.Replaying {
+		t.Fatalf("/stats mid-replay = %+v, want day %d with %d active, replaying",
+			stats, pauseDay, obs.Count())
+	}
+	var health struct {
+		Status    string `json:"status"`
+		Replaying bool   `json:"replaying"`
+	}
+	getJSON(t, client, srv.URL+"/healthz", &health)
+	if health.Status != "ok" || !health.Replaying {
+		t.Fatalf("/healthz = %+v", health)
+	}
+
+	// Bad inputs are 400s, not panics.
+	if resp := getJSON(t, client, srv.URL+"/prefix/not-a-cidr", &struct{}{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad prefix: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, client, srv.URL+"/as/xyz", &struct{}{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad asn: status %d", resp.StatusCode)
+	}
+
+	// Resume, finish, and confirm the API now serves the final day.
+	close(resume)
+	if err := <-replayDone; err != nil {
+		t.Fatal(err)
+	}
+	finalObs := core.NewDetector().ObserveView(sc.FinalObservedDay(), sc.TableViewAt(sc.FinalObservedDay()))
+	getJSON(t, client, srv.URL+"/stats", &stats)
+	if stats.Replaying {
+		t.Fatal("/stats still reports replaying after Close")
+	}
+	if stats.ActiveConflicts != finalObs.Count() {
+		t.Fatalf("final active conflicts = %d, batch scan sees %d", stats.ActiveConflicts, finalObs.Count())
+	}
+
+	// limit and as filters.
+	getJSON(t, client, srv.URL+"/conflicts?limit=1", &conflicts)
+	if len(conflicts.Conflicts) != 1 || conflicts.Count != finalObs.Count() {
+		t.Fatalf("limit=1: %d entries, count %d (want 1 entry, count %d)",
+			len(conflicts.Conflicts), conflicts.Count, finalObs.Count())
+	}
+}
+
+func jsonUint(v uint32) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -1,0 +1,37 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkStreamReplay measures full-archive replay throughput at 1, 4
+// and GOMAXPROCS shards. The custom updates/s metric is the trajectory
+// number future PRs track (b.SetBytes additionally reports archive MB/s).
+func BenchmarkStreamReplay(b *testing.B) {
+	sc, archive, _ := fixtures(b)
+	cal := ScenarioCalendar(sc)
+
+	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(archive)))
+			b.ReportAllocs()
+			var msgs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := New(Config{Shards: shards})
+				if err := e.Replay(bytes.NewReader(archive), cal, nil); err != nil {
+					b.Fatal(err)
+				}
+				e.Close()
+				msgs = e.Stats().Messages
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(msgs)*float64(b.N)/sec, "updates/s")
+			}
+		})
+	}
+}

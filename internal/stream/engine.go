@@ -1,0 +1,362 @@
+package stream
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"moas/internal/analysis"
+	"moas/internal/bgp"
+	"moas/internal/core"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of worker goroutines the prefix space is hashed
+	// across (0 = GOMAXPROCS).
+	Shards int
+	// BatchSize is the number of route ops buffered per shard before a
+	// dispatch (0 = 256).
+	BatchSize int
+	// QueueDepth is each shard's channel depth in batches (0 = 8); full
+	// queues exert backpressure on the ingest goroutine.
+	QueueDepth int
+	// HistoryLimit caps lifecycle events retained per prefix (0 = all).
+	HistoryLimit int
+	// DisableEventLog drops the global per-shard event record that backs
+	// Events(). Long-running daemons set it so memory stays bounded by the
+	// live table plus HistoryLimit; duration stats are unaffected (spans
+	// are tracked incrementally, not derived from the log).
+	DisableEventLog bool
+}
+
+// Engine is the live streaming MOAS detector. Feed it with ApplyUpdate and
+// CloseDay (or Replay over a BGP4MP archive); query it concurrently from
+// any goroutine. The feeding side is single-goroutine, as a collector has
+// one ingest stream.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	pend   [][]op // dispatcher-owned per-shard pending batches
+	wg     sync.WaitGroup
+	closed atomic.Bool // set by Close; read by API handlers
+
+	msgs       atomic.Uint64
+	ops        atomic.Uint64
+	lastClosed atomic.Int64 // last day-close dispatched; -1 before any
+}
+
+// New starts an engine and its shard workers.
+func New(cfg Config) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	e := &Engine{cfg: cfg, pend: make([][]op, cfg.Shards)}
+	e.lastClosed.Store(-1)
+	for i := 0; i < cfg.Shards; i++ {
+		s := newShard(cfg.QueueDepth, cfg.HistoryLimit, !cfg.DisableEventLog)
+		e.shards = append(e.shards, s)
+		e.wg.Add(1)
+		go s.run(&e.wg)
+	}
+	return e
+}
+
+// shardFor hashes a canonical prefix onto a shard (FNV-1a over the address
+// bytes and length).
+func (e *Engine) shardFor(p bgp.Prefix) int {
+	a := p.Addr16()
+	h := uint32(2166136261)
+	for _, b := range a {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(p.Bits())) * 16777619
+	return int(h % uint32(len(e.shards)))
+}
+
+// ApplyUpdate decomposes one peer's UPDATE message into route ops —
+// withdrawals then announcements, as on the wire — and dispatches them to
+// the owning shards.
+func (e *Engine) ApplyUpdate(day int, peer PeerKey, u *bgp.Update) {
+	e.msgs.Add(1)
+	for _, p := range u.Withdrawn {
+		e.dispatch(op{day: day, withdraw: true, peer: peer, prefix: p})
+	}
+	if u.Attrs == nil {
+		return
+	}
+	for _, p := range u.NLRI {
+		e.dispatch(op{day: day, peer: peer, prefix: p, attrs: u.Attrs})
+	}
+}
+
+func (e *Engine) dispatch(o op) {
+	e.ops.Add(1)
+	i := e.shardFor(o.prefix)
+	e.pend[i] = append(e.pend[i], o)
+	if len(e.pend[i]) >= e.cfg.BatchSize {
+		e.flushShard(i)
+	}
+}
+
+func (e *Engine) flushShard(i int) {
+	if len(e.pend[i]) == 0 {
+		return
+	}
+	e.shards[i].ch <- batch{ops: e.pend[i]}
+	e.pend[i] = make([]op, 0, e.cfg.BatchSize)
+}
+
+// CloseDay flushes pending batches and sends every shard a day-close
+// barrier: each records its active conflicts for the day into its registry
+// slice. FIFO channels guarantee the barrier lands after all of the day's
+// updates.
+func (e *Engine) CloseDay(day int) {
+	for i := range e.shards {
+		e.flushShard(i)
+	}
+	for _, s := range e.shards {
+		s.ch <- batch{closeDay: day}
+	}
+	e.lastClosed.Store(int64(day))
+}
+
+// Sync blocks until every shard has processed all previously dispatched
+// work — a fence for callers that need a settled view (tests, pause
+// points). Like the feed methods it belongs to the ingest goroutine.
+func (e *Engine) Sync() {
+	for i := range e.shards {
+		e.flushShard(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.shards))
+	for _, s := range e.shards {
+		s.ch <- batch{sync: &wg}
+	}
+	wg.Wait()
+}
+
+// Close flushes remaining work, stops the workers and waits for them to
+// drain. The engine stays queryable; it only stops accepting updates.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	for i := range e.shards {
+		e.flushShard(i)
+	}
+	for _, s := range e.shards {
+		close(s.ch)
+	}
+	e.wg.Wait()
+}
+
+// Registry merges every shard's conflict records into one registry —
+// after a full archive replay it is identical to what driver.RunFullScan
+// builds (the equivalence test's claim). Safe to call concurrently with
+// replay, but a mid-day call sees only days closed so far.
+func (e *Engine) Registry() *core.Registry {
+	out := core.NewRegistry()
+	for _, s := range e.shards {
+		s.mu.RLock()
+		out.Absorb(s.reg)
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// ConflictInfo is one active conflict as served by the live query API.
+type ConflictInfo struct {
+	Prefix  bgp.Prefix
+	Origins []bgp.ASN
+	Class   core.Class
+	// SinceDay is when the current activation began; the registry fields
+	// cover the conflict's whole lifetime through the last closed day.
+	SinceDay     int
+	FirstDay     int
+	LastDay      int
+	DaysObserved int
+}
+
+// ActiveConflicts returns the current conflict set sorted by prefix.
+func (e *Engine) ActiveConflicts() []ConflictInfo {
+	var out []ConflictInfo
+	for _, s := range e.shards {
+		s.mu.RLock()
+		for p := range s.active {
+			st := s.prefixes[p]
+			ci := ConflictInfo{
+				Prefix:   p,
+				Origins:  append([]bgp.ASN(nil), st.origins...),
+				Class:    st.class,
+				SinceDay: st.since,
+			}
+			if c, ok := s.reg.Get(p); ok {
+				ci.FirstDay, ci.LastDay, ci.DaysObserved = c.FirstDay, c.LastDay, c.DaysObserved
+			}
+			out = append(out, ci)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// PrefixInfo is one prefix's live state and lifecycle history.
+type PrefixInfo struct {
+	Prefix   bgp.Prefix
+	Active   bool
+	Origins  []bgp.ASN
+	Class    core.Class
+	Routes   int // peers currently announcing the prefix
+	History  []Event
+	Conflict *core.Conflict // lifetime record; nil if never in conflict
+}
+
+// Prefix reports the live state of one prefix.
+func (e *Engine) Prefix(p bgp.Prefix) PrefixInfo {
+	s := e.shards[e.shardFor(p)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info := PrefixInfo{Prefix: p}
+	if st, ok := s.prefixes[p]; ok {
+		_, info.Active = s.active[p]
+		info.Origins = append([]bgp.ASN(nil), st.origins...)
+		info.Class = st.class
+		info.Routes = len(st.routes)
+		info.History = append([]Event(nil), st.history...)
+	}
+	if c, ok := s.reg.Get(p); ok {
+		info.Conflict = c.Clone()
+	}
+	return info
+}
+
+// ASInvolvement summarizes one AS's participation in conflicts.
+type ASInvolvement struct {
+	ASN    bgp.ASN
+	Active int // current conflicts whose origin set includes the AS
+	Ever   int // lifetime conflicts whose origin set ever included it
+	// ActivePrefixes lists the current conflicts, sorted.
+	ActivePrefixes []bgp.Prefix
+}
+
+// Involvement reports a's conflict participation — the live form of the
+// paper's §VI-E spike attribution.
+func (e *Engine) Involvement(a bgp.ASN) ASInvolvement {
+	inv := ASInvolvement{ASN: a}
+	for _, s := range e.shards {
+		s.mu.RLock()
+		for p := range s.active {
+			if containsASN(s.prefixes[p].origins, a) {
+				inv.Active++
+				inv.ActivePrefixes = append(inv.ActivePrefixes, p)
+			}
+		}
+		for _, c := range s.reg.Conflicts() {
+			if containsASN(c.OriginsEver, a) {
+				inv.Ever++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(inv.ActivePrefixes, func(i, j int) bool {
+		return inv.ActivePrefixes[i].Compare(inv.ActivePrefixes[j]) < 0
+	})
+	return inv
+}
+
+// Stats is a point-in-time engine summary.
+type Stats struct {
+	Shards          int
+	Messages        uint64 // UPDATE messages ingested
+	Ops             uint64 // route-level operations dispatched
+	LastClosedDay   int    // -1 before the first day close
+	ActiveConflicts int
+	TotalConflicts  int                  // distinct prefixes ever in conflict
+	Events          int                  // lifecycle events emitted
+	ByClass         [core.NumClasses]int // active conflicts per class
+	// Lifecycle summarizes activation-span durations derived from the
+	// event log (conflict-start/-end pairs), as of the last closed day.
+	Lifecycle analysis.LifecycleStats
+}
+
+// Stats snapshots the engine.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Shards:        len(e.shards),
+		Messages:      e.msgs.Load(),
+		Ops:           e.ops.Load(),
+		LastClosedDay: int(e.lastClosed.Load()),
+	}
+	for _, s := range e.shards {
+		s.mu.RLock()
+		st.ActiveConflicts += len(s.active)
+		st.TotalConflicts += s.reg.Len()
+		st.Events += s.events
+		for p := range s.active {
+			st.ByClass[s.prefixes[p].class]++
+		}
+		s.mu.RUnlock()
+	}
+	st.Lifecycle = analysis.Lifecycle(e.Spans(), st.LastClosedDay)
+	return st
+}
+
+// Spans returns the conflict activation spans — one per contiguous
+// activation (conflict-start through conflict-end, open when no end has
+// been seen). Ended spans are accumulated incrementally at event time, so
+// the cost is O(spans), not O(event log); this is the event-derived
+// duration dataset the /stats endpoint summarizes.
+func (e *Engine) Spans() []analysis.Span {
+	var out []analysis.Span
+	for _, s := range e.shards {
+		s.mu.RLock()
+		out = append(out, s.closedSpans...)
+		for p := range s.active {
+			out = append(out, analysis.Span{Start: s.prefixes[p].since, Open: true})
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Events returns every lifecycle event emitted so far, in canonical order
+// (day, prefix, per-prefix seq) — deterministic for a given input stream
+// regardless of shard count, which the sharding-invariance test asserts.
+// Empty when the engine runs with DisableEventLog.
+func (e *Engine) Events() []Event {
+	var out []Event
+	for _, s := range e.shards {
+		s.mu.RLock()
+		out = append(out, s.log...)
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Day != b.Day {
+			return a.Day < b.Day
+		}
+		if c := a.Prefix.Compare(b.Prefix); c != 0 {
+			return c < 0
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+func containsASN(set []bgp.ASN, a bgp.ASN) bool {
+	for _, o := range set {
+		if o == a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"moas/internal/bgp"
+	"moas/internal/mrt"
+	"moas/internal/scenario"
+)
+
+// Calendar maps BGP4MP record timestamps back to observation days: Times[i]
+// is the timestamp stamped on day Days[i]'s updates. Both ascend.
+type Calendar struct {
+	Days  []int
+	Times []uint32
+}
+
+// ScenarioCalendar derives the calendar for a scenario's update archive
+// (collector.WriteUpdateArchive stamps each day's messages with its date).
+func ScenarioCalendar(sc *scenario.Scenario) Calendar {
+	cal := Calendar{Days: append([]int(nil), sc.ObservedDays...)}
+	cal.Times = make([]uint32, len(cal.Days))
+	for i, d := range cal.Days {
+		cal.Times[i] = uint32(sc.DayDate(d).Unix())
+	}
+	return cal
+}
+
+// ReplayOptions tunes a replay.
+type ReplayOptions struct {
+	// OnDayClose, when non-nil, runs on the replay goroutine after each
+	// day's updates have been dispatched and its day-close barrier issued.
+	// moasd uses it to pace replay and report progress; tests use it to
+	// pause mid-replay.
+	OnDayClose func(day int)
+}
+
+// Replay feeds a BGP4MP update archive through the engine: BGP4MP_MESSAGE
+// records are decoded and dispatched, and day-close barriers are issued as
+// record timestamps cross observation-day boundaries. Observed days with
+// no updates at all still close (a quiet day extends every active
+// conflict's duration, exactly as the batch scan sees it). Records other
+// than BGP4MP_MESSAGE and BGP messages other than UPDATE are skipped, as a
+// collector consumer must. Replay does not Close the engine — callers may
+// keep feeding or querying afterwards.
+func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
+	if len(cal.Days) == 0 {
+		return errors.New("stream: empty calendar")
+	}
+	idx := 0 // calendar position currently receiving updates
+	closeDay := func() {
+		e.CloseDay(cal.Days[idx])
+		if opts != nil && opts.OnDayClose != nil {
+			opts.OnDayClose(cal.Days[idx])
+		}
+		idx++
+	}
+
+	mr := mrt.NewReader(r)
+	var msg mrt.BGP4MPMessage
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Type != mrt.TypeBGP4MP || rec.Subtype != mrt.SubtypeMessage {
+			continue
+		}
+		for idx+1 < len(cal.Days) && rec.Timestamp >= cal.Times[idx+1] {
+			closeDay()
+		}
+		if err := msg.DecodeBGP4MPMessage(rec.Body); err != nil {
+			return err
+		}
+		decoded, err := msg.Message()
+		if err != nil {
+			return fmt.Errorf("stream: embedded message: %w", err)
+		}
+		upd, ok := decoded.(*bgp.Update)
+		if !ok {
+			continue
+		}
+		e.ApplyUpdate(cal.Days[idx], PeerKey{IP: msg.PeerIP, AS: msg.PeerAS}, upd)
+	}
+	// Close the day in flight and any quiet tail days.
+	for idx < len(cal.Days) {
+		closeDay()
+	}
+	return nil
+}

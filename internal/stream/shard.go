@@ -1,0 +1,207 @@
+package stream
+
+import (
+	"sync"
+
+	"moas/internal/analysis"
+	"moas/internal/bgp"
+	"moas/internal/core"
+	"moas/internal/rib"
+)
+
+// PeerKey identifies a collector peer the way BGP4MP records do: peer
+// address plus peer AS.
+type PeerKey struct {
+	IP [16]byte
+	AS bgp.ASN
+}
+
+// op is one route-level change dispatched to a shard.
+type op struct {
+	day      int
+	withdraw bool
+	peer     PeerKey
+	prefix   bgp.Prefix
+	attrs    *bgp.Attrs // nil on withdraw; shared and immutable once dispatched
+}
+
+// batch is the unit a shard consumes: a run of ops, a day-close barrier, or
+// a sync fence.
+type batch struct {
+	ops      []op
+	closeDay int             // valid when ops == nil and sync == nil
+	sync     *sync.WaitGroup // non-nil: fence — signal and continue
+}
+
+// prefixState is one prefix's live state within its shard.
+type prefixState struct {
+	routes  map[PeerKey]*bgp.Attrs
+	origins []bgp.ASN // current origin set (ascending); in conflict iff len ≥ 2
+	class   core.Class
+	seq     uint64 // lifecycle event ordinal for this prefix
+	since   int    // day the current activation started
+	history []Event
+}
+
+// shard owns a hash partition of the prefix space. Its mutex is one stripe
+// of the engine's read-optimized index: the worker goroutine write-locks
+// per batch, live queries read-lock per shard.
+type shard struct {
+	mu       sync.RWMutex
+	prefixes map[bgp.Prefix]*prefixState
+	active   map[bgp.Prefix]struct{}
+	reg      *core.Registry
+	events   int     // lifecycle events emitted
+	log      []Event // full event record, kept only when keepLog
+	// closedSpans accumulates ended activations incrementally so duration
+	// stats never rescan the event log; open spans are derived from the
+	// active set (prefixState.since) on demand.
+	closedSpans []analysis.Span
+
+	keepLog    bool
+	historyCap int
+	scratch    []rib.PeerRoute
+	ch         chan batch
+}
+
+func newShard(queueDepth, historyCap int, keepLog bool) *shard {
+	return &shard{
+		prefixes:   make(map[bgp.Prefix]*prefixState),
+		active:     make(map[bgp.Prefix]struct{}),
+		reg:        core.NewRegistry(),
+		keepLog:    keepLog,
+		historyCap: historyCap,
+		ch:         make(chan batch, queueDepth),
+	}
+}
+
+// run is the shard worker loop; it exits when the channel closes.
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for b := range s.ch {
+		switch {
+		case b.sync != nil:
+			b.sync.Done()
+		case b.ops == nil:
+			s.closeDay(b.closeDay)
+		default:
+			s.apply(b.ops)
+		}
+	}
+}
+
+// apply applies one batch of route ops under a single lock acquisition.
+func (s *shard) apply(ops []op) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range ops {
+		s.applyOne(&ops[i])
+	}
+}
+
+func (s *shard) applyOne(o *op) {
+	st := s.prefixes[o.prefix]
+	if o.withdraw {
+		if st == nil {
+			return
+		}
+		if _, ok := st.routes[o.peer]; !ok {
+			return
+		}
+		delete(st.routes, o.peer)
+	} else {
+		if st == nil {
+			st = &prefixState{routes: make(map[PeerKey]*bgp.Attrs, 4)}
+			s.prefixes[o.prefix] = st
+		}
+		if old, ok := st.routes[o.peer]; ok && old.Equal(o.attrs) {
+			return
+		}
+		st.routes[o.peer] = o.attrs
+	}
+	s.reassess(o.prefix, st, o.day)
+}
+
+// reassess recomputes the prefix's origin set and classification after a
+// route change and emits the lifecycle event the change implies, if any.
+func (s *shard) reassess(p bgp.Prefix, st *prefixState, day int) {
+	s.scratch = s.scratch[:0]
+	for peer, attrs := range st.routes {
+		s.scratch = append(s.scratch, rib.PeerRoute{
+			PeerAS: peer.AS,
+			Route:  bgp.Route{Prefix: p, Attrs: attrs},
+		})
+	}
+	// OriginsOf and ClassifyRoutes are order-independent, so the map
+	// iteration order above cannot leak into events or the registry.
+	origins, _ := rib.OriginsOf(s.scratch)
+	var class core.Class
+	if len(origins) >= 2 {
+		class = core.ClassifyRoutes(s.scratch)
+	}
+
+	was, now := len(st.origins) >= 2, len(origins) >= 2
+	ev := Event{Day: day, Prefix: p, Origins: origins, PrevOrigins: st.origins, Class: class, PrevClass: st.class}
+	switch {
+	case !was && now:
+		ev.Type = EventConflictStart
+		st.since = day
+		s.active[p] = struct{}{}
+	case was && !now:
+		ev.Type = EventConflictEnd
+		ev.Origins = nil
+		delete(s.active, p)
+		s.closedSpans = append(s.closedSpans, analysis.Span{Start: st.since, End: day})
+	case was && now && !asnsEqual(origins, st.origins):
+		ev.Type = EventOriginChange
+	case was && now && class != st.class:
+		ev.Type = EventClassChange
+	}
+	st.origins, st.class = origins, class
+	if len(st.routes) == 0 && st.seq == 0 && ev.Type == 0 {
+		delete(s.prefixes, p) // fully withdrawn, no lifecycle worth keeping
+	}
+	if ev.Type != 0 {
+		s.emit(st, ev)
+	}
+}
+
+func (s *shard) emit(st *prefixState, ev Event) {
+	st.seq++
+	ev.Seq = st.seq
+	if s.historyCap > 0 && len(st.history) >= s.historyCap {
+		copy(st.history, st.history[1:])
+		st.history[len(st.history)-1] = ev
+	} else {
+		st.history = append(st.history, ev)
+	}
+	s.events++
+	if s.keepLog {
+		s.log = append(s.log, ev)
+	}
+}
+
+// closeDay records the day's active conflicts into the shard's registry
+// slice — the streaming analogue of the paper's daily table scan, costing
+// O(active conflicts in shard) instead of O(table).
+func (s *shard) closeDay(day int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for p := range s.active {
+		st := s.prefixes[p]
+		s.reg.Record(day, p, st.origins, st.class)
+	}
+}
+
+// asnsEqual reports whether two ascending origin sets are identical.
+func asnsEqual(a, b []bgp.ASN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

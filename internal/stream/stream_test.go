@@ -1,0 +1,259 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"moas/internal/bgp"
+	"moas/internal/collector"
+	"moas/internal/core"
+	"moas/internal/driver"
+	"moas/internal/scenario"
+)
+
+// Shared fixtures: the SmallScale scenario (scenario.TestSpec is what the
+// facade exports as moas.SmallScale), its full update archive, and the
+// batch full-scan registry the stream must reproduce. Built once.
+var (
+	fixOnce    sync.Once
+	fixSc      *scenario.Scenario
+	fixArchive []byte
+	fixWant    *core.Registry
+	fixErr     error
+)
+
+func fixtures(t testing.TB) (*scenario.Scenario, []byte, *core.Registry) {
+	t.Helper()
+	fixOnce.Do(func() {
+		sc, err := scenario.Build(scenario.TestSpec())
+		if err != nil {
+			fixErr = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := collector.WriteUpdateArchive(&buf, sc); err != nil {
+			fixErr = err
+			return
+		}
+		res, err := driver.RunFullScanScenario(sc, driver.Config{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixSc, fixArchive, fixWant = sc, buf.Bytes(), res.Registry
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixSc, fixArchive, fixWant
+}
+
+// replayAll runs a full archive replay through a fresh engine and closes it.
+func replayAll(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	sc, archive, _ := fixtures(t)
+	e := New(cfg)
+	if err := e.Replay(bytes.NewReader(archive), ScenarioCalendar(sc), nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	return e
+}
+
+// diffRegistries asserts two registries are identical record for record.
+func diffRegistries(t *testing.T, want, got *core.Registry) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("conflict counts differ: want %d, got %d", want.Len(), got.Len())
+	}
+	ws, gs := want.Conflicts(), got.Conflicts()
+	for i := range ws {
+		w, g := ws[i], gs[i]
+		if w.Prefix != g.Prefix {
+			t.Fatalf("conflict %d: prefix %s vs %s", i, w.Prefix, g.Prefix)
+		}
+		if w.FirstDay != g.FirstDay || w.LastDay != g.LastDay || w.DaysObserved != g.DaysObserved {
+			t.Fatalf("%s: span/duration differ: want (%d,%d,%d), got (%d,%d,%d)",
+				w.Prefix, w.FirstDay, w.LastDay, w.DaysObserved, g.FirstDay, g.LastDay, g.DaysObserved)
+		}
+		if !reflect.DeepEqual(w.OriginsEver, g.OriginsEver) {
+			t.Fatalf("%s: origins differ: want %v, got %v", w.Prefix, w.OriginsEver, g.OriginsEver)
+		}
+		if w.ClassDays != g.ClassDays {
+			t.Fatalf("%s: class days differ: want %v, got %v", w.Prefix, w.ClassDays, g.ClassDays)
+		}
+	}
+}
+
+// TestReplayMatchesFullScan is the subsystem's equivalence claim: replaying
+// the SmallScale scenario's complete BGP4MP update stream through the
+// sharded engine yields the identical conflict registry driver.RunFullScan
+// builds from daily table snapshots.
+func TestReplayMatchesFullScan(t *testing.T) {
+	_, _, want := fixtures(t)
+	e := replayAll(t, Config{Shards: 4})
+	diffRegistries(t, want, e.Registry())
+
+	st := e.Stats()
+	if st.TotalConflicts != want.Len() {
+		t.Fatalf("Stats.TotalConflicts = %d, want %d", st.TotalConflicts, want.Len())
+	}
+	if st.ActiveConflicts == 0 {
+		t.Fatal("no conflicts still active at end of replay (scenario has full-period conflicts)")
+	}
+}
+
+// TestShardCountInvariance: the engine must be deterministic in its worker
+// layout — same registry and same lifecycle event sequence whether the
+// prefix space runs on one shard or many, with any batch size.
+func TestShardCountInvariance(t *testing.T) {
+	var baseEvents []Event
+	var baseReg *core.Registry
+	for _, cfg := range []Config{
+		{Shards: 1},
+		{Shards: 3, BatchSize: 7},
+		{Shards: 8, BatchSize: 1},
+	} {
+		e := replayAll(t, cfg)
+		events, reg := e.Events(), e.Registry()
+		if baseEvents == nil {
+			baseEvents, baseReg = events, reg
+			if len(baseEvents) == 0 {
+				t.Fatal("replay emitted no lifecycle events")
+			}
+			continue
+		}
+		if len(events) != len(baseEvents) {
+			t.Fatalf("shards=%d: %d events, want %d", cfg.Shards, len(events), len(baseEvents))
+		}
+		for i := range events {
+			if !reflect.DeepEqual(events[i], baseEvents[i]) {
+				t.Fatalf("shards=%d: event %d differs:\n got %+v\nwant %+v",
+					cfg.Shards, i, events[i], baseEvents[i])
+			}
+		}
+		diffRegistries(t, baseReg, reg)
+	}
+}
+
+// TestLifecycleEventsWellFormed checks per-prefix event grammar: seqs are
+// contiguous from 1, starts and ends alternate, and only active conflicts
+// change origins or class.
+func TestLifecycleEventsWellFormed(t *testing.T) {
+	e := replayAll(t, Config{Shards: 4})
+	lastSeq := map[bgp.Prefix]uint64{}
+	inConflict := map[bgp.Prefix]bool{}
+	for _, ev := range e.Events() {
+		if ev.Seq != lastSeq[ev.Prefix]+1 {
+			t.Fatalf("%s: seq %d follows %d", ev.Prefix, ev.Seq, lastSeq[ev.Prefix])
+		}
+		lastSeq[ev.Prefix] = ev.Seq
+		switch ev.Type {
+		case EventConflictStart:
+			if inConflict[ev.Prefix] {
+				t.Fatalf("%s: start while active", ev.Prefix)
+			}
+			if len(ev.Origins) < 2 {
+				t.Fatalf("%s: start with origins %v", ev.Prefix, ev.Origins)
+			}
+			inConflict[ev.Prefix] = true
+		case EventConflictEnd:
+			if !inConflict[ev.Prefix] {
+				t.Fatalf("%s: end while inactive", ev.Prefix)
+			}
+			inConflict[ev.Prefix] = false
+		case EventOriginChange, EventClassChange:
+			if !inConflict[ev.Prefix] {
+				t.Fatalf("%s: %s while inactive", ev.Prefix, ev.Type)
+			}
+		}
+	}
+	active := e.ActiveConflicts()
+	stillActive := 0
+	for _, v := range inConflict {
+		if v {
+			stillActive++
+		}
+	}
+	if stillActive != len(active) {
+		t.Fatalf("event log implies %d active conflicts, engine reports %d", stillActive, len(active))
+	}
+}
+
+// TestConcurrentQueriesDuringReplay hammers every live query from several
+// goroutines while the replay is in flight; run under -race it proves the
+// stripe locking. The final registry must still match the batch scan.
+func TestConcurrentQueriesDuringReplay(t *testing.T) {
+	sc, archive, want := fixtures(t)
+	e := New(Config{Shards: 4, BatchSize: 32})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	somePrefix := bgp.MustParsePrefix("10.0.0.0/8")
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				e.ActiveConflicts()
+				e.Stats()
+				e.Involvement(8584)
+				e.Prefix(somePrefix)
+				e.Registry()
+				e.Events()
+			}
+		}()
+	}
+
+	if err := e.Replay(bytes.NewReader(archive), ScenarioCalendar(sc), nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	close(done)
+	wg.Wait()
+
+	diffRegistries(t, want, e.Registry())
+}
+
+// TestInvolvementSeesStorm: the scripted SmallScale storm (AS 8584) must be
+// visible through the live involvement query after replay.
+func TestInvolvementSeesStorm(t *testing.T) {
+	e := replayAll(t, Config{Shards: 2})
+	inv := e.Involvement(8584)
+	if inv.Ever == 0 {
+		t.Fatal("AS 8584 storm invisible in lifetime involvement")
+	}
+	st := e.Stats()
+	if st.Lifecycle.Spans == 0 || st.Lifecycle.MaxDays == 0 {
+		t.Fatalf("lifecycle stats empty: %+v", st.Lifecycle)
+	}
+}
+
+// TestDisableEventLog: the daemon configuration (bounded history, no
+// global log) must not change the registry, span stats or event counts —
+// only Events() goes empty.
+func TestDisableEventLog(t *testing.T) {
+	full := replayAll(t, Config{Shards: 2})
+	lean := replayAll(t, Config{Shards: 2, HistoryLimit: 4, DisableEventLog: true})
+	diffRegistries(t, full.Registry(), lean.Registry())
+	fs, ls := full.Stats(), lean.Stats()
+	if fs.Events != ls.Events {
+		t.Fatalf("event counts differ: %d vs %d", fs.Events, ls.Events)
+	}
+	if fs.Lifecycle != ls.Lifecycle {
+		t.Fatalf("lifecycle stats differ:\n full %+v\n lean %+v", fs.Lifecycle, ls.Lifecycle)
+	}
+	if len(lean.Events()) != 0 {
+		t.Fatal("Events() should be empty with DisableEventLog")
+	}
+	if len(full.Events()) == 0 {
+		t.Fatal("Events() should be populated by default")
+	}
+}
