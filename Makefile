@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet fmt ci
+.PHONY: build test race bench vet fmt docscheck ci
 
 build:
 	$(GO) build ./...
@@ -20,4 +20,16 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-ci: fmt vet build race
+# Every internal package must carry a package comment ("// Package xyz ...")
+# so the docs never lag the code silently.
+docscheck:
+	@missing=0; \
+	for d in internal/*/; do \
+		pkg=$$(basename $$d); \
+		if ! grep -qs "^// Package $$pkg " $$d*.go; then \
+			echo "missing package comment: internal/$$pkg"; missing=1; \
+		fi; \
+	done; \
+	if [ $$missing -ne 0 ]; then exit 1; fi
+
+ci: fmt vet docscheck build race

@@ -1,98 +1,73 @@
-// Command moasd is the live MOAS detection daemon: it replays a scenario's
-// BGP4MP update archive through the streaming engine at a configurable
-// speed (or as fast as possible) and serves the live conflict state over
-// an HTTP/JSON API.
+// Command moasd is the live MOAS detection daemon. One process hosts any
+// number of concurrent scenario replays — synthesized archives or real
+// MRT BGP4MP files — each streamed through its own sharded detection
+// engine and served over an HTTP/JSON API with scenario-id routing and an
+// SSE event stream (see docs/API.md for the full reference).
 //
-// Endpoints: /conflicts, /prefix/{cidr}, /as/{asn}, /stats, /healthz.
+//	# start empty, manage scenarios over HTTP:
+//	moasd
+//	curl -X POST localhost:8643/scenarios -d '{"id":"live","source":"synth","scale":"small","start":true}'
 //
+//	# or boot with scenarios from flags:
 //	moasd -scenario small -days-per-sec 4
-//	curl localhost:8643/conflicts?limit=5
+//	moasd -mrt updates.mrt.gz
+//	curl localhost:8643/scenarios
+//	curl localhost:8643/scenarios/small/conflicts?limit=5
+//	curl -N localhost:8643/scenarios/small/events
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
 	"runtime"
-	"time"
 
-	"moas/internal/collector"
-	"moas/internal/scenario"
-	"moas/internal/stream"
+	"moas/internal/serve"
 )
 
 func main() {
 	var (
 		listen  = flag.String("listen", ":8643", "HTTP listen address")
-		scale   = flag.String("scenario", "small", `scenario scale: "small" (two months) or "full" (the paper's 1279 days)`)
-		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "prefix-space worker shards")
+		scale   = flag.String("scenario", "", `create and start a synthesized scenario at this scale: "small" (two months) or "full" (the paper's 1279 days)`)
+		mrtPath = flag.String("mrt", "", "create and start a scenario replaying this MRT BGP4MP file (plain or gzipped)")
+		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "prefix-space worker shards per scenario")
 		rate    = flag.Float64("days-per-sec", 0, "replay pacing in observed days per second (0 = as fast as possible)")
-		history = flag.Int("history", 256, "lifecycle events retained per prefix (0 = unlimited)")
+		history = flag.Int("history", 256, "lifecycle events retained per prefix (0 or -1 = unlimited)")
 	)
 	flag.Parse()
 
-	var spec scenario.Spec
-	switch *scale {
-	case "small":
-		spec = scenario.TestSpec()
-	case "full":
-		spec = scenario.DefaultSpec()
-	default:
-		fmt.Fprintf(os.Stderr, "moasd: unknown scenario %q (want small or full)\n", *scale)
-		os.Exit(2)
-	}
+	reg := serve.NewRegistry()
+	reg.Logf = log.Printf
 
-	log.Printf("building %s scenario...", *scale)
-	sc, err := scenario.Build(spec)
-	if err != nil {
-		log.Fatalf("moasd: build scenario: %v", err)
-	}
-	log.Printf("scenario ready: %d observed days, %d episodes", len(sc.ObservedDays), len(sc.Episodes))
-
-	// The daemon bounds memory: per-prefix history is capped and the global
-	// event log (a test/inspection aid) is off.
-	eng := stream.New(stream.Config{Shards: *shards, HistoryLimit: *history, DisableEventLog: true})
-	go replay(eng, sc, *rate)
-
-	log.Printf("moasd listening on %s (%d shards)", *listen, *shards)
-	log.Fatal(http.ListenAndServe(*listen, stream.NewAPI(eng)))
-}
-
-// replay generates the scenario's update archive day by day (an io.Pipe
-// keeps memory flat — the full-scale archive never materializes) and feeds
-// it through the engine, pacing day closes when asked to.
-func replay(eng *stream.Engine, sc *scenario.Scenario, rate float64) {
-	pr, pw := io.Pipe()
-	go func() {
-		pw.CloseWithError(collector.WriteUpdateArchive(pw, sc))
-	}()
-
-	var interval time.Duration
-	if rate > 0 {
-		interval = time.Duration(float64(time.Second) / rate)
-	}
-	start := time.Now()
-	closed := 0
-	opts := &stream.ReplayOptions{OnDayClose: func(day int) {
-		closed++
-		if interval > 0 {
-			time.Sleep(interval)
+	boot := func(cfg serve.ScenarioConfig) {
+		cfg.Shards = *shards
+		cfg.DaysPerSec = *rate
+		cfg.History = *history
+		if *history == 0 {
+			// PR 1's flag used 0 for unlimited; keep that meaning (the
+			// serve config uses 0 for "daemon default").
+			cfg.History = -1
 		}
-		if closed%100 == 0 || closed == len(sc.ObservedDays) {
-			st := eng.Stats()
-			log.Printf("day %d/%d (%s): %d active conflicts, %d updates",
-				closed, len(sc.ObservedDays), sc.DayDate(day).Format("2006-01-02"),
-				st.ActiveConflicts, st.Messages)
+		s, err := reg.Create(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moasd: %v\n", err)
+			os.Exit(2)
 		}
-	}}
-	if err := eng.Replay(pr, stream.ScenarioCalendar(sc), opts); err != nil {
-		log.Printf("moasd: replay: %v", err)
+		if err := s.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "moasd: %v\n", err)
+			os.Exit(2)
+		}
 	}
-	eng.Close()
-	st := eng.Stats()
-	log.Printf("replay complete in %s: %d updates, %d ops, %d conflicts ever, %d still active",
-		time.Since(start).Round(time.Millisecond), st.Messages, st.Ops, st.TotalConflicts, st.ActiveConflicts)
+	if *scale != "" {
+		boot(serve.ScenarioConfig{Source: serve.SourceSynth, Scale: *scale})
+	}
+	if *mrtPath != "" {
+		boot(serve.ScenarioConfig{Source: serve.SourceMRT, Path: *mrtPath})
+	}
+
+	log.Printf("moasd listening on %s (%d scenarios at boot; POST /scenarios to add more)",
+		*listen, len(reg.List()))
+	log.Fatal(http.ListenAndServe(*listen, serve.NewHandler(reg)))
 }

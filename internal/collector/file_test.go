@@ -1,0 +1,54 @@
+package collector
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"moas/internal/scenario"
+)
+
+// TestSaveAndOpenUpdateArchive round-trips a scenario archive through
+// disk, plain and gzipped, and checks both open to byte-identical streams
+// (gzip detected by magic bytes, not file name).
+func TestSaveAndOpenUpdateArchive(t *testing.T) {
+	sc, err := scenario.Build(scenario.TestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteUpdateArchive(&want, sc); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "updates.mrt")
+	// The gzipped copy deliberately lacks a .gz-ish read hint beyond its
+	// write-side suffix; OpenUpdateArchive must sniff content.
+	gzipped := filepath.Join(dir, "updates.mrt.gz")
+	for _, path := range []string{plain, gzipped} {
+		if err := SaveUpdateArchive(path, sc); err != nil {
+			t.Fatalf("SaveUpdateArchive(%s): %v", path, err)
+		}
+		f, err := OpenUpdateArchive(path)
+		if err != nil {
+			t.Fatalf("OpenUpdateArchive(%s): %v", path, err)
+		}
+		got, err := io.ReadAll(f)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("close %s: %v", path, err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("%s: decoded archive differs from in-memory archive (%d vs %d bytes)",
+				path, len(got), want.Len())
+		}
+	}
+
+	if _, err := OpenUpdateArchive(filepath.Join(dir, "missing.mrt")); err == nil {
+		t.Fatal("OpenUpdateArchive of a missing file did not error")
+	}
+}

@@ -1,6 +1,7 @@
 package rib
 
 import (
+	"reflect"
 	"testing"
 
 	"moas/internal/bgp"
@@ -212,6 +213,35 @@ func TestOriginsOfDedup(t *testing.T) {
 	}
 	if origins, _ := OriginsOf(nil); origins != nil {
 		t.Fatal("OriginsOf(nil) != nil")
+	}
+}
+
+func TestAppendOriginsReuse(t *testing.T) {
+	rs := []PeerRoute{
+		{PeerID: 1, Route: route("10.0.0.0/8", "701 9")},
+		{PeerID: 2, Route: route("10.0.0.0/8", "3356 4")},
+		{PeerID: 3, Route: route("10.0.0.0/8", "7018 1239 9")},
+		{PeerID: 4, Route: route("10.0.0.0/8", "701 7")},
+	}
+	scratch := make([]bgp.ASN, 0, 8)
+	origins, excluded := AppendOrigins(scratch, rs)
+	if excluded != 0 {
+		t.Fatalf("excluded = %d, want 0", excluded)
+	}
+	if want := []bgp.ASN{4, 7, 9}; !reflect.DeepEqual(origins, want) {
+		t.Fatalf("AppendOrigins = %v, want %v", origins, want)
+	}
+	if &origins[0] != &scratch[:1][0] {
+		t.Fatal("AppendOrigins did not reuse the caller's backing array")
+	}
+	// A second pass over a smaller route set resets rather than appends.
+	origins, _ = AppendOrigins(origins, rs[:1])
+	if want := []bgp.ASN{9}; !reflect.DeepEqual(origins, want) {
+		t.Fatalf("reused AppendOrigins = %v, want %v", origins, want)
+	}
+	// Steady-state recompute into a warm scratch performs no allocation.
+	if n := testing.AllocsPerRun(100, func() { origins, _ = AppendOrigins(origins, rs) }); n != 0 {
+		t.Fatalf("AppendOrigins allocates %v per run with warm scratch", n)
 	}
 }
 

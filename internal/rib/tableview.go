@@ -74,26 +74,42 @@ func (v *TableView) OriginSet(p bgp.Prefix) ([]bgp.ASN, int) {
 // excluding AS_SET-terminated paths; it returns the set and the excluded
 // route count.
 func OriginsOf(rs []PeerRoute) ([]bgp.ASN, int) {
+	return AppendOrigins(nil, rs)
+}
+
+// AppendOrigins is OriginsOf into a caller-owned slice: the origin set is
+// built in dst (which is reset, not appended after existing elements) and
+// returned, so a hot loop that reuses dst across calls recomputes origin
+// sets without allocating. Insertion keeps dst ascending and deduplicated
+// as it goes — origin sets are tiny, so no sort (and no sort closure
+// allocation) is needed.
+func AppendOrigins(dst []bgp.ASN, rs []PeerRoute) ([]bgp.ASN, int) {
+	dst = dst[:0]
 	var excluded int
-	var origins []bgp.ASN
 	for _, pr := range rs {
 		o, ok := pr.Route.Origin()
 		if !ok {
 			excluded++
 			continue
 		}
-		origins = append(origins, o)
-	}
-	if len(origins) == 0 {
-		return nil, excluded
-	}
-	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
-	// Deduplicate in place.
-	out := origins[:1]
-	for _, o := range origins[1:] {
-		if o != out[len(out)-1] {
-			out = append(out, o)
+		pos := len(dst)
+		dup := false
+		for i, v := range dst {
+			if v == o {
+				dup = true
+				break
+			}
+			if v > o {
+				pos = i
+				break
+			}
 		}
+		if dup {
+			continue
+		}
+		dst = append(dst, 0)
+		copy(dst[pos+1:], dst[pos:])
+		dst[pos] = o
 	}
-	return out, excluded
+	return dst, excluded
 }

@@ -1,3 +1,12 @@
+// Package scenario scripts the study: it composes the synthetic topology
+// (internal/topology) and routing fabric (internal/simnet) with a
+// calibrated episode schedule — long-lived multihoming, short
+// misconfigurations, mass false-origination storms, AS_SET aggregates —
+// over the paper's 1279-day observation calendar (DefaultSpec; TestSpec
+// is the scaled-down two-month variant). The product is a deterministic,
+// seedable function from calendar day to multi-peer table view
+// (TableViewAt), which the collector serializes into archives and both
+// detection paths consume.
 package scenario
 
 import (

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sync"
+
+	"moas/internal/stream"
+)
+
+// Hub fans one engine's conflict lifecycle events out to event-stream
+// subscribers. Publish is wired to stream.Config.OnEvent, so it runs on
+// the engine's shard worker goroutines and must never block: each
+// subscriber owns a buffered channel, and a subscriber whose buffer is
+// full when an event arrives is dropped — its channel is closed and the
+// drop is counted — rather than back-pressuring detection. A dropped
+// consumer reconnects and resynchronizes through the query API; that is
+// the documented contract of /scenarios/{id}/events.
+type Hub struct {
+	mu        sync.Mutex
+	subs      map[*Subscriber]struct{}
+	published uint64 // events fanned out
+	dropped   uint64 // subscribers kicked because their buffer overflowed
+	closed    bool
+}
+
+// Subscriber is one event-stream consumer.
+type Subscriber struct {
+	// C delivers events in publish order. The hub closes it when the
+	// subscriber falls behind or the hub shuts down; already-buffered
+	// events remain readable after the close.
+	C chan stream.Event
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{subs: make(map[*Subscriber]struct{})} }
+
+// Subscribe registers a consumer whose channel buffers up to buffer
+// events (minimum 1). Subscribing to a closed hub returns a subscriber
+// whose channel is already closed.
+func (h *Hub) Subscribe(buffer int) *Subscriber {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Subscriber{C: make(chan stream.Event, buffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(s.C)
+		return s
+	}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// Unsubscribe removes s and closes its channel. Idempotent, and safe to
+// call for a subscriber the hub already dropped.
+func (h *Hub) Unsubscribe(s *Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+		close(s.C)
+	}
+}
+
+// Publish delivers ev to every subscriber without blocking. A subscriber
+// with no buffer space left is dropped on the spot.
+func (h *Hub) Publish(ev stream.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.published++
+	for s := range h.subs {
+		select {
+		case s.C <- ev:
+		default:
+			delete(h.subs, s)
+			close(s.C)
+			h.dropped++
+		}
+	}
+}
+
+// Close drops every subscriber and makes future Subscribes return
+// already-closed channels. Called when a scenario is deleted.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		close(s.C)
+	}
+}
+
+// HubStats is a point-in-time fan-out summary.
+type HubStats struct {
+	Subscribers int    // currently connected
+	Published   uint64 // events fanned out since creation
+	Dropped     uint64 // subscribers dropped for falling behind
+}
+
+// Stats snapshots the hub.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HubStats{Subscribers: len(h.subs), Published: h.published, Dropped: h.dropped}
+}

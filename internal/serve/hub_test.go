@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"testing"
+
+	"moas/internal/bgp"
+	"moas/internal/stream"
+)
+
+func evt(seq uint64) stream.Event {
+	return stream.Event{
+		Type:   stream.EventConflictStart,
+		Seq:    seq,
+		Prefix: bgp.MustParsePrefix("10.0.0.0/8"),
+	}
+}
+
+// TestHubDeliveryOrder: a subscriber with buffer headroom receives every
+// published event, in publish order.
+func TestHubDeliveryOrder(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(16)
+	for i := uint64(1); i <= 10; i++ {
+		h.Publish(evt(i))
+	}
+	for i := uint64(1); i <= 10; i++ {
+		ev := <-sub.C
+		if ev.Seq != i {
+			t.Fatalf("event %d arrived with seq %d", i, ev.Seq)
+		}
+	}
+	h.Unsubscribe(sub)
+	if _, open := <-sub.C; open {
+		t.Fatal("channel still open after Unsubscribe")
+	}
+	h.Unsubscribe(sub) // idempotent, including for already-removed subscribers
+	st := h.Stats()
+	if st.Subscribers != 0 || st.Published != 10 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestHubSlowSubscriberDropped: a full subscriber is dropped on the spot
+// — Publish never blocks — while faster subscribers keep receiving.
+func TestHubSlowSubscriberDropped(t *testing.T) {
+	h := NewHub()
+	fast := h.Subscribe(16)
+	slow := h.Subscribe(1)
+	for i := uint64(1); i <= 3; i++ {
+		h.Publish(evt(i)) // the second publish finds slow's buffer full
+	}
+	st := h.Stats()
+	if st.Dropped != 1 || st.Subscribers != 1 {
+		t.Fatalf("stats after overflow = %+v, want 1 dropped, 1 remaining", st)
+	}
+	// The slow subscriber still drains what it buffered before the close.
+	if ev := <-slow.C; ev.Seq != 1 {
+		t.Fatalf("slow subscriber's buffered event has seq %d, want 1", ev.Seq)
+	}
+	if _, open := <-slow.C; open {
+		t.Fatal("slow subscriber's channel not closed after drop")
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if ev := <-fast.C; ev.Seq != i {
+			t.Fatalf("fast subscriber: event %d has seq %d", i, ev.Seq)
+		}
+	}
+	h.Unsubscribe(slow) // idempotent for dropped subscribers
+	h.Unsubscribe(fast)
+}
+
+// TestHubClose: closing drops everyone, later subscribes come back
+// pre-closed, and publishing into a closed hub is a no-op.
+func TestHubClose(t *testing.T) {
+	h := NewHub()
+	sub := h.Subscribe(4)
+	h.Publish(evt(1))
+	h.Close()
+	if ev := <-sub.C; ev.Seq != 1 {
+		t.Fatalf("buffered event lost on close: seq %d", ev.Seq)
+	}
+	if _, open := <-sub.C; open {
+		t.Fatal("channel open after hub close")
+	}
+	if _, open := <-h.Subscribe(4).C; open {
+		t.Fatal("subscribe after close returned an open channel")
+	}
+	h.Publish(evt(2)) // must not panic
+	h.Close()         // idempotent
+}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"moas/internal/bgp"
+	"moas/internal/stream"
+)
+
+// Wire types. Scenario states render by name and events carry their
+// prefix (unlike the per-prefix history in internal/stream's API, an SSE
+// stream interleaves all prefixes).
+
+type scenarioJSON struct {
+	ID         string  `json:"id"`
+	Source     string  `json:"source"`
+	Scale      string  `json:"scale,omitempty"`
+	Path       string  `json:"path,omitempty"`
+	State      string  `json:"state"`
+	Error      string  `json:"error,omitempty"`
+	DaysPerSec float64 `json:"days_per_sec,omitempty"`
+	TotalDays  int     `json:"total_days"`
+	ClosedDays int     `json:"closed_days"`
+
+	Subscribers     int    `json:"subscribers"`
+	EventsPublished uint64 `json:"events_published"`
+	SlowDrops       uint64 `json:"slow_drops"`
+}
+
+type sseEventJSON struct {
+	Scenario    string    `json:"scenario"`
+	Type        string    `json:"type"`
+	Day         int       `json:"day"`
+	Seq         uint64    `json:"seq"`
+	Prefix      string    `json:"prefix"`
+	Origins     []bgp.ASN `json:"origins,omitempty"`
+	PrevOrigins []bgp.ASN `json:"prev_origins,omitempty"`
+	Class       string    `json:"class"`
+	PrevClass   string    `json:"prev_class"`
+}
+
+func statusToJSON(st Status) scenarioJSON {
+	return scenarioJSON{
+		ID:              st.ID,
+		Source:          st.Source,
+		Scale:           st.Scale,
+		Path:            st.Path,
+		State:           st.State.String(),
+		Error:           st.Error,
+		DaysPerSec:      st.DaysPerSec,
+		TotalDays:       st.TotalDays,
+		ClosedDays:      st.ClosedDays,
+		Subscribers:     st.Events.Subscribers,
+		EventsPublished: st.Events.Published,
+		SlowDrops:       st.Events.Dropped,
+	}
+}
+
+// NewHandler routes moasd's multi-scenario API over a registry:
+//
+//	GET    /healthz                      process liveness + scenario count
+//	GET    /scenarios                    list scenarios
+//	POST   /scenarios                    create (ScenarioConfig JSON body)
+//	GET    /scenarios/{id}               lifecycle status
+//	POST   /scenarios/{id}/start         begin the replay
+//	POST   /scenarios/{id}/pause         park the replay (settled view)
+//	POST   /scenarios/{id}/resume        release a paused replay
+//	DELETE /scenarios/{id}               abort and remove
+//	GET    /scenarios/{id}/events        SSE conflict lifecycle stream
+//	GET    /scenarios/{id}/conflicts     ┐
+//	GET    /scenarios/{id}/prefix/{cidr} │ internal/stream's query API,
+//	GET    /scenarios/{id}/as/{asn}      │ one isolated engine per id
+//	GET    /scenarios/{id}/stats         ┘
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Status    string `json:"status"`
+			Scenarios int    `json:"scenarios"`
+		}{"ok", len(reg.List())})
+	})
+
+	mux.HandleFunc("GET /scenarios", func(w http.ResponseWriter, r *http.Request) {
+		list := reg.List()
+		out := struct {
+			Count     int            `json:"count"`
+			Scenarios []scenarioJSON `json:"scenarios"`
+		}{Count: len(list), Scenarios: make([]scenarioJSON, len(list))}
+		for i, s := range list {
+			out.Scenarios[i] = statusToJSON(s.Status())
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /scenarios", func(w http.ResponseWriter, r *http.Request) {
+		var cfg ScenarioConfig
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			httpError(w, http.StatusBadRequest, "bad scenario config: "+err.Error())
+			return
+		}
+		s, err := reg.Create(cfg)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if cfg.Start {
+			if err := s.Start(); err != nil {
+				httpError(w, http.StatusConflict, err.Error())
+				return
+			}
+		}
+		writeJSON(w, http.StatusCreated, statusToJSON(s.Status()))
+	})
+
+	lookup := func(w http.ResponseWriter, r *http.Request) *Scenario {
+		s := reg.Get(r.PathValue("id"))
+		if s == nil {
+			httpError(w, http.StatusNotFound, "no such scenario")
+		}
+		return s
+	}
+
+	mux.HandleFunc("GET /scenarios/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if s := lookup(w, r); s != nil {
+			writeJSON(w, http.StatusOK, statusToJSON(s.Status()))
+		}
+	})
+
+	transition := func(do func(*Scenario) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			s := lookup(w, r)
+			if s == nil {
+				return
+			}
+			if err := do(s); err != nil {
+				httpError(w, http.StatusConflict, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, statusToJSON(s.Status()))
+		}
+	}
+	mux.HandleFunc("POST /scenarios/{id}/start", transition((*Scenario).Start))
+	mux.HandleFunc("POST /scenarios/{id}/pause", transition((*Scenario).Pause))
+	mux.HandleFunc("POST /scenarios/{id}/resume", transition((*Scenario).Resume))
+
+	mux.HandleFunc("DELETE /scenarios/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !reg.Delete(r.PathValue("id")) {
+			httpError(w, http.StatusNotFound, "no such scenario")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+	})
+
+	mux.HandleFunc("GET /scenarios/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		s := lookup(w, r)
+		if s == nil {
+			return
+		}
+		serveEvents(w, r, s)
+	})
+
+	// Everything else under a scenario is internal/stream's query API,
+	// served by that scenario's isolated engine.
+	mux.HandleFunc("GET /scenarios/{id}/{rest...}", func(w http.ResponseWriter, r *http.Request) {
+		s := lookup(w, r)
+		if s == nil {
+			return
+		}
+		http.StripPrefix("/scenarios/"+s.ID(), s.API()).ServeHTTP(w, r)
+	})
+
+	return mux
+}
+
+// serveEvents streams conflict lifecycle events as Server-Sent Events:
+// one "event: <type>" block per lifecycle transition, with a JSON body.
+// The subscription is buffered (ScenarioConfig.EventBuffer); if the
+// client falls that far behind the publisher, the hub drops it and the
+// stream ends with "event: dropped" — reconnect and resynchronize via the
+// query API. An optional ?types=conflict-start,conflict-end filters by
+// event type (filtering happens after buffering: a filtered subscriber
+// still has to keep up with the full event rate).
+func serveEvents(w http.ResponseWriter, r *http.Request, s *Scenario) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var want map[string]bool
+	if tp := r.URL.Query().Get("types"); tp != "" {
+		want = make(map[string]bool)
+		for _, t := range strings.Split(tp, ",") {
+			want[strings.TrimSpace(t)] = true
+		}
+	}
+
+	sub := s.Hub().Subscribe(s.cfg.EventBuffer)
+	defer s.Hub().Unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// The comment line tells the client its subscription is live before
+	// any event fires (the integration test orders start-after-subscribe
+	// on it).
+	fmt.Fprintf(w, ": subscribed scenario=%s\n\n", s.ID())
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.C:
+			if !open {
+				// Dropped for falling behind, or the scenario was deleted.
+				fmt.Fprint(w, "event: dropped\ndata: {\"reason\":\"slow consumer or scenario shutdown\"}\n\n")
+				fl.Flush()
+				return
+			}
+			if want != nil && !want[ev.Type.String()] {
+				continue
+			}
+			data, err := json.Marshal(eventToJSON(s.ID(), ev))
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %s/%d\nevent: %s\ndata: %s\n\n", ev.Prefix, ev.Seq, ev.Type, data)
+			fl.Flush()
+		}
+	}
+}
+
+func eventToJSON(scenarioID string, ev stream.Event) sseEventJSON {
+	return sseEventJSON{
+		Scenario:    scenarioID,
+		Type:        ev.Type.String(),
+		Day:         ev.Day,
+		Seq:         ev.Seq,
+		Prefix:      ev.Prefix.String(),
+		Origins:     ev.Origins,
+		PrevOrigins: ev.PrevOrigins,
+		Class:       ev.Class.String(),
+		PrevClass:   ev.PrevClass.String(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moas/internal/collector"
+	"moas/internal/scenario"
+	"moas/internal/stream"
+)
+
+// Scenario source kinds.
+const (
+	// SourceSynth builds a synthetic scenario (internal/scenario) at the
+	// configured scale and streams its derived update archive.
+	SourceSynth = "synth"
+	// SourceMRT replays an MRT BGP4MP file from disk; the calendar is
+	// derived from the file's own record timestamps.
+	SourceMRT = "mrt"
+)
+
+// ScenarioConfig is the POST /scenarios request body: what to replay and
+// how. Zero values mean defaults.
+type ScenarioConfig struct {
+	// ID names the scenario in every /scenarios/{id}/... path. Optional;
+	// defaults to the scale (synth) or the file's base name (mrt), with a
+	// numeric suffix on collision. Letters, digits, ".", "_", "-" only.
+	ID string `json:"id,omitempty"`
+	// Source is "synth" (default) or "mrt".
+	Source string `json:"source,omitempty"`
+	// Scale selects the synthesized scenario: "small" (two months) or
+	// "full" (the paper's 1279 days). Synth only; default "small".
+	Scale string `json:"scale,omitempty"`
+	// Path is the MRT BGP4MP file to replay. MRT only; must exist.
+	Path string `json:"path,omitempty"`
+	// Shards is the engine's worker count (0 = GOMAXPROCS).
+	Shards int `json:"shards,omitempty"`
+	// DaysPerSec paces the replay in observed days per second (0 = as
+	// fast as possible).
+	DaysPerSec float64 `json:"days_per_sec,omitempty"`
+	// History caps lifecycle events retained per prefix (0 = the daemon
+	// default, 256; -1 = unlimited).
+	History int `json:"history,omitempty"`
+	// EventBuffer sizes each SSE subscriber's channel (0 = 1024). A
+	// subscriber that falls this many events behind is dropped.
+	EventBuffer int `json:"event_buffer,omitempty"`
+	// Start, when true, starts the replay immediately after creation —
+	// the create-and-start convenience moasd's boot flags use.
+	Start bool `json:"start,omitempty"`
+}
+
+// isIDRune bounds the scenario-ID alphabet (IDs appear raw in URL paths).
+func isIDRune(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+		r == '.' || r == '_' || r == '-'
+}
+
+// normalize fills defaults and validates.
+func (c *ScenarioConfig) normalize() error {
+	for _, r := range c.ID {
+		if !isIDRune(r) {
+			return fmt.Errorf("scenario id %q: only letters, digits, '.', '_', '-' allowed", c.ID)
+		}
+	}
+	if c.Source == "" {
+		c.Source = SourceSynth
+	}
+	switch c.Source {
+	case SourceSynth:
+		if c.Scale == "" {
+			c.Scale = "small"
+		}
+		if _, err := specFor(c.Scale); err != nil {
+			return err
+		}
+		if c.Path != "" {
+			return errors.New(`"path" is only valid with source "mrt"`)
+		}
+	case SourceMRT:
+		if c.Path == "" {
+			return errors.New(`source "mrt" requires "path"`)
+		}
+		if fi, err := os.Stat(c.Path); err != nil {
+			return fmt.Errorf("mrt path: %w", err)
+		} else if fi.IsDir() {
+			return fmt.Errorf("mrt path %s is a directory", c.Path)
+		}
+		if c.Scale != "" {
+			return errors.New(`"scale" is only valid with source "synth"`)
+		}
+	default:
+		return fmt.Errorf("unknown source %q (want %q or %q)", c.Source, SourceSynth, SourceMRT)
+	}
+	if c.DaysPerSec < 0 {
+		return errors.New("days_per_sec must be >= 0")
+	}
+	if c.History == 0 {
+		c.History = 256
+	} else if c.History < 0 {
+		c.History = 0 // engine convention: 0 = unlimited
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 1024
+	}
+	return nil
+}
+
+// defaultID derives an ID when the request gave none.
+func (c *ScenarioConfig) defaultID() string {
+	if c.Source == SourceMRT {
+		base := filepath.Base(c.Path)
+		base = strings.TrimSuffix(base, ".gz")
+		base = strings.TrimSuffix(base, filepath.Ext(base))
+		var clean []rune
+		for _, r := range base {
+			if isIDRune(r) {
+				clean = append(clean, r)
+			}
+		}
+		if len(clean) > 0 {
+			return string(clean)
+		}
+		return "mrt"
+	}
+	return c.Scale
+}
+
+func (c *ScenarioConfig) describeSource() string {
+	if c.Source == SourceMRT {
+		return "mrt file " + c.Path
+	}
+	return "synth scale " + c.Scale
+}
+
+// specFor maps a scale name to its scenario spec.
+func specFor(scale string) (scenario.Spec, error) {
+	switch scale {
+	case "small":
+		return scenario.TestSpec(), nil
+	case "full":
+		return scenario.DefaultSpec(), nil
+	}
+	return scenario.Spec{}, fmt.Errorf("unknown scale %q (want small or full)", scale)
+}
+
+// State is a scenario's lifecycle position.
+type State int32
+
+const (
+	// StateCreated: registered, engine queryable (empty), replay not
+	// started.
+	StateCreated State = iota
+	// StateRunning: replay in flight (including the source build, which
+	// for the full synth scenario takes a while).
+	StateRunning
+	// StatePaused: replay parked at a record boundary; queries see a
+	// settled view.
+	StatePaused
+	// StateDone: archive exhausted; the engine stays queryable forever.
+	StateDone
+	// StateFailed: the source build or replay errored; see Status().Error.
+	StateFailed
+)
+
+// String names the state for JSON and logs.
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StatePaused:
+		return "paused"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Scenario is one hosted replay: an engine, its event hub, and the replay
+// goroutine's controls. All methods are safe for concurrent use.
+type Scenario struct {
+	cfg  ScenarioConfig
+	eng  *stream.Engine
+	hub  *Hub
+	api  http.Handler // stream.NewAPI(eng), mounted under /scenarios/{id}/
+	logf func(format string, args ...any)
+
+	totalDays  atomic.Int64 // 0 until the source is open and counted
+	closedDays atomic.Int64
+
+	mu      sync.Mutex
+	state   State
+	err     error
+	stop    chan struct{}
+	stopped bool
+	done    chan struct{} // closed when the replay goroutine exits
+}
+
+func newScenario(cfg ScenarioConfig, logf func(string, ...any)) *Scenario {
+	hub := NewHub()
+	eng := stream.New(stream.Config{
+		Shards:       cfg.Shards,
+		HistoryLimit: cfg.History,
+		// The daemon bounds memory: the global event log is off; event
+		// consumers subscribe through the hub instead.
+		DisableEventLog: true,
+		OnEvent:         hub.Publish,
+	})
+	return &Scenario{
+		cfg:  cfg,
+		eng:  eng,
+		hub:  hub,
+		api:  stream.NewAPI(eng),
+		logf: logf,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// ID returns the scenario's registry key.
+func (s *Scenario) ID() string { return s.cfg.ID }
+
+// Engine exposes the live engine (queries only; the replay goroutine owns
+// the feed side).
+func (s *Scenario) Engine() *stream.Engine { return s.eng }
+
+// Hub exposes the scenario's event fan-out.
+func (s *Scenario) Hub() *Hub { return s.hub }
+
+// API is the scenario's query handler (conflicts/prefix/as/stats/healthz),
+// expecting paths with the /scenarios/{id} prefix already stripped.
+func (s *Scenario) API() http.Handler { return s.api }
+
+// Start launches the replay goroutine. Only valid in state created.
+func (s *Scenario) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateCreated {
+		return fmt.Errorf("scenario %s is %s, not %s", s.ID(), s.state, StateCreated)
+	}
+	s.state = StateRunning
+	go s.run()
+	return nil
+}
+
+// Pause parks the replay at its next record boundary. Only valid in state
+// running. The engine settles (all shards drained) before parking, so a
+// paused scenario serves a stable view.
+func (s *Scenario) Pause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateRunning {
+		return fmt.Errorf("scenario %s is %s, not %s", s.ID(), s.state, StateRunning)
+	}
+	s.eng.Pause()
+	s.state = StatePaused
+	s.logf("scenario %s: paused", s.ID())
+	return nil
+}
+
+// Resume releases a paused replay.
+func (s *Scenario) Resume() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StatePaused {
+		return fmt.Errorf("scenario %s is %s, not %s", s.ID(), s.state, StatePaused)
+	}
+	s.eng.Resume()
+	s.state = StateRunning
+	s.logf("scenario %s: resumed", s.ID())
+	return nil
+}
+
+// shutdown aborts any in-flight replay (waking a paused one), closes the
+// hub so SSE handlers end, and waits for the replay goroutine to exit.
+// Called by Registry.Delete.
+func (s *Scenario) shutdown() {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	started := s.state != StateCreated
+	s.eng.Resume()
+	s.mu.Unlock()
+	s.hub.Close()
+	if started {
+		<-s.done // run() closes the engine on its way out
+	} else {
+		s.eng.Close() // stop the shard workers of a never-started engine
+	}
+}
+
+// run is the replay goroutine: open the source, stream it through the
+// engine, record the terminal state.
+func (s *Scenario) run() {
+	defer close(s.done)
+	start := time.Now()
+	err := s.replay()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.Close()
+	switch {
+	case err == stream.ErrReplayStopped:
+		// Deleted mid-replay; the scenario is already out of the registry.
+	case err != nil:
+		s.state, s.err = StateFailed, err
+		s.logf("scenario %s: failed: %v", s.ID(), err)
+	default:
+		s.state = StateDone
+		st := s.eng.Stats()
+		s.logf("scenario %s: replay complete in %s: %d updates, %d conflicts ever, %d still active",
+			s.ID(), time.Since(start).Round(time.Millisecond),
+			st.Messages, st.TotalConflicts, st.ActiveConflicts)
+	}
+}
+
+// replay opens the configured source and feeds it through the engine.
+func (s *Scenario) replay() error {
+	var src io.ReadCloser
+	var cal stream.Calendar
+	switch s.cfg.Source {
+	case SourceSynth:
+		spec, err := specFor(s.cfg.Scale)
+		if err != nil {
+			return err
+		}
+		sc, err := scenario.Build(spec)
+		if err != nil {
+			return fmt.Errorf("build scenario: %w", err)
+		}
+		// An io.Pipe keeps memory flat: the archive is generated day by
+		// day and never materializes, even at full scale.
+		pr, pw := io.Pipe()
+		go func() {
+			pw.CloseWithError(collector.WriteUpdateArchive(pw, sc))
+		}()
+		src, cal = pr, stream.ScenarioCalendar(sc)
+	case SourceMRT:
+		f, err := collector.OpenUpdateArchive(s.cfg.Path)
+		if err != nil {
+			return err
+		}
+		c, err := stream.ArchiveCalendar(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		f, err = collector.OpenUpdateArchive(s.cfg.Path)
+		if err != nil {
+			return err
+		}
+		src, cal = f, c
+	default:
+		return fmt.Errorf("unknown source %q", s.cfg.Source)
+	}
+	// Closing the source on every exit also unblocks the synth writer
+	// goroutine when a stop aborts the replay mid-pipe.
+	defer src.Close()
+
+	s.totalDays.Store(int64(len(cal.Days)))
+	var interval time.Duration
+	if s.cfg.DaysPerSec > 0 {
+		interval = time.Duration(float64(time.Second) / s.cfg.DaysPerSec)
+	}
+	opts := &stream.ReplayOptions{
+		Stop: s.stop,
+		OnDayClose: func(day int) {
+			s.closedDays.Add(1)
+			if interval > 0 {
+				select {
+				case <-time.After(interval):
+				case <-s.stop:
+					// The gate aborts at the next record boundary.
+				}
+			}
+		},
+	}
+	return s.eng.Replay(src, cal, opts)
+}
+
+// Status is a scenario lifecycle snapshot (the list/detail endpoints'
+// payload, minus the engine stats the detail view adds).
+type Status struct {
+	ID         string
+	Source     string
+	Scale      string
+	Path       string
+	State      State
+	Error      string
+	Shards     int
+	DaysPerSec float64
+	TotalDays  int // 0 until the source is open
+	ClosedDays int
+	Events     HubStats
+}
+
+// Status snapshots the scenario.
+func (s *Scenario) Status() Status {
+	s.mu.Lock()
+	state, err := s.state, s.err
+	s.mu.Unlock()
+	st := Status{
+		ID:         s.cfg.ID,
+		Source:     s.cfg.Source,
+		Scale:      s.cfg.Scale,
+		Path:       s.cfg.Path,
+		State:      state,
+		Shards:     s.cfg.Shards,
+		DaysPerSec: s.cfg.DaysPerSec,
+		TotalDays:  int(s.totalDays.Load()),
+		ClosedDays: int(s.closedDays.Load()),
+		Events:     s.hub.Stats(),
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	return st
+}

@@ -1,0 +1,102 @@
+// Package serve turns the single-replay streaming engine into a
+// multi-scenario server: one process hosts N concurrent stream.Engine
+// replays behind a scenario registry, each with its own lifecycle
+// (create → start → pause/resume → done, deletable at any point), its own
+// isolated conflict state, and its own SSE event hub. Scenarios are
+// sourced either from a synthesized archive (the scenario package builds
+// it and the replay streams it through an io.Pipe, so the full-scale
+// archive never materializes) or from a real MRT BGP4MP file on disk
+// (internal/collector opens it, the calendar is derived from the file's
+// own timestamps). The HTTP router prefixes every engine query path with
+// /scenarios/{id}/ — delegating to internal/stream's handler unchanged —
+// and adds the lifecycle POST endpoints plus the /events SSE stream the
+// hub feeds. cmd/moasd is a thin main around NewRegistry + NewHandler.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the set of scenarios one moasd process hosts.
+type Registry struct {
+	// Logf, when non-nil, receives scenario lifecycle log lines (moasd
+	// wires it to the standard logger; tests leave it nil).
+	Logf func(format string, args ...any)
+
+	mu        sync.RWMutex
+	scenarios map[string]*Scenario
+	autoID    int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scenarios: make(map[string]*Scenario)}
+}
+
+func (r *Registry) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Create validates cfg, fills defaults (including a derived ID when none
+// is given) and registers a new scenario in state created. It does not
+// start the replay; Scenario.Start does.
+func (r *Registry) Create(cfg ScenarioConfig) (*Scenario, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cfg.ID == "" {
+		cfg.ID = cfg.defaultID()
+		for _, taken := r.scenarios[cfg.ID]; taken; _, taken = r.scenarios[cfg.ID] {
+			r.autoID++
+			cfg.ID = fmt.Sprintf("%s-%d", cfg.defaultID(), r.autoID)
+		}
+	}
+	if _, taken := r.scenarios[cfg.ID]; taken {
+		return nil, fmt.Errorf("scenario %q already exists", cfg.ID)
+	}
+	s := newScenario(cfg, r.logf)
+	r.scenarios[cfg.ID] = s
+	r.logf("scenario %s: created (%s)", s.ID(), cfg.describeSource())
+	return s, nil
+}
+
+// Get returns the scenario with the given id, or nil.
+func (r *Registry) Get(id string) *Scenario {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.scenarios[id]
+}
+
+// List returns every scenario, sorted by ID.
+func (r *Registry) List() []*Scenario {
+	r.mu.RLock()
+	out := make([]*Scenario, 0, len(r.scenarios))
+	for _, s := range r.scenarios {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Delete removes the scenario, aborting its replay if one is in flight
+// (a paused replay is woken to abort) and closing its event hub so SSE
+// handlers end. Returns false when no such scenario exists.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	s := r.scenarios[id]
+	delete(r.scenarios, id)
+	r.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.shutdown()
+	r.logf("scenario %s: deleted", id)
+	return true
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"moas/internal/bgp"
 )
 
 // BenchmarkStreamReplay measures full-archive replay throughput at 1, 4
@@ -33,5 +35,34 @@ func BenchmarkStreamReplay(b *testing.B) {
 				b.ReportMetric(float64(msgs)*float64(b.N)/sec, "updates/s")
 			}
 		})
+	}
+}
+
+// BenchmarkShardReassess measures the per-op cost of the reassess hot
+// path in its steady state: an active conflict whose routes churn without
+// flipping the origin set (the overwhelmingly common case on a live
+// feed). The origin-set recompute runs into the shard's reusable scratch,
+// so allocs/op must be 0 — the regression this benchmark guards.
+func BenchmarkShardReassess(b *testing.B) {
+	s := newShard(1, 0, false, nil)
+	p := bgp.MustParsePrefix("10.0.0.0/8")
+	peerA := PeerKey{IP: [16]byte{1}, AS: 701}
+	peerB := PeerKey{IP: [16]byte{2}, AS: 3356}
+	// Establish a two-origin conflict (origins 7 and 9).
+	s.apply([]op{
+		{day: 0, peer: peerA, prefix: p, attrs: &bgp.Attrs{ASPath: bgp.Seq(701, 9)}},
+		{day: 0, peer: peerB, prefix: p, attrs: &bgp.Attrs{ASPath: bgp.Seq(3356, 7)}},
+	})
+	// Steady-state churn: peerB flaps between two transit paths with the
+	// same origin, so every op forces a full reassess that changes neither
+	// the origin set nor the class.
+	ops := []op{
+		{day: 1, peer: peerB, prefix: p, attrs: &bgp.Attrs{ASPath: bgp.Seq(3356, 1239, 7)}},
+		{day: 1, peer: peerB, prefix: p, attrs: &bgp.Attrs{ASPath: bgp.Seq(3356, 2914, 7)}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.apply(ops)
 	}
 }

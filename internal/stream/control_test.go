@@ -1,0 +1,209 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+)
+
+// awaitParked spins until the engine's replay has settled and parked on
+// the pause gate (at which point queries see a stable view).
+func awaitParked(t *testing.T, e *Engine) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !e.parked.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("replay never parked on the pause gate")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestPauseResume pauses a replay from the outside (the serve pause
+// endpoint's path): the gate must settle all shards before parking so the
+// paused view equals the batch scan of the last closed day, and resuming
+// must carry the replay to the exact full-scan registry.
+func TestPauseResume(t *testing.T) {
+	sc, archive, want := fixtures(t)
+	e := New(Config{Shards: 3})
+	pauseDay := sc.ObservedDays[len(sc.ObservedDays)/3]
+	replayDone := make(chan error, 1)
+	go func() {
+		err := e.Replay(bytes.NewReader(archive), ScenarioCalendar(sc), &ReplayOptions{
+			OnDayClose: func(day int) {
+				if day == pauseDay {
+					e.Pause()
+				}
+			},
+		})
+		e.Close()
+		replayDone <- err
+	}()
+
+	awaitParked(t, e)
+	if !e.Paused() {
+		t.Fatal("Paused() false while parked")
+	}
+	if d := int(e.lastClosed.Load()); d != pauseDay {
+		t.Fatalf("paused with last closed day %d, want %d", d, pauseDay)
+	}
+	obs := core.NewDetector().ObserveView(pauseDay, sc.TableViewAt(pauseDay))
+	if got := len(e.ActiveConflicts()); got != obs.Count() {
+		t.Fatalf("paused at day %d with %d active conflicts, batch scan sees %d",
+			pauseDay, got, obs.Count())
+	}
+
+	e.Resume()
+	if err := <-replayDone; err != nil {
+		t.Fatal(err)
+	}
+	diffRegistries(t, want, e.Registry())
+}
+
+// TestReplayStop: closing ReplayOptions.Stop aborts the replay at the next
+// record boundary with ErrReplayStopped, leaving the engine queryable at
+// the day the stop landed on.
+func TestReplayStop(t *testing.T) {
+	sc, archive, _ := fixtures(t)
+	e := New(Config{Shards: 2})
+	stop := make(chan struct{})
+	stopDay := sc.ObservedDays[len(sc.ObservedDays)/2]
+	err := e.Replay(bytes.NewReader(archive), ScenarioCalendar(sc), &ReplayOptions{
+		OnDayClose: func(day int) {
+			if day == stopDay {
+				close(stop)
+			}
+		},
+		Stop: stop,
+	})
+	if err != ErrReplayStopped {
+		t.Fatalf("Replay = %v, want ErrReplayStopped", err)
+	}
+	e.Close()
+	if d := int(e.lastClosed.Load()); d != stopDay {
+		t.Fatalf("stopped with last closed day %d, want %d", d, stopDay)
+	}
+}
+
+// TestStopWakesPausedReplay: a stop must release a parked replay (serve
+// deletes scenarios that may be paused) without dispatching anything.
+func TestStopWakesPausedReplay(t *testing.T) {
+	sc, archive, _ := fixtures(t)
+	e := New(Config{Shards: 1})
+	e.Pause()
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Replay(bytes.NewReader(archive), ScenarioCalendar(sc), &ReplayOptions{Stop: stop})
+	}()
+	awaitParked(t, e)
+	close(stop)
+	if err := <-done; err != ErrReplayStopped {
+		t.Fatalf("Replay = %v, want ErrReplayStopped", err)
+	}
+	if n := e.Stats().Messages; n != 0 {
+		t.Fatalf("paused replay dispatched %d messages before stopping", n)
+	}
+	e.Close()
+}
+
+// TestOnEventHook: the subscription callback must deliver every lifecycle
+// event exactly once, with each prefix's events arriving in seq order —
+// the contract serve's SSE hub builds on.
+func TestOnEventHook(t *testing.T) {
+	sc, archive, _ := fixtures(t)
+	var mu sync.Mutex
+	var got []Event
+	e := New(Config{Shards: 4, OnEvent: func(ev Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	}})
+	if err := e.Replay(bytes.NewReader(archive), ScenarioCalendar(sc), nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	// Per-prefix arrival order must match per-prefix seq order.
+	lastSeq := map[bgp.Prefix]uint64{}
+	for _, ev := range got {
+		if ev.Seq != lastSeq[ev.Prefix]+1 {
+			t.Fatalf("%s: OnEvent delivered seq %d after %d", ev.Prefix, ev.Seq, lastSeq[ev.Prefix])
+		}
+		lastSeq[ev.Prefix] = ev.Seq
+	}
+
+	// As a multiset the callback stream equals the engine's event log.
+	want := e.Events()
+	sort.Slice(got, func(i, j int) bool {
+		a, b := &got[i], &got[j]
+		if a.Day != b.Day {
+			return a.Day < b.Day
+		}
+		if c := a.Prefix.Compare(b.Prefix); c != 0 {
+			return c < 0
+		}
+		return a.Seq < b.Seq
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OnEvent stream diverges from event log: %d vs %d events", len(got), len(want))
+	}
+}
+
+// TestArchiveCalendar: the calendar derived from a BGP4MP file's own
+// timestamps must be exactly the message-carrying subsequence of the
+// scenario's calendar (quiet observed days are invisible in a bare MRT
+// file), shifted so the first observed day is 0, and must replay to the
+// same conflict population.
+func TestArchiveCalendar(t *testing.T) {
+	sc, archive, _ := fixtures(t)
+	want := ScenarioCalendar(sc)
+	got, err := ArchiveCalendar(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Days) == 0 || len(got.Days) > len(want.Days) {
+		t.Fatalf("derived %d observed days, scenario has %d", len(got.Days), len(want.Days))
+	}
+	dayByTime := map[uint32]int{}
+	for i, ts := range want.Times {
+		dayByTime[ts] = want.Days[i]
+	}
+	if got.Times[0] != want.Times[0] {
+		t.Fatalf("first derived day boundary %d, scenario starts at %d (day 0 carries the bootstrap burst)",
+			got.Times[0], want.Times[0])
+	}
+	base := dayByTime[got.Times[0]]
+	for i, ts := range got.Times {
+		scDay, ok := dayByTime[ts]
+		if !ok {
+			t.Fatalf("derived day boundary %d matches no scenario observed day", ts)
+		}
+		if got.Days[i] != scDay-base {
+			t.Fatalf("day %d: derived index %d, want %d", i, got.Days[i], scDay-base)
+		}
+	}
+
+	e := New(Config{Shards: 2})
+	if err := e.Replay(bytes.NewReader(archive), got, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	ref := replayAll(t, Config{Shards: 2})
+	if a, b := e.Stats().TotalConflicts, ref.Stats().TotalConflicts; a != b {
+		t.Fatalf("derived-calendar replay found %d conflicts, scenario-calendar replay %d", a, b)
+	}
+	if a, b := len(e.ActiveConflicts()), len(ref.ActiveConflicts()); a != b {
+		t.Fatalf("derived-calendar replay ends with %d active, scenario-calendar replay %d", a, b)
+	}
+
+	if _, err := ArchiveCalendar(bytes.NewReader(nil)); err == nil {
+		t.Fatal("ArchiveCalendar accepted an empty archive")
+	}
+}

@@ -29,6 +29,16 @@ type Config struct {
 	// live table plus HistoryLimit; duration stats are unaffected (spans
 	// are tracked incrementally, not derived from the log).
 	DisableEventLog bool
+	// OnEvent, when non-nil, receives every lifecycle event as it is
+	// emitted. Calls come from the shard worker goroutines after the shard
+	// lock is released, so a prefix's events arrive in order but events of
+	// different prefixes interleave arbitrarily. The callback must be fast
+	// and must not block (a blocked callback stalls that shard's worker)
+	// and must not call back into the engine's feed methods. serve's SSE
+	// hub is the intended consumer: it fans events out through buffered
+	// per-subscriber channels and drops slow subscribers instead of
+	// blocking here.
+	OnEvent func(Event)
 }
 
 // Engine is the live streaming MOAS detector. Feed it with ApplyUpdate and
@@ -45,6 +55,13 @@ type Engine struct {
 	msgs       atomic.Uint64
 	ops        atomic.Uint64
 	lastClosed atomic.Int64 // last day-close dispatched; -1 before any
+
+	// Pause gate. paused is non-nil while a pause is requested and is
+	// closed (then nilled) by Resume; a replay parks on it between records.
+	// parked flips true once the replay has actually settled and blocked.
+	pauseMu sync.Mutex
+	paused  chan struct{}
+	parked  atomic.Bool
 }
 
 // New starts an engine and its shard workers.
@@ -61,7 +78,7 @@ func New(cfg Config) *Engine {
 	e := &Engine{cfg: cfg, pend: make([][]op, cfg.Shards)}
 	e.lastClosed.Store(-1)
 	for i := 0; i < cfg.Shards; i++ {
-		s := newShard(cfg.QueueDepth, cfg.HistoryLimit, !cfg.DisableEventLog)
+		s := newShard(cfg.QueueDepth, cfg.HistoryLimit, !cfg.DisableEventLog, cfg.OnEvent)
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)
 		go s.run(&e.wg)
@@ -141,6 +158,43 @@ func (e *Engine) Sync() {
 		s.ch <- batch{sync: &wg}
 	}
 	wg.Wait()
+}
+
+// Pause asks the engine's replay to park at its next record boundary.
+// Safe from any goroutine (serve's pause endpoint calls it while a replay
+// is in flight). The replay settles all shards (Sync) before parking, so
+// once it has parked, queries see a stable view; feeding resumes when
+// Resume is called. Pausing an engine with no replay in flight simply
+// primes the gate for the next Replay call.
+func (e *Engine) Pause() {
+	e.pauseMu.Lock()
+	defer e.pauseMu.Unlock()
+	if e.paused == nil {
+		e.paused = make(chan struct{})
+	}
+}
+
+// Resume releases a paused replay. Safe from any goroutine; a no-op when
+// not paused.
+func (e *Engine) Resume() {
+	e.pauseMu.Lock()
+	defer e.pauseMu.Unlock()
+	if e.paused != nil {
+		close(e.paused)
+		e.paused = nil
+	}
+}
+
+// Paused reports whether a pause has been requested. The replay may not
+// have parked yet; a settled view is only guaranteed once it has.
+func (e *Engine) Paused() bool {
+	return e.pauseGate() != nil
+}
+
+func (e *Engine) pauseGate() chan struct{} {
+	e.pauseMu.Lock()
+	defer e.pauseMu.Unlock()
+	return e.paused
 }
 
 // Close flushes remaining work, stops the workers and waits for them to

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"moas/internal/bgp"
 	"moas/internal/mrt"
@@ -35,6 +36,41 @@ type ReplayOptions struct {
 	// moasd uses it to pace replay and report progress; tests use it to
 	// pause mid-replay.
 	OnDayClose func(day int)
+	// Stop, when non-nil, aborts the replay once closed: Replay returns
+	// ErrReplayStopped at the next record boundary (waking a paused replay
+	// if necessary). serve closes it when a scenario is deleted mid-replay.
+	Stop <-chan struct{}
+}
+
+// ErrReplayStopped is returned by Replay when its ReplayOptions.Stop
+// channel closes before the archive is exhausted. The engine is left
+// queryable but mid-stream; the caller decides whether to Close it.
+var ErrReplayStopped = errors.New("stream: replay stopped")
+
+// gate is Replay's per-record check point: it honors a requested pause
+// (settling all shards with Sync before parking, so a paused engine serves
+// a stable view) and a Stop cancellation. Runs on the replay goroutine.
+func (e *Engine) gate(stop <-chan struct{}) error {
+	select {
+	case <-stop:
+		return ErrReplayStopped
+	default:
+	}
+	for {
+		ch := e.pauseGate()
+		if ch == nil {
+			return nil
+		}
+		e.Sync()
+		e.parked.Store(true)
+		select {
+		case <-ch:
+			e.parked.Store(false)
+		case <-stop:
+			e.parked.Store(false)
+			return ErrReplayStopped
+		}
+	}
 }
 
 // Replay feeds a BGP4MP update archive through the engine: BGP4MP_MESSAGE
@@ -58,9 +94,17 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 		idx++
 	}
 
+	var stop <-chan struct{}
+	if opts != nil {
+		stop = opts.Stop
+	}
+
 	mr := mrt.NewReader(r)
 	var msg mrt.BGP4MPMessage
 	for {
+		if err := e.gate(stop); err != nil {
+			return err
+		}
 		rec, err := mr.Next()
 		if err == io.EOF {
 			break
@@ -71,8 +115,19 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 		if rec.Type != mrt.TypeBGP4MP || rec.Subtype != mrt.SubtypeMessage {
 			continue
 		}
+		dayClosed := false
 		for idx+1 < len(cal.Days) && rec.Timestamp >= cal.Times[idx+1] {
 			closeDay()
+			dayClosed = true
+		}
+		// Re-check the gate after a day close: OnDayClose is where
+		// callers pause, and the record in hand belongs to the new day —
+		// parking here keeps a paused view exactly at the just-closed
+		// day instead of one update past it.
+		if dayClosed {
+			if err := e.gate(stop); err != nil {
+				return err
+			}
 		}
 		if err := msg.DecodeBGP4MPMessage(rec.Body); err != nil {
 			return err
@@ -92,4 +147,44 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 		closeDay()
 	}
 	return nil
+}
+
+// ArchiveCalendar derives a replay calendar from a BGP4MP update archive
+// itself — the path for real MRT files on disk, where no scenario object
+// knows the observation days. Each distinct UTC day carrying at least one
+// BGP4MP message becomes an observed day; days are numbered relative to
+// the first (day 0), preserving calendar gaps so duration arithmetic
+// matches the synthesized-archive path. The reader is consumed; callers
+// replaying a file open it once to scan and again to replay.
+func ArchiveCalendar(r io.Reader) (Calendar, error) {
+	const daySecs = 86400
+	seen := make(map[uint32]struct{}) // UTC day number (timestamp / 86400)
+	mr := mrt.NewReader(r)
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Calendar{}, err
+		}
+		if rec.Type != mrt.TypeBGP4MP || rec.Subtype != mrt.SubtypeMessage {
+			continue
+		}
+		seen[rec.Timestamp/daySecs] = struct{}{}
+	}
+	if len(seen) == 0 {
+		return Calendar{}, errors.New("stream: no BGP4MP messages in archive")
+	}
+	days := make([]uint32, 0, len(seen))
+	for d := range seen {
+		days = append(days, d)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+	cal := Calendar{Days: make([]int, len(days)), Times: make([]uint32, len(days))}
+	for i, d := range days {
+		cal.Days[i] = int(d - days[0])
+		cal.Times[i] = d * daySecs
+	}
+	return cal, nil
 }

@@ -61,16 +61,23 @@ type shard struct {
 	keepLog    bool
 	historyCap int
 	scratch    []rib.PeerRoute
-	ch         chan batch
+	// origScratch is the reusable target of the per-change origin-set
+	// recompute; a fresh slice is allocated only when the set actually
+	// changes (the committed copy), so steady-state churn is alloc-free.
+	origScratch []bgp.ASN
+	notify      func(Event) // engine Config.OnEvent; called outside the lock
+	notifyBuf   []Event     // events emitted by the batch being applied
+	ch          chan batch
 }
 
-func newShard(queueDepth, historyCap int, keepLog bool) *shard {
+func newShard(queueDepth, historyCap int, keepLog bool, notify func(Event)) *shard {
 	return &shard{
 		prefixes:   make(map[bgp.Prefix]*prefixState),
 		active:     make(map[bgp.Prefix]struct{}),
 		reg:        core.NewRegistry(),
 		keepLog:    keepLog,
 		historyCap: historyCap,
+		notify:     notify,
 		ch:         make(chan batch, queueDepth),
 	}
 }
@@ -90,13 +97,22 @@ func (s *shard) run(wg *sync.WaitGroup) {
 	}
 }
 
-// apply applies one batch of route ops under a single lock acquisition.
+// apply applies one batch of route ops under a single lock acquisition,
+// then delivers the batch's lifecycle events to the engine's OnEvent
+// subscriber outside the lock (so a subscriber may query the engine
+// without deadlocking, and a slow one delays only this shard's feed, not
+// its readers).
 func (s *shard) apply(ops []op) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i := range ops {
 		s.applyOne(&ops[i])
 	}
+	notes := s.notifyBuf
+	s.mu.Unlock()
+	for i := range notes {
+		s.notify(notes[i])
+	}
+	s.notifyBuf = s.notifyBuf[:0]
 }
 
 func (s *shard) applyOne(o *op) {
@@ -124,6 +140,10 @@ func (s *shard) applyOne(o *op) {
 
 // reassess recomputes the prefix's origin set and classification after a
 // route change and emits the lifecycle event the change implies, if any.
+// The recompute lands in the shard's reusable scratch; a fresh slice is
+// committed to prefixState (and the event) only when the set actually
+// changed, so the common case — an update that does not flip the origin
+// set — performs zero allocations (BenchmarkShardReassess's claim).
 func (s *shard) reassess(p bgp.Prefix, st *prefixState, day int) {
 	s.scratch = s.scratch[:0]
 	for peer, attrs := range st.routes {
@@ -132,16 +152,32 @@ func (s *shard) reassess(p bgp.Prefix, st *prefixState, day int) {
 			Route:  bgp.Route{Prefix: p, Attrs: attrs},
 		})
 	}
-	// OriginsOf and ClassifyRoutes are order-independent, so the map
+	// AppendOrigins and ClassifyRoutes are order-independent, so the map
 	// iteration order above cannot leak into events or the registry.
-	origins, _ := rib.OriginsOf(s.scratch)
+	s.origScratch, _ = rib.AppendOrigins(s.origScratch, s.scratch)
+	origins := s.origScratch
 	var class core.Class
 	if len(origins) >= 2 {
 		class = core.ClassifyRoutes(s.scratch)
 	}
 
-	was, now := len(st.origins) >= 2, len(origins) >= 2
-	ev := Event{Day: day, Prefix: p, Origins: origins, PrevOrigins: st.origins, Class: class, PrevClass: st.class}
+	sameSet := asnsEqual(origins, st.origins)
+	if sameSet && class == st.class {
+		// No origin or class transition; only the route map changed.
+		if len(st.routes) == 0 && st.seq == 0 {
+			delete(s.prefixes, p) // fully withdrawn, no lifecycle worth keeping
+		}
+		return
+	}
+
+	// Commit a copy: st.origins and emitted events must not alias the
+	// scratch, which the next reassess overwrites.
+	var committed []bgp.ASN
+	if len(origins) > 0 {
+		committed = append(make([]bgp.ASN, 0, len(origins)), origins...)
+	}
+	was, now := len(st.origins) >= 2, len(committed) >= 2
+	ev := Event{Day: day, Prefix: p, Origins: committed, PrevOrigins: st.origins, Class: class, PrevClass: st.class}
 	switch {
 	case !was && now:
 		ev.Type = EventConflictStart
@@ -152,12 +188,12 @@ func (s *shard) reassess(p bgp.Prefix, st *prefixState, day int) {
 		ev.Origins = nil
 		delete(s.active, p)
 		s.closedSpans = append(s.closedSpans, analysis.Span{Start: st.since, End: day})
-	case was && now && !asnsEqual(origins, st.origins):
+	case was && now && !sameSet:
 		ev.Type = EventOriginChange
 	case was && now && class != st.class:
 		ev.Type = EventClassChange
 	}
-	st.origins, st.class = origins, class
+	st.origins, st.class = committed, class
 	if len(st.routes) == 0 && st.seq == 0 && ev.Type == 0 {
 		delete(s.prefixes, p) // fully withdrawn, no lifecycle worth keeping
 	}
@@ -178,6 +214,9 @@ func (s *shard) emit(st *prefixState, ev Event) {
 	s.events++
 	if s.keepLog {
 		s.log = append(s.log, ev)
+	}
+	if s.notify != nil {
+		s.notifyBuf = append(s.notifyBuf, ev)
 	}
 }
 
