@@ -1,6 +1,10 @@
 GO ?= go
+# Benchmark repetitions (benchstat wants >= 5 for significance; CI uses 1
+# to keep the trajectory recording cheap).
+BENCH_COUNT ?= 5
+BENCH_TIME ?= 1s
 
-.PHONY: build test race bench vet fmt docscheck ci
+.PHONY: build test race bench benchall vet fmt docscheck ci
 
 build:
 	$(GO) build ./...
@@ -11,7 +15,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench records the streaming perf trajectory: the replay throughput and
+# shard-reassess hot-path benchmarks, in the standard Go benchmark text
+# format benchstat consumes, written to BENCH_stream.json. Compare two
+# recordings with: benchstat old.json BENCH_stream.json
+# (Redirect-then-cat, not tee: a pipe would let a failing benchmark run
+# exit 0 through tee and upload a garbage artifact.)
 bench:
+	$(GO) test -run XXX -bench 'BenchmarkStreamReplay|BenchmarkShardReassess' \
+		-benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) ./internal/stream \
+		> BENCH_stream.json || { cat BENCH_stream.json; exit 1; }
+	@cat BENCH_stream.json
+
+benchall:
 	$(GO) test -bench . -run XXX -benchmem ./...
 
 vet:

@@ -29,17 +29,25 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":8643", "HTTP listen address")
-		scale   = flag.String("scenario", "", `create and start a synthesized scenario at this scale: "small" (two months) or "full" (the paper's 1279 days)`)
-		mrtPath = flag.String("mrt", "", "create and start a scenario replaying this MRT BGP4MP file (plain or gzipped)")
-		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "prefix-space worker shards per scenario")
-		rate    = flag.Float64("days-per-sec", 0, "replay pacing in observed days per second (0 = as fast as possible)")
-		history = flag.Int("history", 256, "lifecycle events retained per prefix (0 or -1 = unlimited)")
+		listen   = flag.String("listen", ":8643", "HTTP listen address")
+		scale    = flag.String("scenario", "", `create and start a synthesized scenario at this scale: "small" (two months) or "full" (the paper's 1279 days)`)
+		mrtPath  = flag.String("mrt", "", "create and start a scenario replaying this MRT BGP4MP file (plain or gzipped)")
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "prefix-space worker shards per scenario")
+		rate     = flag.Float64("days-per-sec", 0, "replay pacing in observed days per second (0 = as fast as possible)")
+		history  = flag.Int("history", 256, "lifecycle events retained per prefix (0 or -1 = unlimited)")
+		maxScen  = flag.Int("max-scenarios", 0, "maximum concurrently hosted scenarios; further creates get 429 (0 = unlimited)")
+		maxSubs  = flag.Int("max-subscribers", 0, "maximum SSE subscribers per scenario; further subscribes get 429 (0 = unlimited)")
+		ringSize = flag.Int("event-ring", serve.DefaultEventRing, "per-scenario resume buffer: events a reconnecting SSE client can catch up on via Last-Event-ID")
 	)
 	flag.Parse()
 
 	reg := serve.NewRegistry()
 	reg.Logf = log.Printf
+	reg.Limits = serve.Limits{
+		MaxScenarios:   *maxScen,
+		MaxSubscribers: *maxSubs,
+		EventRing:      *ringSize,
+	}
 
 	boot := func(cfg serve.ScenarioConfig) {
 		cfg.Shards = *shards

@@ -3,31 +3,17 @@ package analysis
 import (
 	"sort"
 
+	"moas/internal/kernel"
 	"moas/internal/stats"
 )
 
-// Span is one contiguous activation of a conflict, derived from the
-// streaming engine's lifecycle events: Start is the day the origin set
-// first held two or more ASes, End the day an update dissolved it. Open
-// spans have no End yet.
-type Span struct {
-	Start, End int
-	Open       bool
-}
-
-// Len returns the span's length in observation days as of now: ended spans
-// count [Start, End), open spans [Start, now]. A conflict that started and
-// ended within one day counts 1, matching the registry's "lasting less
-// than one day" convention.
-func (s Span) Len(now int) int {
-	if s.Open {
-		return now - s.Start + 1
-	}
-	if s.End <= s.Start {
-		return 1
-	}
-	return s.End - s.Start
-}
+// Span is one contiguous activation of a conflict, produced by the
+// conflict-state kernel's lifecycle transitions: Start is the day the
+// origin set first held two or more ASes, End the day an observation
+// dissolved it. Open spans have no End yet. The type lives in
+// internal/kernel (the spans are kernel output); the alias keeps the
+// duration statistics colocated with the rest of the analysis layer.
+type Span = kernel.Span
 
 // LifecycleStats summarizes event-derived activation durations — the
 // streaming engine's analogue of the registry's Figure 3/4 inputs, computed

@@ -128,6 +128,12 @@ func (r *Registry) Absorb(other *Registry) {
 	}
 }
 
+// Insert adopts a fully-formed conflict record, replacing any existing
+// record for its prefix. It exists for snapshot restore (internal/kernel),
+// where records were accumulated by a previous process; normal accumulation
+// goes through Record.
+func (r *Registry) Insert(c *Conflict) { r.m[c.Prefix] = c }
+
 // Len returns the number of distinct conflicts seen.
 func (r *Registry) Len() int { return len(r.m) }
 

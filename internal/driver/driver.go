@@ -2,14 +2,18 @@
 // collects the per-day statistics the analysis layer turns into the
 // paper's tables and figures.
 //
-// Two drivers are provided. Run is the incremental multi-year driver: it
-// walks the observation calendar with a cursor and summarizes each episode
-// exactly once (an episode's advertisement set — hence its origin set and
-// classification — is constant for its lifetime, and non-conflicted
-// background prefixes cannot enter conflict without an episode). RunFullScan
-// materializes every day's complete multi-peer table and runs the paper's
-// full-table methodology over it; a test proves the two produce identical
-// registries, which is what licenses the fast path.
+// Two drivers are provided, and both are thin adapters over the shared
+// conflict-state kernel (internal/kernel) — the same state machine the
+// streaming engine drives, so episode open/close, durations and classes
+// have exactly one implementation. Run is the incremental multi-year
+// driver: it walks the observation calendar with a cursor and assesses
+// each episode exactly once (an episode's advertisement set — hence its
+// origin set and classification — is constant for its lifetime, and
+// non-conflicted background prefixes cannot enter conflict without an
+// episode). RunFullScan materializes every day's complete multi-peer
+// table and runs the paper's full-table methodology over it; a test
+// proves the two produce identical registries, which is what licenses
+// the fast path.
 package driver
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"moas/internal/bgp"
 	"moas/internal/core"
+	"moas/internal/kernel"
 	"moas/internal/rib"
 	"moas/internal/scenario"
 )
@@ -94,11 +99,15 @@ func Run(cfg Config) (*Result, error) {
 
 // RunScenario executes the incremental driver over a pre-built scenario
 // (callers reuse one scenario across experiments; builds are expensive).
+// It drives the kernel with episode-granular observations: one Apply when
+// a visible episode's prefix enters or changes hands, one empty Apply
+// when it leaves, and a CloseDay per observed day — O(changes + actives)
+// per day instead of O(table).
 func RunScenario(sc *scenario.Scenario, cfg Config) (*Result, error) {
-	detector := core.NewDetector()
+	k := kernel.New(kernel.Options{})
 	res := &Result{
 		Scenario: sc,
-		Registry: detector.Registry(),
+		Registry: k.Registry(),
 		FinalDay: sc.FinalObservedDay(),
 	}
 
@@ -113,6 +122,11 @@ func RunScenario(sc *scenario.Scenario, cfg Config) (*Result, error) {
 	}
 
 	cursor := sc.NewCursor()
+	// live maps each prefix currently tracked by the kernel to the visible
+	// episode that put it there. At most one active episode holds a prefix
+	// at a time (the scenario's prefix pool guarantees it), so the map is
+	// also how episode departures translate to conflict-end observations.
+	live := make(map[bgp.Prefix]int)
 	for i, day := range sc.ObservedDays {
 		active := cursor.Advance(day)
 		ds := DayStats{
@@ -121,12 +135,25 @@ func RunScenario(sc *scenario.Scenario, cfg Config) (*Result, error) {
 			Involvement: make([]int, len(cfg.Watch)),
 			SeqHits:     make([]int, len(cfg.WatchSeqs)),
 		}
+		// Episodes that left the active set dissolve their conflicts first,
+		// so a same-day successor episode on a reused prefix observes a
+		// clean end→start transition.
+		for p, id := range live {
+			if !active[id] {
+				k.Apply(kernel.Obs{Day: day, Prefix: p})
+				delete(live, p)
+			}
+		}
 		for id := range active {
 			s := summarize(id)
 			if !s.visible {
 				continue
 			}
-			detector.Registry().Record(day, sc.Episodes[id].Prefix, s.origins, s.class)
+			p := sc.Episodes[id].Prefix
+			if owner, ok := live[p]; !ok || owner != id {
+				k.Apply(kernel.Obs{Day: day, Prefix: p, Origins: s.origins, Class: s.class})
+				live[p] = id
+			}
 			ds.Total++
 			ds.ByClass[s.class]++
 			ds.ByLen[s.bits]++
@@ -141,6 +168,7 @@ func RunScenario(sc *scenario.Scenario, cfg Config) (*Result, error) {
 				}
 			}
 		}
+		k.CloseDay(day)
 		res.Days = append(res.Days, ds)
 		if cfg.Progress != nil && (i%200 == 0 || i == len(sc.ObservedDays)-1) {
 			cfg.Progress(fmt.Sprintf("day %d/%d (%s): %d conflicts",
@@ -212,42 +240,87 @@ func RunFullScan(cfg Config) (*Result, error) {
 	return RunFullScanScenario(sc, cfg)
 }
 
-// RunFullScanScenario is RunFullScan over a pre-built scenario.
+// RunFullScanScenario is RunFullScan over a pre-built scenario. It is the
+// batch table-scan adapter over the kernel: every day, every prefix in
+// the day's table is assessed (origin set + classification) and driven
+// through Apply; conflicts that vanished from the table dissolve, and
+// CloseDay records the day.
 func RunFullScanScenario(sc *scenario.Scenario, cfg Config) (*Result, error) {
-	detector := core.NewDetector()
+	k := kernel.New(kernel.Options{})
 	res := &Result{
 		Scenario: sc,
-		Registry: detector.Registry(),
+		Registry: k.Registry(),
 		FinalDay: sc.FinalObservedDay(),
 	}
+	type conflictObs struct {
+		prefix  bgp.Prefix
+		origins []bgp.ASN
+		class   core.Class
+	}
+	var conflicts []conflictObs
+	var gone []bgp.Prefix
 	for _, day := range sc.ObservedDays {
 		view := sc.TableViewAt(day)
-		obs := detector.ObserveView(day, view)
+		conflicts = conflicts[:0]
+		view.Walk(func(p bgp.Prefix, routes []rib.PeerRoute) bool {
+			origins, _ := rib.OriginsOf(routes)
+			if len(origins) < 2 {
+				// Not (or no longer) a conflict: don't drive it into the
+				// kernel, or a full-scale scan would accumulate kernel
+				// state for every background prefix ever seen. A conflict
+				// that dropped below two origins is absent from `seen`
+				// and dissolves in the pass below.
+				return true
+			}
+			class := core.ClassifyRoutes(routes)
+			conflicts = append(conflicts, conflictObs{prefix: p, origins: origins, class: class})
+			k.Apply(kernel.Obs{Day: day, Prefix: p, Origins: origins, Class: class})
+			return true
+		})
+		// Conflicts that dissolved or left the table get no Apply from
+		// the walk; they are still active in the kernel and must end.
+		gone = gone[:0]
+		seen := make(map[bgp.Prefix]struct{}, len(conflicts))
+		for _, c := range conflicts {
+			seen[c.prefix] = struct{}{}
+		}
+		k.WalkActive(func(p bgp.Prefix, _ kernel.View) bool {
+			if _, ok := seen[p]; !ok {
+				gone = append(gone, p)
+			}
+			return true
+		})
+		for _, p := range gone {
+			k.Apply(kernel.Obs{Day: day, Prefix: p})
+		}
+		k.CloseDay(day)
+
 		ds := DayStats{
 			Day:         day,
 			Date:        sc.DayDate(day),
-			Total:       obs.Count(),
+			Total:       len(conflicts),
 			Involvement: make([]int, len(cfg.Watch)),
 			SeqHits:     make([]int, len(cfg.WatchSeqs)),
 		}
-		for _, c := range obs.Conflicts {
-			ds.ByClass[c.Class]++
-			ds.ByLen[c.Prefix.Bits()]++
-		}
-		for w, a := range cfg.Watch {
-			ds.Involvement[w] = obs.InvolvementOf(a)
-		}
-		for w, seq := range cfg.WatchSeqs {
-			n := 0
-			for _, c := range obs.Conflicts {
-				for _, pr := range view.Routes(c.Prefix) {
-					if hasSeq(pr.Route.Path(), seq) {
-						n++
+		for _, c := range conflicts {
+			ds.ByClass[c.class]++
+			ds.ByLen[c.prefix.Bits()]++
+			for w, a := range cfg.Watch {
+				for _, o := range c.origins {
+					if o == a {
+						ds.Involvement[w]++
 						break
 					}
 				}
 			}
-			ds.SeqHits[w] = n
+			for w, seq := range cfg.WatchSeqs {
+				for _, pr := range view.Routes(c.prefix) {
+					if hasSeq(pr.Route.Path(), seq) {
+						ds.SeqHits[w]++
+						break
+					}
+				}
+			}
 		}
 		res.Days = append(res.Days, ds)
 	}

@@ -1,0 +1,334 @@
+// Package kernel is the single authoritative implementation of the
+// paper's conflict-episode semantics: a pure, single-threaded state
+// machine that turns a sequence of per-prefix origin-set observations
+// into conflict lifecycle events, open/closed episode records with
+// durations, and the cross-day conflict registry behind Figures 1-6.
+// Both detection paths drive it — the batch driver feeds it per-day
+// table observations, the streaming engine feeds it per-update
+// reassessments — so their equivalence holds at the kernel level
+// instead of being re-derived per path. The kernel also carries a
+// versioned snapshot codec (snapshot.go), which is what makes engine
+// checkpoints and mid-archive resume possible.
+package kernel
+
+import (
+	"sort"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+)
+
+// Span is one contiguous activation of a conflict: Start is the day the
+// origin set first held two or more ASes, End the day an observation
+// dissolved it. Open spans have no End yet. (analysis.Span aliases this
+// type; the duration statistics live there.)
+type Span struct {
+	Start, End int
+	Open       bool
+}
+
+// Len returns the span's length in observation days as of now: ended spans
+// count [Start, End), open spans [Start, now]. A conflict that started and
+// ended within one day counts 1, matching the registry's "lasting less
+// than one day" convention.
+func (s Span) Len(now int) int {
+	if s.Open {
+		return now - s.Start + 1
+	}
+	if s.End <= s.Start {
+		return 1
+	}
+	return s.End - s.Start
+}
+
+// EventType enumerates conflict lifecycle transitions.
+type EventType uint8
+
+const (
+	// EventConflictStart: the prefix's origin set grew to two or more ASes.
+	EventConflictStart EventType = iota + 1
+	// EventOriginChange: an active conflict's origin set changed while
+	// keeping two or more ASes.
+	EventOriginChange
+	// EventClassChange: the origin set is unchanged but the observed paths
+	// changed enough to reclassify the conflict.
+	EventClassChange
+	// EventConflictEnd: the origin set shrank below two ASes.
+	EventConflictEnd
+)
+
+// String names the event type for logs and the JSON API.
+func (t EventType) String() string {
+	switch t {
+	case EventConflictStart:
+		return "conflict-start"
+	case EventOriginChange:
+		return "origin-change"
+	case EventClassChange:
+		return "class-change"
+	case EventConflictEnd:
+		return "conflict-end"
+	}
+	return "none"
+}
+
+// Event is one conflict lifecycle transition. For a given observation
+// sequence the event stream per prefix is deterministic: observations of
+// one prefix are applied in order, wherever they come from.
+type Event struct {
+	Type   EventType
+	Day    int    // observation day of the triggering observation
+	Seq    uint64 // per-prefix ordinal; orders one prefix's lifecycle
+	Prefix bgp.Prefix
+
+	// Origins and Class describe the state after the transition, the Prev
+	// fields the state before it. Origins is empty after EventConflictEnd.
+	Origins     []bgp.ASN
+	PrevOrigins []bgp.ASN
+	Class       core.Class
+	PrevClass   core.Class
+}
+
+// Obs is one observation driven into the kernel: prefix p's assessed
+// origin set and classification as of day Day. Callers assess routes
+// however they store them (per-peer Adj-RIB-In maps in streaming, episode
+// advertisement sets in batch); the kernel owns everything downstream of
+// the assessment. Origins must be ascending and may alias a caller
+// scratch buffer — the kernel copies it only when committing a change.
+// Class is meaningful when len(Origins) >= 2 and ignored otherwise. An
+// empty origin set observes the prefix as absent/withdrawn.
+type Obs struct {
+	Day     int
+	Prefix  bgp.Prefix
+	Origins []bgp.ASN
+	Class   core.Class
+}
+
+// state is one prefix's assessed conflict state.
+type state struct {
+	origins []bgp.ASN // current origin set (ascending); in conflict iff len >= 2
+	class   core.Class
+	seq     uint64 // lifecycle event ordinal for this prefix
+	since   int    // day the current activation started
+	history []Event
+}
+
+// Options parameterizes a kernel.
+type Options struct {
+	// HistoryCap caps lifecycle events retained per prefix (0 = all).
+	HistoryCap int
+	// KeepLog retains the full event record behind Log().
+	KeepLog bool
+}
+
+// Kernel is the conflict-episode state machine. It is deliberately
+// single-threaded: concurrent users (the sharded streaming engine) own
+// one kernel per shard and serialize access through the shard lock.
+type Kernel struct {
+	opts   Options
+	states map[bgp.Prefix]*state
+	active map[bgp.Prefix]struct{}
+	reg    *core.Registry
+	events int     // lifecycle events emitted
+	log    []Event // full event record, kept only when opts.KeepLog
+	// closedSpans accumulates ended activations incrementally so duration
+	// stats never rescan the event log; open spans are derived from the
+	// active set (state.since) on demand.
+	closedSpans []Span
+	evBuf       []Event // Apply's reused return buffer
+}
+
+// New returns an empty kernel.
+func New(opts Options) *Kernel {
+	return &Kernel{
+		opts:   opts,
+		states: make(map[bgp.Prefix]*state),
+		active: make(map[bgp.Prefix]struct{}),
+		reg:    core.NewRegistry(),
+	}
+}
+
+// Apply drives one observation through the state machine and returns the
+// lifecycle events it implies (zero or one; the slice is reused by the
+// next Apply call, so callers retain events by copying them out). An
+// observation that changes neither the origin set nor the class performs
+// no allocation — the streaming hot path's claim (BenchmarkShardReassess).
+func (k *Kernel) Apply(o Obs) []Event {
+	st := k.states[o.Prefix]
+	origins := o.Origins
+	class := o.Class
+	if len(origins) < 2 {
+		class = core.ClassNone
+	}
+	var prevOrigins []bgp.ASN
+	var prevClass core.Class
+	if st != nil {
+		prevOrigins, prevClass = st.origins, st.class
+	}
+	sameSet := asnsEqual(origins, prevOrigins)
+	if sameSet && class == prevClass {
+		return nil
+	}
+	if st == nil {
+		if len(origins) == 0 {
+			return nil // never tracked and observed absent: nothing to do
+		}
+		st = &state{}
+		k.states[o.Prefix] = st
+	}
+
+	// Commit a copy: st.origins and emitted events must not alias the
+	// caller's scratch, which the next assessment overwrites.
+	var committed []bgp.ASN
+	if len(origins) > 0 {
+		committed = append(make([]bgp.ASN, 0, len(origins)), origins...)
+	}
+	was, now := len(prevOrigins) >= 2, len(committed) >= 2
+	ev := Event{Day: o.Day, Prefix: o.Prefix, Origins: committed, PrevOrigins: prevOrigins, Class: class, PrevClass: prevClass}
+	switch {
+	case !was && now:
+		ev.Type = EventConflictStart
+		st.since = o.Day
+		k.active[o.Prefix] = struct{}{}
+	case was && !now:
+		ev.Type = EventConflictEnd
+		ev.Origins = nil
+		delete(k.active, o.Prefix)
+		k.closedSpans = append(k.closedSpans, Span{Start: st.since, End: o.Day})
+	case was && now && !sameSet:
+		ev.Type = EventOriginChange
+	case was && now && class != prevClass:
+		ev.Type = EventClassChange
+	}
+	st.origins, st.class = committed, class
+	if len(st.origins) == 0 && st.seq == 0 {
+		delete(k.states, o.Prefix) // fully withdrawn, no lifecycle worth keeping
+	}
+	if ev.Type == 0 {
+		return nil // sub-conflict origin churn (e.g. one origin to another)
+	}
+	k.emit(st, &ev)
+	k.evBuf = append(k.evBuf[:0], ev)
+	return k.evBuf
+}
+
+func (k *Kernel) emit(st *state, ev *Event) {
+	st.seq++
+	ev.Seq = st.seq
+	if k.opts.HistoryCap > 0 && len(st.history) >= k.opts.HistoryCap {
+		copy(st.history, st.history[1:])
+		st.history[len(st.history)-1] = *ev
+	} else {
+		st.history = append(st.history, *ev)
+	}
+	k.events++
+	if k.opts.KeepLog {
+		k.log = append(k.log, *ev)
+	}
+}
+
+// CloseDay records the day's active conflicts into the registry — the
+// kernel-level form of the paper's daily table scan, costing O(active
+// conflicts) instead of O(table). Both adapters call it once per observed
+// day, which is what makes their registries identical.
+func (k *Kernel) CloseDay(day int) {
+	for p := range k.active {
+		st := k.states[p]
+		k.reg.Record(day, p, st.origins, st.class)
+	}
+}
+
+// Registry exposes the cross-day conflict records (paper durations,
+// classes, origin sets). Callers must not mutate it.
+func (k *Kernel) Registry() *core.Registry { return k.reg }
+
+// ActiveCount returns the number of prefixes currently in conflict.
+func (k *Kernel) ActiveCount() int { return len(k.active) }
+
+// EventCount returns the number of lifecycle events emitted.
+func (k *Kernel) EventCount() int { return k.events }
+
+// Log returns the retained event record (nil unless Options.KeepLog).
+// The slice is the kernel's own; callers must copy before mutating.
+func (k *Kernel) Log() []Event { return k.log }
+
+// View is one prefix's assessed conflict state as exposed to queries.
+// Slices are borrowed from kernel state: copy before the next Apply.
+type View struct {
+	Origins []bgp.ASN
+	Class   core.Class
+	Since   int // day the current activation started (active prefixes)
+	Seq     uint64
+	Active  bool
+	History []Event
+}
+
+// State reports one prefix's current assessed state. ok is false when the
+// kernel holds no state for the prefix (never observed, or withdrawn with
+// no lifecycle).
+func (k *Kernel) State(p bgp.Prefix) (View, bool) {
+	st, ok := k.states[p]
+	if !ok {
+		return View{}, false
+	}
+	_, active := k.active[p]
+	return View{
+		Origins: st.origins,
+		Class:   st.class,
+		Since:   st.since,
+		Seq:     st.seq,
+		Active:  active,
+		History: st.history,
+	}, true
+}
+
+// WalkActive visits every active conflict; iteration order is undefined.
+// The View's slices are borrowed (see State). Return false to stop.
+// The callback must not call back into the kernel's mutating methods.
+func (k *Kernel) WalkActive(fn func(p bgp.Prefix, v View) bool) {
+	for p := range k.active {
+		st := k.states[p]
+		if !fn(p, View{Origins: st.origins, Class: st.class, Since: st.since, Seq: st.seq, Active: true, History: st.history}) {
+			return
+		}
+	}
+}
+
+// AppendSpans appends every activation span — closed ones accumulated at
+// event time, open ones derived from the active set — to dst.
+func (k *Kernel) AppendSpans(dst []Span) []Span {
+	dst = append(dst, k.closedSpans...)
+	for p := range k.active {
+		dst = append(dst, Span{Start: k.states[p].since, Open: true})
+	}
+	return dst
+}
+
+// SortEvents orders events canonically: (day, prefix, per-prefix seq).
+// For a given input stream this order is deterministic regardless of how
+// observations were partitioned across kernels.
+func SortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if a.Day != b.Day {
+			return a.Day < b.Day
+		}
+		if c := a.Prefix.Compare(b.Prefix); c != 0 {
+			return c < 0
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// asnsEqual reports whether two ascending origin sets are identical.
+func asnsEqual(a, b []bgp.ASN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

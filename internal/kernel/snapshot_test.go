@@ -1,0 +1,169 @@
+package kernel_test
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+	"moas/internal/kernel"
+)
+
+// script is a deterministic observation sequence with starts, origin and
+// class churn, ends and a reused prefix, split at a mid-run point so
+// tests can checkpoint between the halves.
+type scriptedObs struct {
+	obs      kernel.Obs
+	closeDay int // when >= 0, close this day instead of applying obs
+}
+
+func script() (all []scriptedObs, splitAt int) {
+	o := func(day int, p bgp.Prefix, origins []bgp.ASN, class core.Class) scriptedObs {
+		return scriptedObs{obs: kernel.Obs{Day: day, Prefix: p, Origins: origins, Class: class}, closeDay: -1}
+	}
+	c := func(day int) scriptedObs { return scriptedObs{closeDay: day} }
+	pa := bgp.MustParsePrefix("10.0.0.0/8")
+	pb := bgp.MustParsePrefix("172.16.0.0/12")
+	pc := bgp.MustParsePrefix("192.168.0.0/16")
+	all = []scriptedObs{
+		o(0, pa, []bgp.ASN{701, 7018}, core.ClassDistinctPaths),
+		o(0, pb, []bgp.ASN{9, 11}, core.ClassSplitView),
+		c(0),
+		o(1, pb, []bgp.ASN{9, 11, 15}, core.ClassSplitView),
+		o(1, pc, []bgp.ASN{42}, 0),
+		c(1),
+		c(2),
+		o(3, pa, nil, 0), // pa dissolves
+		// ---- split point: checkpoint lands here ----
+		o(3, pc, []bgp.ASN{42, 43}, core.ClassOrigTranAS),
+		c(3),
+		o(4, pb, []bgp.ASN{9, 11, 15}, core.ClassRelated),       // class change
+		o(5, pa, []bgp.ASN{701, 4, 8}, core.ClassDistinctPaths), // pa reactivates
+		c(4),
+		c(5),
+	}
+	return all, 8
+}
+
+func drive(k *kernel.Kernel, part []scriptedObs) {
+	for _, s := range part {
+		if s.closeDay >= 0 {
+			k.CloseDay(s.closeDay)
+		} else {
+			k.Apply(s.obs)
+		}
+	}
+}
+
+func sortedSpans(k *kernel.Kernel) []kernel.Span {
+	spans := k.AppendSpans(nil)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].End != spans[j].End {
+			return spans[i].End < spans[j].End
+		}
+		return !spans[i].Open && spans[j].Open
+	})
+	return spans
+}
+
+// TestSnapshotRoundTrip: checkpoint a kernel mid-run, serialize through
+// JSON, restore into a fresh kernel, finish the run on both — every
+// observable (snapshot image, registry, spans, actives, event log) must
+// be identical to the uninterrupted kernel's.
+func TestSnapshotRoundTrip(t *testing.T) {
+	all, splitAt := script()
+	opts := kernel.Options{KeepLog: true, HistoryCap: 8}
+
+	uninterrupted := kernel.New(opts)
+	drive(uninterrupted, all)
+
+	first := kernel.New(opts)
+	drive(first, all[:splitAt])
+	var buf bytes.Buffer
+	if err := kernel.EncodeSnapshot(&buf, first.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := kernel.DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := kernel.New(opts)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	drive(restored, all[splitAt:])
+
+	wantSnap, gotSnap := uninterrupted.Snapshot(), restored.Snapshot()
+	if !reflect.DeepEqual(wantSnap, gotSnap) {
+		t.Fatalf("final snapshots differ:\nwant %+v\n got %+v", wantSnap, gotSnap)
+	}
+	diffRegistries(t, uninterrupted.Registry(), restored.Registry())
+	// Open spans derive from set iteration, so compare as multisets.
+	if w, g := sortedSpans(uninterrupted), sortedSpans(restored); !reflect.DeepEqual(w, g) {
+		t.Fatalf("spans differ: %v vs %v", w, g)
+	}
+	if !reflect.DeepEqual(activeSet(uninterrupted), activeSet(restored)) {
+		t.Fatal("active sets differ after restore")
+	}
+	if !reflect.DeepEqual(uninterrupted.Log(), restored.Log()) {
+		t.Fatal("event logs differ after restore")
+	}
+	if uninterrupted.EventCount() != restored.EventCount() {
+		t.Fatalf("event counts differ: %d vs %d", uninterrupted.EventCount(), restored.EventCount())
+	}
+}
+
+// TestSnapshotVersioning: wrong versions and dirty kernels are rejected.
+func TestSnapshotVersioning(t *testing.T) {
+	k := kernel.New(kernel.Options{})
+	snap := k.Snapshot()
+	snap.Version = 99
+	if err := kernel.New(kernel.Options{}).Restore(snap); err == nil {
+		t.Fatal("restore accepted a version-99 snapshot")
+	}
+	var buf bytes.Buffer
+	if err := kernel.EncodeSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.DecodeSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("decode accepted a version-99 snapshot")
+	}
+
+	all, splitAt := script()
+	dirty := kernel.New(kernel.Options{})
+	drive(dirty, all[:splitAt])
+	if err := dirty.Restore(dirty.Snapshot()); err == nil {
+		t.Fatal("restore into a non-empty kernel accepted")
+	}
+}
+
+// TestRestoreTruncatesHistory: restoring into a kernel with a smaller
+// HistoryCap keeps only each prefix's most recent events.
+func TestRestoreTruncatesHistory(t *testing.T) {
+	all, _ := script()
+	big := kernel.New(kernel.Options{})
+	drive(big, all)
+	pb := bgp.MustParsePrefix("172.16.0.0/12")
+	vb, _ := big.State(pb)
+	if len(vb.History) < 3 {
+		t.Fatalf("script gives pb only %d events; need >= 3", len(vb.History))
+	}
+
+	small := kernel.New(kernel.Options{HistoryCap: 2})
+	if err := small.Restore(big.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	vs, ok := small.State(pb)
+	if !ok || len(vs.History) != 2 {
+		t.Fatalf("restored history length = %d, want 2", len(vs.History))
+	}
+	want := vb.History[len(vb.History)-2:]
+	if !reflect.DeepEqual(vs.History, want) {
+		t.Fatalf("restored history kept %v, want most recent %v", vs.History, want)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 
 	"moas/internal/stream"
@@ -11,15 +12,33 @@ import (
 // the engine's shard worker goroutines and must never block: each
 // subscriber owns a buffered channel, and a subscriber whose buffer is
 // full when an event arrives is dropped — its channel is closed and the
-// drop is counted — rather than back-pressuring detection. A dropped
-// consumer reconnects and resynchronizes through the query API; that is
-// the documented contract of /scenarios/{id}/events.
+// drop is counted — rather than back-pressuring detection.
+//
+// Every published event is stamped with a scenario-wide monotonically
+// increasing ID and retained in a small ring buffer, so a dropped or
+// reconnecting consumer can resume from its SSE Last-Event-ID instead of
+// resynchronizing through the query API — unless it fell further behind
+// than the ring remembers, which Subscribe reports as a gap.
 type Hub struct {
 	mu        sync.Mutex
 	subs      map[*Subscriber]struct{}
 	published uint64 // events fanned out
 	dropped   uint64 // subscribers kicked because their buffer overflowed
 	closed    bool
+
+	maxSubs int // cap on concurrent subscribers; 0 = unlimited
+	lastID  uint64
+	// ring retains the most recent events for Last-Event-ID catch-up. It
+	// grows to ringCap and then recycles; ringPos is the next write slot.
+	ring    []SeqEvent
+	ringCap int
+	ringPos int
+}
+
+// SeqEvent is one published event plus its scenario-wide ID.
+type SeqEvent struct {
+	ID    uint64
+	Event stream.Event
 }
 
 // Subscriber is one event-stream consumer.
@@ -27,28 +46,88 @@ type Subscriber struct {
 	// C delivers events in publish order. The hub closes it when the
 	// subscriber falls behind or the hub shuts down; already-buffered
 	// events remain readable after the close.
-	C chan stream.Event
+	C chan SeqEvent
+	// Missed counts events that were published after the subscriber's
+	// requested resume position but had already left the ring buffer —
+	// the client should resynchronize through the query API when it is
+	// non-zero.
+	Missed uint64
 }
 
-// NewHub returns an empty hub.
-func NewHub() *Hub { return &Hub{subs: make(map[*Subscriber]struct{})} }
+// ErrHubFull is returned by Subscribe when the hub's subscriber cap is
+// reached; the HTTP layer maps it to 429.
+var ErrHubFull = errors.New("serve: subscriber limit reached")
+
+// NewHub returns an empty hub retaining up to ringCap events for resume
+// (0 disables the ring) and admitting up to maxSubs concurrent
+// subscribers (0 = unlimited).
+func NewHub(ringCap, maxSubs int) *Hub {
+	return &Hub{subs: make(map[*Subscriber]struct{}), ringCap: ringCap, maxSubs: maxSubs}
+}
+
+// startFrom primes the id cursor of a fresh hub (checkpoint restore):
+// publishing continues at lastID+1, and a reconnecting client's stale
+// Last-Event-ID resolves to a gap report instead of a restarted
+// id-space. Call before any Publish.
+func (h *Hub) startFrom(lastID uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lastID == 0 {
+		h.lastID = lastID
+	}
+}
 
 // Subscribe registers a consumer whose channel buffers up to buffer
-// events (minimum 1). Subscribing to a closed hub returns a subscriber
-// whose channel is already closed.
-func (h *Hub) Subscribe(buffer int) *Subscriber {
+// events (minimum 1). When resume is true, events still in the ring with
+// ID > afterID are delivered first (pre-buffered, so the channel is sized
+// to hold them), and Missed reports how many the ring no longer had.
+// Subscribing to a closed hub returns a subscriber whose channel is
+// already closed.
+func (h *Hub) Subscribe(buffer int, afterID uint64, resume bool) (*Subscriber, error) {
 	if buffer < 1 {
 		buffer = 1
 	}
-	s := &Subscriber{C: make(chan stream.Event, buffer)}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
+		s := &Subscriber{C: make(chan SeqEvent, buffer)}
 		close(s.C)
-		return s
+		return s, nil
+	}
+	if h.maxSubs > 0 && len(h.subs) >= h.maxSubs {
+		return nil, ErrHubFull
+	}
+	var pending []SeqEvent
+	var missed uint64
+	if resume && afterID < h.lastID {
+		pending, missed = h.ringSince(afterID)
+	}
+	// The catch-up pre-fills the channel, so size it with the requested
+	// buffer ON TOP of the backlog — otherwise a resumed subscriber
+	// starts at exact capacity and the first live Publish drops it.
+	s := &Subscriber{C: make(chan SeqEvent, buffer+len(pending)), Missed: missed}
+	for _, ev := range pending {
+		s.C <- ev
 	}
 	h.subs[s] = struct{}{}
-	return s
+	return s, nil
+}
+
+// ringSince returns the retained events with ID > afterID (oldest first)
+// and how many such events the ring has already recycled.
+func (h *Hub) ringSince(afterID uint64) ([]SeqEvent, uint64) {
+	var out []SeqEvent
+	n := len(h.ring)
+	for i := 0; i < n; i++ {
+		// Oldest first: the slot after ringPos once the ring recycled,
+		// index 0 while it is still growing.
+		ev := h.ring[(h.ringPos+i)%n]
+		if ev.ID > afterID {
+			out = append(out, ev)
+		}
+	}
+	missed := h.lastID - afterID - uint64(len(out))
+	return out, missed
 }
 
 // Unsubscribe removes s and closes its channel. Idempotent, and safe to
@@ -62,15 +141,30 @@ func (h *Hub) Unsubscribe(s *Subscriber) {
 	}
 }
 
-// Publish delivers ev to every subscriber without blocking. A subscriber
-// with no buffer space left is dropped on the spot.
+// Publish stamps ev with the next ID, retains it in the ring, and
+// delivers it to every subscriber without blocking. A subscriber with no
+// buffer space left is dropped on the spot.
 func (h *Hub) Publish(ev stream.Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.lastID++
 	h.published++
+	sev := SeqEvent{ID: h.lastID, Event: ev}
+	if h.ringCap > 0 {
+		if len(h.ring) < h.ringCap {
+			h.ring = append(h.ring, sev)
+			h.ringPos = (h.ringPos + 1) % h.ringCap
+		} else {
+			h.ring[h.ringPos] = sev
+			h.ringPos = (h.ringPos + 1) % h.ringCap
+		}
+	}
 	for s := range h.subs {
 		select {
-		case s.C <- ev:
+		case s.C <- sev:
 		default:
 			delete(h.subs, s)
 			close(s.C)
@@ -99,11 +193,19 @@ type HubStats struct {
 	Subscribers int    // currently connected
 	Published   uint64 // events fanned out since creation
 	Dropped     uint64 // subscribers dropped for falling behind
+	LastID      uint64 // most recent event ID (0 before any)
+	Buffered    int    // events currently resumable from the ring
 }
 
 // Stats snapshots the hub.
 func (h *Hub) Stats() HubStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HubStats{Subscribers: len(h.subs), Published: h.published, Dropped: h.dropped}
+	return HubStats{
+		Subscribers: len(h.subs),
+		Published:   h.published,
+		Dropped:     h.dropped,
+		LastID:      h.lastID,
+		Buffered:    len(h.ring),
+	}
 }

@@ -15,18 +15,30 @@ func evt(seq uint64) stream.Event {
 	}
 }
 
+func mustSubscribe(t *testing.T, h *Hub, buffer int) *Subscriber {
+	t.Helper()
+	sub, err := h.Subscribe(buffer, 0, false)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	return sub
+}
+
 // TestHubDeliveryOrder: a subscriber with buffer headroom receives every
-// published event, in publish order.
+// published event, in publish order, with monotonically increasing IDs.
 func TestHubDeliveryOrder(t *testing.T) {
-	h := NewHub()
-	sub := h.Subscribe(16)
+	h := NewHub(64, 0)
+	sub := mustSubscribe(t, h, 16)
 	for i := uint64(1); i <= 10; i++ {
 		h.Publish(evt(i))
 	}
 	for i := uint64(1); i <= 10; i++ {
 		ev := <-sub.C
-		if ev.Seq != i {
-			t.Fatalf("event %d arrived with seq %d", i, ev.Seq)
+		if ev.Event.Seq != i {
+			t.Fatalf("event %d arrived with seq %d", i, ev.Event.Seq)
+		}
+		if ev.ID != i {
+			t.Fatalf("event %d arrived with id %d", i, ev.ID)
 		}
 	}
 	h.Unsubscribe(sub)
@@ -35,7 +47,7 @@ func TestHubDeliveryOrder(t *testing.T) {
 	}
 	h.Unsubscribe(sub) // idempotent, including for already-removed subscribers
 	st := h.Stats()
-	if st.Subscribers != 0 || st.Published != 10 || st.Dropped != 0 {
+	if st.Subscribers != 0 || st.Published != 10 || st.Dropped != 0 || st.LastID != 10 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
@@ -43,9 +55,9 @@ func TestHubDeliveryOrder(t *testing.T) {
 // TestHubSlowSubscriberDropped: a full subscriber is dropped on the spot
 // — Publish never blocks — while faster subscribers keep receiving.
 func TestHubSlowSubscriberDropped(t *testing.T) {
-	h := NewHub()
-	fast := h.Subscribe(16)
-	slow := h.Subscribe(1)
+	h := NewHub(64, 0)
+	fast := mustSubscribe(t, h, 16)
+	slow := mustSubscribe(t, h, 1)
 	for i := uint64(1); i <= 3; i++ {
 		h.Publish(evt(i)) // the second publish finds slow's buffer full
 	}
@@ -54,15 +66,15 @@ func TestHubSlowSubscriberDropped(t *testing.T) {
 		t.Fatalf("stats after overflow = %+v, want 1 dropped, 1 remaining", st)
 	}
 	// The slow subscriber still drains what it buffered before the close.
-	if ev := <-slow.C; ev.Seq != 1 {
-		t.Fatalf("slow subscriber's buffered event has seq %d, want 1", ev.Seq)
+	if ev := <-slow.C; ev.Event.Seq != 1 {
+		t.Fatalf("slow subscriber's buffered event has seq %d, want 1", ev.Event.Seq)
 	}
 	if _, open := <-slow.C; open {
 		t.Fatal("slow subscriber's channel not closed after drop")
 	}
 	for i := uint64(1); i <= 3; i++ {
-		if ev := <-fast.C; ev.Seq != i {
-			t.Fatalf("fast subscriber: event %d has seq %d", i, ev.Seq)
+		if ev := <-fast.C; ev.Event.Seq != i {
+			t.Fatalf("fast subscriber: event %d has seq %d", i, ev.Event.Seq)
 		}
 	}
 	h.Unsubscribe(slow) // idempotent for dropped subscribers
@@ -72,19 +84,89 @@ func TestHubSlowSubscriberDropped(t *testing.T) {
 // TestHubClose: closing drops everyone, later subscribes come back
 // pre-closed, and publishing into a closed hub is a no-op.
 func TestHubClose(t *testing.T) {
-	h := NewHub()
-	sub := h.Subscribe(4)
+	h := NewHub(64, 0)
+	sub := mustSubscribe(t, h, 4)
 	h.Publish(evt(1))
 	h.Close()
-	if ev := <-sub.C; ev.Seq != 1 {
-		t.Fatalf("buffered event lost on close: seq %d", ev.Seq)
+	if ev := <-sub.C; ev.Event.Seq != 1 {
+		t.Fatalf("buffered event lost on close: seq %d", ev.Event.Seq)
 	}
 	if _, open := <-sub.C; open {
 		t.Fatal("channel open after hub close")
 	}
-	if _, open := <-h.Subscribe(4).C; open {
+	if closed, _ := h.Subscribe(4, 0, false); closed == nil {
+		t.Fatal("subscribe after close returned nil")
+	} else if _, open := <-closed.C; open {
 		t.Fatal("subscribe after close returned an open channel")
 	}
 	h.Publish(evt(2)) // must not panic
 	h.Close()         // idempotent
+}
+
+// TestHubResume: a subscriber that reconnects with the last ID it saw
+// receives exactly the events it missed, in order, from the ring buffer.
+func TestHubResume(t *testing.T) {
+	h := NewHub(64, 0)
+	for i := uint64(1); i <= 10; i++ {
+		h.Publish(evt(i))
+	}
+	// A client that saw event 4 resumes and catches up on 5..10.
+	sub, err := h.Subscribe(4, 4, true)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if sub.Missed != 0 {
+		t.Fatalf("Missed = %d, want 0 (ring holds everything)", sub.Missed)
+	}
+	for want := uint64(5); want <= 10; want++ {
+		ev := <-sub.C
+		if ev.ID != want {
+			t.Fatalf("resumed event id %d, want %d", ev.ID, want)
+		}
+	}
+	// Live events keep flowing after the catch-up.
+	h.Publish(evt(11))
+	if ev := <-sub.C; ev.ID != 11 {
+		t.Fatalf("live event after resume has id %d, want 11", ev.ID)
+	}
+	h.Unsubscribe(sub)
+}
+
+// TestHubResumeGap: when the ring has recycled past the client's
+// position, the ring's remainder is still delivered and the lost count
+// is reported.
+func TestHubResumeGap(t *testing.T) {
+	h := NewHub(4, 0) // ring remembers only the last 4 events
+	for i := uint64(1); i <= 10; i++ {
+		h.Publish(evt(i))
+	}
+	sub, err := h.Subscribe(4, 2, true) // saw event 2; 3..6 are gone
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if sub.Missed != 4 {
+		t.Fatalf("Missed = %d, want 4 (events 3..6 recycled)", sub.Missed)
+	}
+	for want := uint64(7); want <= 10; want++ {
+		ev := <-sub.C
+		if ev.ID != want {
+			t.Fatalf("resumed event id %d, want %d", ev.ID, want)
+		}
+	}
+	h.Unsubscribe(sub)
+}
+
+// TestHubSubscriberLimit: the per-scenario cap turns further subscribes
+// into ErrHubFull until someone disconnects.
+func TestHubSubscriberLimit(t *testing.T) {
+	h := NewHub(16, 2)
+	a := mustSubscribe(t, h, 1)
+	_ = mustSubscribe(t, h, 1)
+	if _, err := h.Subscribe(1, 0, false); err != ErrHubFull {
+		t.Fatalf("third subscribe error = %v, want ErrHubFull", err)
+	}
+	h.Unsubscribe(a)
+	if _, err := h.Subscribe(1, 0, false); err != nil {
+		t.Fatalf("subscribe after unsubscribe: %v", err)
+	}
 }

@@ -2,12 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"moas/internal/bgp"
-	"moas/internal/stream"
 )
 
 // Wire types. Scenario states render by name and events carry their
@@ -28,10 +29,13 @@ type scenarioJSON struct {
 	Subscribers     int    `json:"subscribers"`
 	EventsPublished uint64 `json:"events_published"`
 	SlowDrops       uint64 `json:"slow_drops"`
+	LastEventID     uint64 `json:"last_event_id"`
+	ResumeBuffered  int    `json:"resume_buffered"`
 }
 
 type sseEventJSON struct {
 	Scenario    string    `json:"scenario"`
+	ID          uint64    `json:"id"`
 	Type        string    `json:"type"`
 	Day         int       `json:"day"`
 	Seq         uint64    `json:"seq"`
@@ -56,6 +60,8 @@ func statusToJSON(st Status) scenarioJSON {
 		Subscribers:     st.Events.Subscribers,
 		EventsPublished: st.Events.Published,
 		SlowDrops:       st.Events.Dropped,
+		LastEventID:     st.Events.LastID,
+		ResumeBuffered:  st.Events.Buffered,
 	}
 }
 
@@ -68,8 +74,10 @@ func statusToJSON(st Status) scenarioJSON {
 //	POST   /scenarios/{id}/start         begin the replay
 //	POST   /scenarios/{id}/pause         park the replay (settled view)
 //	POST   /scenarios/{id}/resume        release a paused replay
+//	POST   /scenarios/{id}/checkpoint    serialize a paused/done scenario
 //	DELETE /scenarios/{id}               abort and remove
 //	GET    /scenarios/{id}/events        SSE conflict lifecycle stream
+//	                                     (Last-Event-ID resume)
 //	GET    /scenarios/{id}/conflicts     ┐
 //	GET    /scenarios/{id}/prefix/{cidr} │ internal/stream's query API,
 //	GET    /scenarios/{id}/as/{asn}      │ one isolated engine per id
@@ -96,17 +104,30 @@ func NewHandler(reg *Registry) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
+	maxBody := reg.Limits.MaxCreateBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxCreateBytes
+	}
 	mux.HandleFunc("POST /scenarios", func(w http.ResponseWriter, r *http.Request) {
 		var cfg ScenarioConfig
-		dec := json.NewDecoder(r.Body)
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&cfg); err != nil {
-			httpError(w, http.StatusBadRequest, "bad scenario config: "+err.Error())
+			code := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, code, "bad scenario config: "+err.Error())
 			return
 		}
 		s, err := reg.Create(cfg)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrTooManyScenarios) {
+				code = http.StatusTooManyRequests
+			}
+			httpError(w, code, err.Error())
 			return
 		}
 		if cfg.Start {
@@ -149,6 +170,25 @@ func NewHandler(reg *Registry) http.Handler {
 	mux.HandleFunc("POST /scenarios/{id}/pause", transition((*Scenario).Pause))
 	mux.HandleFunc("POST /scenarios/{id}/resume", transition((*Scenario).Resume))
 
+	mux.HandleFunc("POST /scenarios/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		s := lookup(w, r)
+		if s == nil {
+			return
+		}
+		ck, err := s.Checkpoint()
+		if err != nil {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		// Compact, not pretty-printed: the payload carries whole engine
+		// state, and indentation would roughly double the transfer (and
+		// could push a round-trippable checkpoint past the create-body
+		// cap).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(ck)
+	})
+
 	mux.HandleFunc("DELETE /scenarios/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if !reg.Delete(r.PathValue("id")) {
 			httpError(w, http.StatusNotFound, "no such scenario")
@@ -179,13 +219,21 @@ func NewHandler(reg *Registry) http.Handler {
 }
 
 // serveEvents streams conflict lifecycle events as Server-Sent Events:
-// one "event: <type>" block per lifecycle transition, with a JSON body.
+// one "event: <type>" block per lifecycle transition, with a JSON body
+// and the scenario-wide monotonic event ID on the "id:" line. A
+// reconnecting client sends that ID back as Last-Event-ID (the standard
+// EventSource behavior) and the stream resumes from the scenario's ring
+// buffer; if the client fell further behind than the ring remembers, an
+// "event: gap" block reports how many events were lost so it can
+// resynchronize through the query API.
+//
 // The subscription is buffered (ScenarioConfig.EventBuffer); if the
 // client falls that far behind the publisher, the hub drops it and the
-// stream ends with "event: dropped" — reconnect and resynchronize via the
-// query API. An optional ?types=conflict-start,conflict-end filters by
+// stream ends with "event: dropped" — reconnect with Last-Event-ID to
+// catch up. An optional ?types=conflict-start,conflict-end filters by
 // event type (filtering happens after buffering: a filtered subscriber
-// still has to keep up with the full event rate).
+// still has to keep up with the full event rate). When the scenario's
+// subscriber limit is reached the request fails with 429.
 func serveEvents(w http.ResponseWriter, r *http.Request, s *Scenario) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -199,8 +247,22 @@ func serveEvents(w http.ResponseWriter, r *http.Request, s *Scenario) {
 			want[strings.TrimSpace(t)] = true
 		}
 	}
+	var afterID uint64
+	var resume bool
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		v, err := strconv.ParseUint(lei, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad Last-Event-ID")
+			return
+		}
+		afterID, resume = v, true
+	}
 
-	sub := s.Hub().Subscribe(s.cfg.EventBuffer)
+	sub, err := s.Hub().Subscribe(s.cfg.EventBuffer, afterID, resume)
+	if err != nil {
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
 	defer s.Hub().Unsubscribe(sub)
 
 	h := w.Header()
@@ -212,6 +274,9 @@ func serveEvents(w http.ResponseWriter, r *http.Request, s *Scenario) {
 	// any event fires (the integration test orders start-after-subscribe
 	// on it).
 	fmt.Fprintf(w, ": subscribed scenario=%s\n\n", s.ID())
+	if sub.Missed > 0 {
+		fmt.Fprintf(w, "event: gap\ndata: {\"missed\":%d}\n\n", sub.Missed)
+	}
 	fl.Flush()
 
 	for {
@@ -225,22 +290,24 @@ func serveEvents(w http.ResponseWriter, r *http.Request, s *Scenario) {
 				fl.Flush()
 				return
 			}
-			if want != nil && !want[ev.Type.String()] {
+			if want != nil && !want[ev.Event.Type.String()] {
 				continue
 			}
 			data, err := json.Marshal(eventToJSON(s.ID(), ev))
 			if err != nil {
 				continue
 			}
-			fmt.Fprintf(w, "id: %s/%d\nevent: %s\ndata: %s\n\n", ev.Prefix, ev.Seq, ev.Type, data)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Event.Type, data)
 			fl.Flush()
 		}
 	}
 }
 
-func eventToJSON(scenarioID string, ev stream.Event) sseEventJSON {
+func eventToJSON(scenarioID string, sev SeqEvent) sseEventJSON {
+	ev := sev.Event
 	return sseEventJSON{
 		Scenario:    scenarioID,
+		ID:          sev.ID,
 		Type:        ev.Type.String(),
 		Day:         ev.Day,
 		Seq:         ev.Seq,

@@ -25,6 +25,11 @@ const (
 	// SourceMRT replays an MRT BGP4MP file from disk; the calendar is
 	// derived from the file's own record timestamps.
 	SourceMRT = "mrt"
+	// SourceCheckpoint restores a scenario from a ScenarioCheckpoint
+	// (POST /scenarios/{id}/checkpoint's payload): the engine resumes
+	// from the serialized kernel state and the replay picks the original
+	// source back up mid-archive.
+	SourceCheckpoint = "checkpoint"
 )
 
 // ScenarioConfig is the POST /scenarios request body: what to replay and
@@ -55,6 +60,41 @@ type ScenarioConfig struct {
 	// Start, when true, starts the replay immediately after creation —
 	// the create-and-start convenience moasd's boot flags use.
 	Start bool `json:"start,omitempty"`
+	// Checkpoint is the state to restore. Source "checkpoint" only;
+	// unset replay knobs (shards, pacing, history, event buffer) inherit
+	// the checkpointed scenario's values.
+	Checkpoint *ScenarioCheckpoint `json:"checkpoint,omitempty"`
+}
+
+// ScenarioCheckpointVersion is the scenario checkpoint envelope version
+// (the engine payload carries stream.CheckpointVersion separately).
+const ScenarioCheckpointVersion = 1
+
+// ScenarioCheckpoint is a paused (or finished) scenario's portable image:
+// the original source configuration, the replay's calendar position, and
+// the engine checkpoint (kernel snapshot + route tables + record cursor).
+// It round-trips through JSON; POST /scenarios with source "checkpoint"
+// resumes it, in the same process or another one with access to the same
+// source.
+type ScenarioCheckpoint struct {
+	Version int `json:"version"`
+	// Config is the checkpointed scenario's effective source config
+	// (always synth or mrt — restoring a restored scenario re-checkpoints
+	// against the original source).
+	Config ScenarioConfig `json:"config"`
+	// TotalDays is the source calendar's length (0 if the source was
+	// never opened).
+	TotalDays int `json:"total_days"`
+	// DaysClosed is how many observation days the replay had closed.
+	DaysClosed int `json:"days_closed"`
+	// LastEventID is the hub's SSE id cursor. The restored scenario's hub
+	// continues the id-space from here, so a client reconnecting with
+	// Last-Event-ID after a restore keeps a monotonic cursor: events that
+	// fell outside the (unserialized) ring are reported as a gap instead
+	// of silently skipped against a restarted id-space.
+	LastEventID uint64 `json:"last_event_id"`
+	// Engine is the serialized engine state.
+	Engine *stream.Checkpoint `json:"engine"`
 }
 
 // isIDRune bounds the scenario-ID alphabet (IDs appear raw in URL paths).
@@ -96,11 +136,32 @@ func (c *ScenarioConfig) normalize() error {
 		if c.Scale != "" {
 			return errors.New(`"scale" is only valid with source "synth"`)
 		}
+	case SourceCheckpoint:
+		if err := c.normalizeCheckpoint(); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown source %q (want %q or %q)", c.Source, SourceSynth, SourceMRT)
+		return fmt.Errorf("unknown source %q (want %q, %q or %q)",
+			c.Source, SourceSynth, SourceMRT, SourceCheckpoint)
+	}
+	if c.Source != SourceCheckpoint && c.Checkpoint != nil {
+		return errors.New(`"checkpoint" is only valid with source "checkpoint"`)
 	}
 	if c.DaysPerSec < 0 {
 		return errors.New("days_per_sec must be >= 0")
+	}
+	// Bound the allocation-driving knobs: these come from untrusted
+	// request bodies, and a single huge value would defeat the
+	// deployment limits (shards allocates goroutines+channels,
+	// event_buffer and history allocate per subscriber / per prefix).
+	if c.Shards > MaxShards {
+		return fmt.Errorf("shards must be <= %d", MaxShards)
+	}
+	if c.History > MaxHistory {
+		return fmt.Errorf("history must be <= %d", MaxHistory)
+	}
+	if c.EventBuffer > MaxEventBuffer {
+		return fmt.Errorf("event_buffer must be <= %d", MaxEventBuffer)
 	}
 	if c.History == 0 {
 		c.History = 256
@@ -113,8 +174,87 @@ func (c *ScenarioConfig) normalize() error {
 	return nil
 }
 
+// Per-scenario knob ceilings (request bodies are untrusted input; these
+// are far above any sensible setting, small enough that one create
+// cannot exhaust the process).
+const (
+	MaxShards      = 1024
+	MaxHistory     = 1 << 20
+	MaxEventBuffer = 1 << 20
+)
+
+// normalizeCheckpoint validates a source-"checkpoint" config and inherits
+// unset replay knobs from the checkpointed scenario's (already
+// normalized) config.
+func (c *ScenarioConfig) normalizeCheckpoint() error {
+	if c.Checkpoint == nil {
+		return errors.New(`source "checkpoint" requires "checkpoint"`)
+	}
+	ck := c.Checkpoint
+	if ck.Version != ScenarioCheckpointVersion {
+		return fmt.Errorf("checkpoint version %d, want %d", ck.Version, ScenarioCheckpointVersion)
+	}
+	if ck.Engine == nil {
+		return errors.New("checkpoint has no engine state")
+	}
+	inner := &ck.Config
+	switch inner.Source {
+	case SourceSynth:
+		if _, err := specFor(inner.Scale); err != nil {
+			return fmt.Errorf("checkpoint config: %w", err)
+		}
+	case SourceMRT:
+		// The file must still be reachable to resume mid-archive.
+		if fi, err := os.Stat(inner.Path); err != nil {
+			return fmt.Errorf("checkpoint mrt path: %w", err)
+		} else if fi.IsDir() {
+			return fmt.Errorf("checkpoint mrt path %s is a directory", inner.Path)
+		}
+	default:
+		return fmt.Errorf("checkpoint config has source %q; want %q or %q", inner.Source, SourceSynth, SourceMRT)
+	}
+	if c.Scale != "" || c.Path != "" {
+		return errors.New(`"scale" and "path" come from the checkpoint with source "checkpoint"`)
+	}
+	if c.Shards == 0 {
+		c.Shards = inner.Shards
+	}
+	if c.DaysPerSec == 0 {
+		c.DaysPerSec = inner.DaysPerSec
+	}
+	if c.History == 0 {
+		if inner.History == 0 {
+			c.History = -1 // inner ran unlimited; keep it that way
+		} else {
+			c.History = inner.History
+		}
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = inner.EventBuffer
+	}
+	return nil
+}
+
 // defaultID derives an ID when the request gave none.
 func (c *ScenarioConfig) defaultID() string {
+	if c.Source == SourceCheckpoint {
+		base := c.Checkpoint.Config.ID
+		if base == "" {
+			base = c.Checkpoint.Config.defaultID()
+		}
+		// The embedded config is untrusted input; keep only the runes
+		// every other ID path allows (IDs appear raw in URL paths).
+		var clean []rune
+		for _, r := range base {
+			if isIDRune(r) {
+				clean = append(clean, r)
+			}
+		}
+		if len(clean) == 0 {
+			return "restored"
+		}
+		return string(clean) + "-restored"
+	}
 	if c.Source == SourceMRT {
 		base := filepath.Base(c.Path)
 		base = strings.TrimSuffix(base, ".gz")
@@ -134,8 +274,12 @@ func (c *ScenarioConfig) defaultID() string {
 }
 
 func (c *ScenarioConfig) describeSource() string {
-	if c.Source == SourceMRT {
+	switch c.Source {
+	case SourceMRT:
 		return "mrt file " + c.Path
+	case SourceCheckpoint:
+		return fmt.Sprintf("checkpoint of %s at %d/%d days",
+			c.Checkpoint.Config.describeSource(), c.Checkpoint.DaysClosed, c.Checkpoint.TotalDays)
 	}
 	return "synth scale " + c.Scale
 }
@@ -190,46 +334,92 @@ func (s State) String() string {
 // Scenario is one hosted replay: an engine, its event hub, and the replay
 // goroutine's controls. All methods are safe for concurrent use.
 type Scenario struct {
-	cfg  ScenarioConfig
-	eng  *stream.Engine
-	hub  *Hub
-	api  http.Handler // stream.NewAPI(eng), mounted under /scenarios/{id}/
-	logf func(format string, args ...any)
+	cfg ScenarioConfig
+	// srcCfg is the effective replay source (always synth or mrt): cfg
+	// itself unless this scenario was restored from a checkpoint.
+	srcCfg ScenarioConfig
+	// resume positions the replay mid-archive for restored scenarios.
+	resume *stream.ReplayPosition
+	eng    *stream.Engine
+	hub    *Hub
+	api    http.Handler // stream.NewAPI(eng), mounted under /scenarios/{id}/
+	logf   func(format string, args ...any)
 
 	totalDays  atomic.Int64 // 0 until the source is open and counted
 	closedDays atomic.Int64
 
-	mu      sync.Mutex
-	state   State
-	err     error
-	stop    chan struct{}
-	stopped bool
-	done    chan struct{} // closed when the replay goroutine exits
+	mu    sync.Mutex
+	state State
+	err   error
+	// checkpointing counts in-flight checkpoints; while non-zero, state
+	// transitions (Start/Resume/shutdown) are excluded so the engine
+	// stays settled, yet Status and List remain responsive because the
+	// serialization itself runs outside s.mu. A counter, not a bool:
+	// concurrent checkpoints must each hold the exclusion to the end.
+	checkpointing int
+	stop          chan struct{}
+	stopped       bool
+	done          chan struct{} // closed when the replay goroutine exits
 }
 
-func newScenario(cfg ScenarioConfig, logf func(string, ...any)) *Scenario {
-	hub := NewHub()
-	eng := stream.New(stream.Config{
+func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any)) (*Scenario, error) {
+	ring := lim.EventRing
+	if ring <= 0 {
+		ring = DefaultEventRing
+	}
+	hub := NewHub(ring, lim.MaxSubscribers)
+	engCfg := stream.Config{
 		Shards:       cfg.Shards,
 		HistoryLimit: cfg.History,
 		// The daemon bounds memory: the global event log is off; event
 		// consumers subscribe through the hub instead.
 		DisableEventLog: true,
 		OnEvent:         hub.Publish,
-	})
-	return &Scenario{
-		cfg:  cfg,
-		eng:  eng,
-		hub:  hub,
-		api:  stream.NewAPI(eng),
-		logf: logf,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
 	}
+	s := &Scenario{
+		cfg:    cfg,
+		srcCfg: cfg,
+		logf:   logf,
+		hub:    hub,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if cfg.Source == SourceCheckpoint {
+		ck := cfg.Checkpoint
+		hub.startFrom(ck.LastEventID)
+		eng, err := stream.NewFromCheckpoint(engCfg, ck.Engine)
+		if err != nil {
+			hub.Close()
+			return nil, fmt.Errorf("restore checkpoint: %w", err)
+		}
+		s.eng = eng
+		s.srcCfg = ck.Config
+		s.srcCfg.Checkpoint = nil
+		s.resume = &stream.ReplayPosition{Records: ck.Engine.Records, DaysClosed: ck.DaysClosed}
+		s.totalDays.Store(int64(ck.TotalDays))
+		s.closedDays.Store(int64(ck.DaysClosed))
+		// The engine now holds the live state; keeping the decoded image
+		// around would double a restored scenario's resident memory.
+		s.cfg.Checkpoint = nil
+	} else {
+		s.eng = stream.New(engCfg)
+	}
+	s.api = stream.NewAPI(s.eng)
+	return s, nil
 }
 
 // ID returns the scenario's registry key.
 func (s *Scenario) ID() string { return s.cfg.ID }
+
+// setID stamps the registry-resolved ID onto the scenario. Called by
+// Registry.Create exactly once, before the scenario becomes reachable
+// (IDs resolve under the registry lock, after the scenario is built).
+func (s *Scenario) setID(id string) {
+	s.cfg.ID = id
+	if s.cfg.Source != SourceCheckpoint {
+		s.srcCfg.ID = id
+	}
+}
 
 // Engine exposes the live engine (queries only; the replay goroutine owns
 // the feed side).
@@ -246,6 +436,9 @@ func (s *Scenario) API() http.Handler { return s.api }
 func (s *Scenario) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.checkpointing > 0 {
+		return fmt.Errorf("scenario %s: checkpoint in progress", s.ID())
+	}
 	if s.state != StateCreated {
 		return fmt.Errorf("scenario %s is %s, not %s", s.ID(), s.state, StateCreated)
 	}
@@ -273,6 +466,9 @@ func (s *Scenario) Pause() error {
 func (s *Scenario) Resume() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.checkpointing > 0 {
+		return fmt.Errorf("scenario %s: checkpoint in progress", s.ID())
+	}
 	if s.state != StatePaused {
 		return fmt.Errorf("scenario %s is %s, not %s", s.ID(), s.state, StatePaused)
 	}
@@ -282,11 +478,80 @@ func (s *Scenario) Resume() error {
 	return nil
 }
 
+// Checkpoint serializes the scenario's complete state so it can be
+// resumed later (POST /scenarios with source "checkpoint"), in this
+// process or another with access to the same source. The scenario must
+// be settled: created (never started), paused — Checkpoint waits briefly
+// for the replay to actually park — or done. A running scenario must be
+// paused first.
+func (s *Scenario) Checkpoint() (*ScenarioCheckpoint, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		settled := false
+		switch s.state {
+		case StateCreated, StateDone:
+			// No replay in flight (done: run() closed and drained the
+			// engine).
+			settled = true
+		case StatePaused:
+			// Parked means every shard is drained.
+			settled = s.eng.Parked()
+		default:
+			state := s.state
+			s.mu.Unlock()
+			return nil, fmt.Errorf("scenario %s is %s; checkpoint requires %s, %s or %s",
+				s.ID(), state, StateCreated, StatePaused, StateDone)
+		}
+		if settled {
+			// Serialize outside the lock so Status/List stay live; the
+			// checkpointing flag keeps Start/Resume/shutdown out until
+			// the snapshot is complete.
+			s.checkpointing++
+			s.mu.Unlock()
+			ck := s.checkpointSnapshot()
+			s.mu.Lock()
+			s.checkpointing--
+			s.mu.Unlock()
+			return ck, nil
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("scenario %s: replay did not park in time", s.ID())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// checkpointSnapshot builds the checkpoint over a settled engine; the
+// caller holds the checkpointing flag (not s.mu) to exclude transitions.
+func (s *Scenario) checkpointSnapshot() *ScenarioCheckpoint {
+	src := s.srcCfg
+	src.Checkpoint = nil
+	src.Start = false
+	return &ScenarioCheckpoint{
+		Version:     ScenarioCheckpointVersion,
+		Config:      src,
+		TotalDays:   int(s.totalDays.Load()),
+		DaysClosed:  int(s.closedDays.Load()),
+		LastEventID: s.hub.Stats().LastID,
+		Engine:      s.eng.Checkpoint(),
+	}
+}
+
 // shutdown aborts any in-flight replay (waking a paused one), closes the
 // hub so SSE handlers end, and waits for the replay goroutine to exit.
 // Called by Registry.Delete.
 func (s *Scenario) shutdown() {
 	s.mu.Lock()
+	// An in-flight checkpoint reads the engine without s.mu; waking the
+	// replay under it would tear the snapshot. Checkpoints are bounded,
+	// so wait them out.
+	for s.checkpointing > 0 {
+		s.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		s.mu.Lock()
+	}
 	if !s.stopped {
 		s.stopped = true
 		close(s.stop)
@@ -326,13 +591,15 @@ func (s *Scenario) run() {
 	}
 }
 
-// replay opens the configured source and feeds it through the engine.
+// replay opens the effective source (the checkpointed scenario's source
+// when restoring) and feeds it through the engine, resuming mid-archive
+// when a checkpoint position is set.
 func (s *Scenario) replay() error {
 	var src io.ReadCloser
 	var cal stream.Calendar
-	switch s.cfg.Source {
+	switch s.srcCfg.Source {
 	case SourceSynth:
-		spec, err := specFor(s.cfg.Scale)
+		spec, err := specFor(s.srcCfg.Scale)
 		if err != nil {
 			return err
 		}
@@ -348,7 +615,7 @@ func (s *Scenario) replay() error {
 		}()
 		src, cal = pr, stream.ScenarioCalendar(sc)
 	case SourceMRT:
-		f, err := collector.OpenUpdateArchive(s.cfg.Path)
+		f, err := collector.OpenUpdateArchive(s.srcCfg.Path)
 		if err != nil {
 			return err
 		}
@@ -357,13 +624,13 @@ func (s *Scenario) replay() error {
 		if err != nil {
 			return err
 		}
-		f, err = collector.OpenUpdateArchive(s.cfg.Path)
+		f, err = collector.OpenUpdateArchive(s.srcCfg.Path)
 		if err != nil {
 			return err
 		}
 		src, cal = f, c
 	default:
-		return fmt.Errorf("unknown source %q", s.cfg.Source)
+		return fmt.Errorf("unknown source %q", s.srcCfg.Source)
 	}
 	// Closing the source on every exit also unblocks the synth writer
 	// goroutine when a stop aborts the replay mid-pipe.
@@ -375,14 +642,28 @@ func (s *Scenario) replay() error {
 		interval = time.Duration(float64(time.Second) / s.cfg.DaysPerSec)
 	}
 	opts := &stream.ReplayOptions{
-		Stop: s.stop,
+		Stop:   s.stop,
+		Resume: s.resume,
 		OnDayClose: func(day int) {
 			s.closedDays.Add(1)
-			if interval > 0 {
+			// The pacing sleep must wake early on stop (the gate aborts at
+			// the next record boundary) and on a pause request — otherwise
+			// a slow pacing interval would keep a "paused" replay from
+			// parking for up to a whole day's sleep, and Checkpoint's
+			// bounded park wait would time out on a legitimate pause.
+			end := time.Now().Add(interval)
+			for interval > 0 && !s.eng.Paused() {
+				remain := time.Until(end)
+				if remain <= 0 {
+					break
+				}
+				if remain > 50*time.Millisecond {
+					remain = 50 * time.Millisecond
+				}
 				select {
-				case <-time.After(interval):
+				case <-time.After(remain):
 				case <-s.stop:
-					// The gate aborts at the next record boundary.
+					return
 				}
 			}
 		},

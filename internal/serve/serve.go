@@ -14,16 +14,54 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// Limits bounds what one moasd process will host, so a public deployment
+// cannot be exhausted by POSTs or SSE connections. Zero values mean
+// unlimited (subscribers) or the default (event ring).
+type Limits struct {
+	// MaxScenarios caps concurrently hosted scenarios; exceeding it makes
+	// Create fail with ErrTooManyScenarios (HTTP 429).
+	MaxScenarios int
+	// MaxSubscribers caps concurrent SSE subscribers per scenario;
+	// exceeding it makes Subscribe fail with ErrHubFull (HTTP 429).
+	MaxSubscribers int
+	// EventRing sizes each scenario's resume ring buffer — the events a
+	// reconnecting SSE client can catch up on via Last-Event-ID without a
+	// full resync (0 = DefaultEventRing).
+	EventRing int
+	// MaxCreateBytes caps the POST /scenarios request body (0 =
+	// DefaultMaxCreateBytes). Create bodies can carry whole engine
+	// checkpoints, so without a cap the decoder would buffer arbitrarily
+	// large uploads before any limit is consulted.
+	MaxCreateBytes int64
+}
+
+// DefaultEventRing is the per-scenario resume buffer used when
+// Limits.EventRing is zero.
+const DefaultEventRing = 1024
+
+// DefaultMaxCreateBytes bounds create bodies when Limits.MaxCreateBytes
+// is zero — generous enough for full-scale checkpoints, small enough
+// that a burst of hostile uploads cannot OOM the daemon.
+const DefaultMaxCreateBytes = 256 << 20
+
+// ErrTooManyScenarios is returned by Create when Limits.MaxScenarios is
+// reached; the HTTP layer maps it to 429.
+var ErrTooManyScenarios = errors.New("serve: scenario limit reached")
 
 // Registry is the set of scenarios one moasd process hosts.
 type Registry struct {
 	// Logf, when non-nil, receives scenario lifecycle log lines (moasd
 	// wires it to the standard logger; tests leave it nil).
 	Logf func(format string, args ...any)
+
+	// Limits bounds the registry; set it before serving traffic.
+	Limits Limits
 
 	mu        sync.RWMutex
 	scenarios map[string]*Scenario
@@ -48,8 +86,32 @@ func (r *Registry) Create(cfg ScenarioConfig) (*Scenario, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	// Cheap admission check before doing any expensive work, so a burst
+	// of over-limit creates is refused without building engines first.
+	// Racy by design; the authoritative re-check happens at insert.
+	if max := r.Limits.MaxScenarios; max > 0 {
+		r.mu.RLock()
+		n := len(r.scenarios)
+		r.mu.RUnlock()
+		if n >= max {
+			return nil, fmt.Errorf("%w: %d scenarios hosted (max %d)", ErrTooManyScenarios, n, max)
+		}
+	}
+	// Build the scenario before taking the registry lock: a checkpoint
+	// restore decodes a whole engine image, and holding the write lock
+	// across it would stall every lookup. The limit and ID checks are
+	// re-done authoritatively at insert time below.
+	s, err := newScenario(cfg, r.Limits, r.logf)
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if max := r.Limits.MaxScenarios; max > 0 && len(r.scenarios) >= max {
+		n := len(r.scenarios)
+		r.mu.Unlock()
+		s.shutdown()
+		return nil, fmt.Errorf("%w: %d scenarios hosted (max %d)", ErrTooManyScenarios, n, max)
+	}
 	if cfg.ID == "" {
 		cfg.ID = cfg.defaultID()
 		for _, taken := r.scenarios[cfg.ID]; taken; _, taken = r.scenarios[cfg.ID] {
@@ -58,10 +120,13 @@ func (r *Registry) Create(cfg ScenarioConfig) (*Scenario, error) {
 		}
 	}
 	if _, taken := r.scenarios[cfg.ID]; taken {
+		r.mu.Unlock()
+		s.shutdown()
 		return nil, fmt.Errorf("scenario %q already exists", cfg.ID)
 	}
-	s := newScenario(cfg, r.logf)
+	s.setID(cfg.ID)
 	r.scenarios[cfg.ID] = s
+	r.mu.Unlock()
 	r.logf("scenario %s: created (%s)", s.ID(), cfg.describeSource())
 	return s, nil
 }

@@ -381,7 +381,9 @@ func TestPauseResumeDelete(t *testing.T) {
 	if reg.Get("paced") != nil {
 		t.Fatal("scenario still resolvable after delete")
 	}
-	if _, open := <-s.Hub().Subscribe(1).C; open {
+	if closedSub, _ := s.Hub().Subscribe(1, 0, false); closedSub == nil {
+		t.Fatal("subscribe after delete returned nil")
+	} else if _, open := <-closedSub.C; open {
 		t.Fatal("hub still accepting subscribers after delete")
 	}
 	if reg.Delete("paced") {

@@ -9,6 +9,7 @@ import (
 	"moas/internal/analysis"
 	"moas/internal/bgp"
 	"moas/internal/core"
+	"moas/internal/kernel"
 )
 
 // Config parameterizes an Engine.
@@ -54,7 +55,8 @@ type Engine struct {
 
 	msgs       atomic.Uint64
 	ops        atomic.Uint64
-	lastClosed atomic.Int64 // last day-close dispatched; -1 before any
+	recs       atomic.Uint64 // MRT records fully consumed by Replay (checkpoint cursor)
+	lastClosed atomic.Int64  // last day-close dispatched; -1 before any
 
 	// Pause gate. paused is non-nil while a pause is requested and is
 	// closed (then nilled) by Resume; a replay parks on it between records.
@@ -191,6 +193,13 @@ func (e *Engine) Paused() bool {
 	return e.pauseGate() != nil
 }
 
+// Parked reports whether a paused replay has actually settled and
+// blocked: every shard is drained and the engine serves a stable view.
+// Checkpointing a mid-replay engine requires it.
+func (e *Engine) Parked() bool {
+	return e.parked.Load()
+}
+
 func (e *Engine) pauseGate() chan struct{} {
 	e.pauseMu.Lock()
 	defer e.pauseMu.Unlock()
@@ -212,15 +221,16 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// Registry merges every shard's conflict records into one registry —
-// after a full archive replay it is identical to what driver.RunFullScan
-// builds (the equivalence test's claim). Safe to call concurrently with
-// replay, but a mid-day call sees only days closed so far.
+// Registry merges every shard kernel's conflict records into one
+// registry — after a full archive replay it is identical to what
+// driver.RunFullScan builds (the equivalence holds at the kernel level).
+// Safe to call concurrently with replay, but a mid-day call sees only
+// days closed so far.
 func (e *Engine) Registry() *core.Registry {
 	out := core.NewRegistry()
 	for _, s := range e.shards {
 		s.mu.RLock()
-		out.Absorb(s.reg)
+		out.Absorb(s.k.Registry())
 		s.mu.RUnlock()
 	}
 	return out
@@ -244,19 +254,19 @@ func (e *Engine) ActiveConflicts() []ConflictInfo {
 	var out []ConflictInfo
 	for _, s := range e.shards {
 		s.mu.RLock()
-		for p := range s.active {
-			st := s.prefixes[p]
+		s.k.WalkActive(func(p bgp.Prefix, v kernel.View) bool {
 			ci := ConflictInfo{
 				Prefix:   p,
-				Origins:  append([]bgp.ASN(nil), st.origins...),
-				Class:    st.class,
-				SinceDay: st.since,
+				Origins:  append([]bgp.ASN(nil), v.Origins...),
+				Class:    v.Class,
+				SinceDay: v.Since,
 			}
-			if c, ok := s.reg.Get(p); ok {
+			if c, ok := s.k.Registry().Get(p); ok {
 				ci.FirstDay, ci.LastDay, ci.DaysObserved = c.FirstDay, c.LastDay, c.DaysObserved
 			}
 			out = append(out, ci)
-		}
+			return true
+		})
 		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
@@ -280,14 +290,16 @@ func (e *Engine) Prefix(p bgp.Prefix) PrefixInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	info := PrefixInfo{Prefix: p}
-	if st, ok := s.prefixes[p]; ok {
-		_, info.Active = s.active[p]
-		info.Origins = append([]bgp.ASN(nil), st.origins...)
-		info.Class = st.class
-		info.Routes = len(st.routes)
-		info.History = append([]Event(nil), st.history...)
+	if v, ok := s.k.State(p); ok {
+		info.Active = v.Active
+		info.Origins = append([]bgp.ASN(nil), v.Origins...)
+		info.Class = v.Class
+		info.History = append([]Event(nil), v.History...)
 	}
-	if c, ok := s.reg.Get(p); ok {
+	if st, ok := s.prefixes[p]; ok {
+		info.Routes = len(st.routes)
+	}
+	if c, ok := s.k.Registry().Get(p); ok {
 		info.Conflict = c.Clone()
 	}
 	return info
@@ -308,13 +320,14 @@ func (e *Engine) Involvement(a bgp.ASN) ASInvolvement {
 	inv := ASInvolvement{ASN: a}
 	for _, s := range e.shards {
 		s.mu.RLock()
-		for p := range s.active {
-			if containsASN(s.prefixes[p].origins, a) {
+		s.k.WalkActive(func(p bgp.Prefix, v kernel.View) bool {
+			if containsASN(v.Origins, a) {
 				inv.Active++
 				inv.ActivePrefixes = append(inv.ActivePrefixes, p)
 			}
-		}
-		for _, c := range s.reg.Conflicts() {
+			return true
+		})
+		for _, c := range s.k.Registry().Conflicts() {
 			if containsASN(c.OriginsEver, a) {
 				inv.Ever++
 			}
@@ -352,12 +365,13 @@ func (e *Engine) Stats() Stats {
 	}
 	for _, s := range e.shards {
 		s.mu.RLock()
-		st.ActiveConflicts += len(s.active)
-		st.TotalConflicts += s.reg.Len()
-		st.Events += s.events
-		for p := range s.active {
-			st.ByClass[s.prefixes[p].class]++
-		}
+		st.ActiveConflicts += s.k.ActiveCount()
+		st.TotalConflicts += s.k.Registry().Len()
+		st.Events += s.k.EventCount()
+		s.k.WalkActive(func(_ bgp.Prefix, v kernel.View) bool {
+			st.ByClass[v.Class]++
+			return true
+		})
 		s.mu.RUnlock()
 	}
 	st.Lifecycle = analysis.Lifecycle(e.Spans(), st.LastClosedDay)
@@ -373,10 +387,7 @@ func (e *Engine) Spans() []analysis.Span {
 	var out []analysis.Span
 	for _, s := range e.shards {
 		s.mu.RLock()
-		out = append(out, s.closedSpans...)
-		for p := range s.active {
-			out = append(out, analysis.Span{Start: s.prefixes[p].since, Open: true})
-		}
+		out = s.k.AppendSpans(out)
 		s.mu.RUnlock()
 	}
 	return out
@@ -390,19 +401,10 @@ func (e *Engine) Events() []Event {
 	var out []Event
 	for _, s := range e.shards {
 		s.mu.RLock()
-		out = append(out, s.log...)
+		out = append(out, s.k.Log()...)
 		s.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := &out[i], &out[j]
-		if a.Day != b.Day {
-			return a.Day < b.Day
-		}
-		if c := a.Prefix.Compare(b.Prefix); c != 0 {
-			return c < 0
-		}
-		return a.Seq < b.Seq
-	})
+	kernel.SortEvents(out)
 	return out
 }
 

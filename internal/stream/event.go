@@ -1,66 +1,41 @@
 // Package stream is the live MOAS detection engine: it consumes per-peer
 // BGP UPDATE messages (the BGP4MP streams internal/collector derives),
-// maintains per-peer Adj-RIB-In state incrementally, and emits conflict
-// lifecycle events the moment an update flips a prefix's origin set — no
-// daily table re-scan. The prefix space is hashed across N worker shards
-// with batched dispatch; each shard owns its prefixes' route state, active
-// conflict set and registry slice, so throughput scales with cores and a
-// final merge yields a registry identical to the batch driver's full scan
-// (proven by the equivalence test). Live queries — current conflict set,
-// per-prefix lifecycle history, per-AS involvement, duration stats — read
-// the shards through their stripe locks while replay is in flight.
+// maintains per-peer Adj-RIB-In state incrementally, and drives the
+// shared conflict-state kernel (internal/kernel) the moment an update
+// flips a prefix's origin set — no daily table re-scan. The prefix space
+// is hashed across N worker shards with batched dispatch; each shard owns
+// its prefixes' route state and a kernel instance holding its partition's
+// episode records, so throughput scales with cores and a final merge
+// yields a registry identical to the batch driver's (proven at the kernel
+// level). Live queries — current conflict set, per-prefix lifecycle
+// history, per-AS involvement, duration stats — read the shards through
+// their stripe locks while replay is in flight, and Checkpoint/
+// NewFromCheckpoint serialize a settled engine so a replay can resume
+// mid-archive (checkpoint.go).
 package stream
 
 import (
-	"moas/internal/bgp"
-	"moas/internal/core"
+	"moas/internal/kernel"
 )
+
+// The conflict lifecycle vocabulary is the kernel's; the aliases keep the
+// streaming API surface stable for consumers (serve, moasd, tests) while
+// leaving exactly one implementation of the semantics.
 
 // EventType enumerates conflict lifecycle transitions.
-type EventType uint8
+type EventType = kernel.EventType
 
+// Event is one conflict lifecycle transition, emitted the moment an
+// observation flips a prefix's origin set. For a given input stream the
+// event sequence per prefix is deterministic regardless of shard count:
+// all of a prefix's updates route to one shard and are applied in stream
+// order.
+type Event = kernel.Event
+
+// Conflict lifecycle transition kinds (see kernel's definitions).
 const (
-	// EventConflictStart: the prefix's origin set grew to two or more ASes.
-	EventConflictStart EventType = iota + 1
-	// EventOriginChange: an active conflict's origin set changed while
-	// keeping two or more ASes.
-	EventOriginChange
-	// EventClassChange: the origin set is unchanged but the observed paths
-	// changed enough to reclassify the conflict.
-	EventClassChange
-	// EventConflictEnd: the origin set shrank below two ASes.
-	EventConflictEnd
+	EventConflictStart = kernel.EventConflictStart
+	EventOriginChange  = kernel.EventOriginChange
+	EventClassChange   = kernel.EventClassChange
+	EventConflictEnd   = kernel.EventConflictEnd
 )
-
-// String names the event type for logs and the JSON API.
-func (t EventType) String() string {
-	switch t {
-	case EventConflictStart:
-		return "conflict-start"
-	case EventOriginChange:
-		return "origin-change"
-	case EventClassChange:
-		return "class-change"
-	case EventConflictEnd:
-		return "conflict-end"
-	}
-	return "none"
-}
-
-// Event is one conflict lifecycle transition, emitted the moment an UPDATE
-// flips a prefix's origin set. For a given input stream the event sequence
-// per prefix is deterministic regardless of shard count: all of a prefix's
-// updates route to one shard and are applied in stream order.
-type Event struct {
-	Type   EventType
-	Day    int    // observation day of the triggering update
-	Seq    uint64 // per-prefix ordinal; orders one prefix's lifecycle
-	Prefix bgp.Prefix
-
-	// Origins and Class describe the state after the transition, the Prev
-	// fields the state before it. Origins is empty after EventConflictEnd.
-	Origins     []bgp.ASN
-	PrevOrigins []bgp.ASN
-	Class       core.Class
-	PrevClass   core.Class
-}

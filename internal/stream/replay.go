@@ -40,6 +40,23 @@ type ReplayOptions struct {
 	// ErrReplayStopped at the next record boundary (waking a paused replay
 	// if necessary). serve closes it when a scenario is deleted mid-replay.
 	Stop <-chan struct{}
+	// Resume, when non-nil, positions the replay mid-archive: the first
+	// Records MRT records are read and discarded (they are already
+	// reflected in the engine, restored from a Checkpoint) and the
+	// calendar cursor starts DaysClosed days in. The reader must be a
+	// fresh open of the same archive the checkpointed replay consumed.
+	Resume *ReplayPosition
+}
+
+// ReplayPosition is a replay cursor, taken from a Checkpoint (Records)
+// plus the caller's day accounting.
+type ReplayPosition struct {
+	// Records is the number of MRT records the checkpointed replay fully
+	// consumed (Checkpoint.Records).
+	Records uint64 `json:"records"`
+	// DaysClosed is the number of observation days the checkpointed
+	// replay closed — the calendar position updates resume at.
+	DaysClosed int `json:"days_closed"`
 }
 
 // ErrReplayStopped is returned by Replay when its ReplayOptions.Stop
@@ -100,6 +117,30 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 	}
 
 	mr := mrt.NewReader(r)
+	if opts != nil && opts.Resume != nil {
+		// Skip what the checkpointed replay already consumed. The records'
+		// effects (including their day closes) are restored engine state,
+		// so they are discarded without gating or dispatch.
+		if opts.Resume.DaysClosed < 0 || opts.Resume.DaysClosed > len(cal.Days) {
+			return fmt.Errorf("stream: resume at day %d of a %d-day calendar",
+				opts.Resume.DaysClosed, len(cal.Days))
+		}
+		for n := uint64(0); n < opts.Resume.Records; n++ {
+			// Keep honoring aborts and pauses: a checkpoint deep into a
+			// large archive makes this loop disk-bound for a while, and a
+			// DELETE must not wait for it.
+			if n%1024 == 0 {
+				if err := e.gate(stop); err != nil {
+					return err
+				}
+			}
+			if _, err := mr.Next(); err != nil {
+				return fmt.Errorf("stream: resume skip at record %d: %w", n, err)
+			}
+		}
+		idx = opts.Resume.DaysClosed
+		e.recs.Store(opts.Resume.Records)
+	}
 	var msg mrt.BGP4MPMessage
 	for {
 		if err := e.gate(stop); err != nil {
@@ -113,6 +154,7 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 			return err
 		}
 		if rec.Type != mrt.TypeBGP4MP || rec.Subtype != mrt.SubtypeMessage {
+			e.recs.Add(1)
 			continue
 		}
 		dayClosed := false
@@ -123,7 +165,9 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 		// Re-check the gate after a day close: OnDayClose is where
 		// callers pause, and the record in hand belongs to the new day —
 		// parking here keeps a paused view exactly at the just-closed
-		// day instead of one update past it.
+		// day instead of one update past it. The record cursor (e.recs)
+		// has not counted the record yet, so a checkpoint taken at this
+		// park re-reads and applies it on resume.
 		if dayClosed {
 			if err := e.gate(stop); err != nil {
 				return err
@@ -136,11 +180,16 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 		if err != nil {
 			return fmt.Errorf("stream: embedded message: %w", err)
 		}
-		upd, ok := decoded.(*bgp.Update)
-		if !ok {
-			continue
+		if upd, ok := decoded.(*bgp.Update); ok {
+			// idx can only reach len(cal.Days) through a crafted Resume
+			// position (all days closed, records left over); a legitimate
+			// checkpoint never produces that, but it must not panic.
+			if idx >= len(cal.Days) {
+				return fmt.Errorf("stream: update record beyond the %d-day calendar (bad resume position?)", len(cal.Days))
+			}
+			e.ApplyUpdate(cal.Days[idx], PeerKey{IP: msg.PeerIP, AS: msg.PeerAS}, upd)
 		}
-		e.ApplyUpdate(cal.Days[idx], PeerKey{IP: msg.PeerIP, AS: msg.PeerAS}, upd)
+		e.recs.Add(1)
 	}
 	// Close the day in flight and any quiet tail days.
 	for idx < len(cal.Days) {

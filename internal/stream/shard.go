@@ -3,9 +3,9 @@ package stream
 import (
 	"sync"
 
-	"moas/internal/analysis"
 	"moas/internal/bgp"
 	"moas/internal/core"
+	"moas/internal/kernel"
 	"moas/internal/rib"
 )
 
@@ -33,37 +33,28 @@ type batch struct {
 	sync     *sync.WaitGroup // non-nil: fence — signal and continue
 }
 
-// prefixState is one prefix's live state within its shard.
+// prefixState is one prefix's live route table within its shard. All
+// episode bookkeeping — origin sets, classes, events, spans, registry —
+// lives in the shard's kernel; the shard only stores what the kernel's
+// observations are assessed from.
 type prefixState struct {
-	routes  map[PeerKey]*bgp.Attrs
-	origins []bgp.ASN // current origin set (ascending); in conflict iff len ≥ 2
-	class   core.Class
-	seq     uint64 // lifecycle event ordinal for this prefix
-	since   int    // day the current activation started
-	history []Event
+	routes map[PeerKey]*bgp.Attrs
 }
 
-// shard owns a hash partition of the prefix space. Its mutex is one stripe
-// of the engine's read-optimized index: the worker goroutine write-locks
-// per batch, live queries read-lock per shard.
+// shard owns a hash partition of the prefix space: the per-peer route
+// state and a kernel instance holding that partition's conflict episodes.
+// Its mutex is one stripe of the engine's read-optimized index: the
+// worker goroutine write-locks per batch, live queries read-lock per
+// shard.
 type shard struct {
 	mu       sync.RWMutex
 	prefixes map[bgp.Prefix]*prefixState
-	active   map[bgp.Prefix]struct{}
-	reg      *core.Registry
-	events   int     // lifecycle events emitted
-	log      []Event // full event record, kept only when keepLog
-	// closedSpans accumulates ended activations incrementally so duration
-	// stats never rescan the event log; open spans are derived from the
-	// active set (prefixState.since) on demand.
-	closedSpans []analysis.Span
+	k        *kernel.Kernel
 
-	keepLog    bool
-	historyCap int
-	scratch    []rib.PeerRoute
+	scratch []rib.PeerRoute
 	// origScratch is the reusable target of the per-change origin-set
-	// recompute; a fresh slice is allocated only when the set actually
-	// changes (the committed copy), so steady-state churn is alloc-free.
+	// recompute; the kernel copies it only on an actual transition, so
+	// steady-state churn is alloc-free.
 	origScratch []bgp.ASN
 	notify      func(Event) // engine Config.OnEvent; called outside the lock
 	notifyBuf   []Event     // events emitted by the batch being applied
@@ -72,13 +63,10 @@ type shard struct {
 
 func newShard(queueDepth, historyCap int, keepLog bool, notify func(Event)) *shard {
 	return &shard{
-		prefixes:   make(map[bgp.Prefix]*prefixState),
-		active:     make(map[bgp.Prefix]struct{}),
-		reg:        core.NewRegistry(),
-		keepLog:    keepLog,
-		historyCap: historyCap,
-		notify:     notify,
-		ch:         make(chan batch, queueDepth),
+		prefixes: make(map[bgp.Prefix]*prefixState),
+		k:        kernel.New(kernel.Options{HistoryCap: historyCap, KeepLog: keepLog}),
+		notify:   notify,
+		ch:       make(chan batch, queueDepth),
 	}
 }
 
@@ -136,14 +124,19 @@ func (s *shard) applyOne(o *op) {
 		st.routes[o.peer] = o.attrs
 	}
 	s.reassess(o.prefix, st, o.day)
+	if len(st.routes) == 0 {
+		// Fully withdrawn: the kernel keeps any lifecycle worth keeping.
+		delete(s.prefixes, o.prefix)
+	}
 }
 
 // reassess recomputes the prefix's origin set and classification after a
-// route change and emits the lifecycle event the change implies, if any.
-// The recompute lands in the shard's reusable scratch; a fresh slice is
-// committed to prefixState (and the event) only when the set actually
-// changed, so the common case — an update that does not flip the origin
-// set — performs zero allocations (BenchmarkShardReassess's claim).
+// route change and drives the observation through the kernel, which emits
+// the lifecycle event the change implies, if any. The recompute lands in
+// the shard's reusable scratch; the kernel commits a fresh copy only when
+// the set actually changed, so the common case — an update that does not
+// flip the origin set — performs zero allocations
+// (BenchmarkShardReassess's claim).
 func (s *shard) reassess(p bgp.Prefix, st *prefixState, day int) {
 	s.scratch = s.scratch[:0]
 	for peer, attrs := range st.routes {
@@ -155,92 +148,22 @@ func (s *shard) reassess(p bgp.Prefix, st *prefixState, day int) {
 	// AppendOrigins and ClassifyRoutes are order-independent, so the map
 	// iteration order above cannot leak into events or the registry.
 	s.origScratch, _ = rib.AppendOrigins(s.origScratch, s.scratch)
-	origins := s.origScratch
 	var class core.Class
-	if len(origins) >= 2 {
+	if len(s.origScratch) >= 2 {
 		class = core.ClassifyRoutes(s.scratch)
 	}
-
-	sameSet := asnsEqual(origins, st.origins)
-	if sameSet && class == st.class {
-		// No origin or class transition; only the route map changed.
-		if len(st.routes) == 0 && st.seq == 0 {
-			delete(s.prefixes, p) // fully withdrawn, no lifecycle worth keeping
+	for _, ev := range s.k.Apply(kernel.Obs{Day: day, Prefix: p, Origins: s.origScratch, Class: class}) {
+		if s.notify != nil {
+			s.notifyBuf = append(s.notifyBuf, ev)
 		}
-		return
-	}
-
-	// Commit a copy: st.origins and emitted events must not alias the
-	// scratch, which the next reassess overwrites.
-	var committed []bgp.ASN
-	if len(origins) > 0 {
-		committed = append(make([]bgp.ASN, 0, len(origins)), origins...)
-	}
-	was, now := len(st.origins) >= 2, len(committed) >= 2
-	ev := Event{Day: day, Prefix: p, Origins: committed, PrevOrigins: st.origins, Class: class, PrevClass: st.class}
-	switch {
-	case !was && now:
-		ev.Type = EventConflictStart
-		st.since = day
-		s.active[p] = struct{}{}
-	case was && !now:
-		ev.Type = EventConflictEnd
-		ev.Origins = nil
-		delete(s.active, p)
-		s.closedSpans = append(s.closedSpans, analysis.Span{Start: st.since, End: day})
-	case was && now && !sameSet:
-		ev.Type = EventOriginChange
-	case was && now && class != st.class:
-		ev.Type = EventClassChange
-	}
-	st.origins, st.class = committed, class
-	if len(st.routes) == 0 && st.seq == 0 && ev.Type == 0 {
-		delete(s.prefixes, p) // fully withdrawn, no lifecycle worth keeping
-	}
-	if ev.Type != 0 {
-		s.emit(st, ev)
 	}
 }
 
-func (s *shard) emit(st *prefixState, ev Event) {
-	st.seq++
-	ev.Seq = st.seq
-	if s.historyCap > 0 && len(st.history) >= s.historyCap {
-		copy(st.history, st.history[1:])
-		st.history[len(st.history)-1] = ev
-	} else {
-		st.history = append(st.history, ev)
-	}
-	s.events++
-	if s.keepLog {
-		s.log = append(s.log, ev)
-	}
-	if s.notify != nil {
-		s.notifyBuf = append(s.notifyBuf, ev)
-	}
-}
-
-// closeDay records the day's active conflicts into the shard's registry
-// slice — the streaming analogue of the paper's daily table scan, costing
-// O(active conflicts in shard) instead of O(table).
+// closeDay records the day's active conflicts into the shard's kernel
+// registry — the streaming analogue of the paper's daily table scan,
+// costing O(active conflicts in shard) instead of O(table).
 func (s *shard) closeDay(day int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for p := range s.active {
-		st := s.prefixes[p]
-		s.reg.Record(day, p, st.origins, st.class)
-	}
-}
-
-// asnsEqual reports whether two ascending origin sets are identical.
-func asnsEqual(a, b []bgp.ASN) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+	s.k.CloseDay(day)
 }
