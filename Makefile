@@ -4,7 +4,7 @@ GO ?= go
 BENCH_COUNT ?= 5
 BENCH_TIME ?= 1s
 
-.PHONY: build test race bench benchall vet fmt docscheck ci
+.PHONY: build test race bench benchall fuzz-smoke vet fmt docscheck ci
 
 build:
 	$(GO) build ./...
@@ -15,20 +15,29 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench records the streaming perf trajectory: the replay throughput and
-# shard-reassess hot-path benchmarks, in the standard Go benchmark text
-# format benchstat consumes, written to BENCH_stream.json. Compare two
-# recordings with: benchstat old.json BENCH_stream.json
+# bench records the streaming perf trajectory: the replay throughput,
+# shard-reassess hot-path and checkpoint-codec (JSON vs binary — ns/op
+# plus encoded size via the bytes metric) benchmarks, in the standard Go
+# benchmark text format benchstat consumes, written to BENCH_stream.json.
+# Compare two recordings with: benchstat old.json BENCH_stream.json
 # (Redirect-then-cat, not tee: a pipe would let a failing benchmark run
 # exit 0 through tee and upload a garbage artifact.)
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkStreamReplay|BenchmarkShardReassess' \
+	$(GO) test -run XXX -bench 'BenchmarkStreamReplay|BenchmarkShardReassess|BenchmarkCheckpointEncode' \
 		-benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) ./internal/stream \
 		> BENCH_stream.json || { cat BENCH_stream.json; exit 1; }
 	@cat BENCH_stream.json
 
 benchall:
 	$(GO) test -bench . -run XXX -benchmem ./...
+
+# fuzz-smoke briefly live-fuzzes the snapshot/checkpoint restore surface
+# on top of the committed seed corpus (testdata/fuzz). go test -fuzz
+# takes exactly one target per invocation, hence one line per target.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME) ./internal/kernel
+	$(GO) test -run XXX -fuzz FuzzCheckpointRestore -fuzztime $(FUZZTIME) ./internal/stream
 
 vet:
 	$(GO) vet ./...

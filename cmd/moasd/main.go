@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +39,9 @@ func main() {
 		maxScen  = flag.Int("max-scenarios", 0, "maximum concurrently hosted scenarios; further creates get 429 (0 = unlimited)")
 		maxSubs  = flag.Int("max-subscribers", 0, "maximum SSE subscribers per scenario; further subscribes get 429 (0 = unlimited)")
 		ringSize = flag.Int("event-ring", serve.DefaultEventRing, "per-scenario resume buffer: events a reconnecting SSE client can catch up on via Last-Event-ID")
+		ckptDir  = flag.String("checkpoint-dir", "", "root directory for periodic per-scenario auto-checkpoints; scanned at boot to recover scenarios after a crash (empty = durability off)")
+		ckptInt  = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "auto-checkpoint period per scenario")
+		ckptKeep = flag.Int("checkpoint-keep", serve.DefaultCheckpointKeep, "checkpoint files retained per scenario (rotation depth)")
 	)
 	flag.Parse()
 
@@ -48,8 +52,24 @@ func main() {
 		MaxSubscribers: *maxSubs,
 		EventRing:      *ringSize,
 	}
+	reg.Durability = serve.Durability{Dir: *ckptDir, Interval: *ckptInt, Keep: *ckptKeep}
+
+	// Crash recovery happens before the boot flags, so a restarted daemon
+	// resumes exactly where the auto-checkpoints left it — and a boot
+	// flag naming an already-recovered scenario is a no-op, not an error.
+	recovered, err := reg.Recover()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moasd: %v\n", err)
+		os.Exit(2)
+	}
+	if recovered > 0 {
+		log.Printf("recovered %d scenario(s) from %s", recovered, *ckptDir)
+	}
 
 	boot := func(cfg serve.ScenarioConfig) {
+		// Pin the derived ID: a recovered scenario with the same name must
+		// collide (and be skipped below), not auto-suffix a duplicate.
+		cfg.ID = cfg.DefaultID()
 		cfg.Shards = *shards
 		cfg.DaysPerSec = *rate
 		cfg.History = *history
@@ -59,6 +79,10 @@ func main() {
 			cfg.History = -1
 		}
 		s, err := reg.Create(cfg)
+		if errors.Is(err, serve.ErrScenarioExists) {
+			log.Printf("moasd: %v (already recovered from checkpoint; skipping boot flag)", err)
+			return
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "moasd: %v\n", err)
 			os.Exit(2)

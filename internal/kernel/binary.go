@@ -1,0 +1,287 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"moas/internal/bgp"
+	"moas/internal/binenc"
+)
+
+// The binary snapshot format. JSON (snapshot.go) is the portable,
+// inspectable form; this is the compact one that scales to full-archive
+// state. Layout:
+//
+//	magic "MSNP" | uvarint version
+//	frame: meta      — uvarint event count
+//	frame: prefixes  — uvarint count, then per prefix:
+//	                   prefix, origin set, class, uvarint seq,
+//	                   varint since, uvarint history count + events
+//	frame: conflicts — uvarint count, then per conflict:
+//	                   prefix, varint first/last/daysObserved,
+//	                   origin set, uvarint class count + varint days
+//	frame: spans     — uvarint count, then varint start, varint end
+//	frame: log       — uvarint count + events
+//
+// where a prefix is binenc.AppendPrefix's compact form, an origin set is
+// a uvarint count followed by uvarint ASNs, and an event is: type byte,
+// varint day, uvarint seq, prefix, origin set, previous origin set,
+// class byte, previous class byte. Every section is length-prefixed
+// (binenc.AppendFrame) and every count is validated against the bytes
+// remaining, so truncated or fuzzed input fails cleanly.
+
+// snapshotMagic introduces a binary kernel snapshot. The first byte can
+// never open a JSON document, which is what makes restore-side content
+// sniffing (DecodeSnapshotAuto) unambiguous.
+var snapshotMagic = []byte("MSNP")
+
+func appendASNs(dst []byte, asns []bgp.ASN) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(asns)))
+	for _, a := range asns {
+		dst = binary.AppendUvarint(dst, uint64(a))
+	}
+	return dst
+}
+
+func readASNs(r *binenc.Reader) []bgp.ASN {
+	n := r.Count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]bgp.ASN, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, bgp.ASN(r.Uvarint()))
+	}
+	return out
+}
+
+func appendEventSnap(dst []byte, ev *EventSnap) ([]byte, error) {
+	p, err := bgp.ParsePrefix(ev.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: encode event prefix %q: %w", ev.Prefix, err)
+	}
+	dst = append(dst, ev.Type)
+	dst = binary.AppendVarint(dst, int64(ev.Day))
+	dst = binary.AppendUvarint(dst, ev.Seq)
+	dst = binenc.AppendPrefix(dst, p)
+	dst = appendASNs(dst, ev.Origins)
+	dst = appendASNs(dst, ev.PrevOrigins)
+	dst = append(dst, ev.Class, ev.PrevClass)
+	return dst, nil
+}
+
+func readEventSnap(r *binenc.Reader) EventSnap {
+	ev := EventSnap{Type: r.Byte(), Day: r.Int(), Seq: r.Uvarint()}
+	ev.Prefix = r.Prefix().String()
+	ev.Origins = readASNs(r)
+	ev.PrevOrigins = readASNs(r)
+	ev.Class = r.Byte()
+	ev.PrevClass = r.Byte()
+	return ev
+}
+
+func appendEventSnaps(dst []byte, evs []EventSnap) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(evs)))
+	var err error
+	for i := range evs {
+		if dst, err = appendEventSnap(dst, &evs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func readEventSnaps(r *binenc.Reader) []EventSnap {
+	// An event is at least 9 bytes: type, day, seq, a 2-byte /0 prefix,
+	// two empty origin sets, two classes.
+	n := r.Count(9)
+	if n == 0 {
+		return nil
+	}
+	out := make([]EventSnap, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, readEventSnap(r))
+	}
+	return out
+}
+
+// snapshotSizeHint estimates the encoded size so the encoder's buffer
+// grows once instead of doubling its way up (at full-scan scale the
+// growth copies and the GC pressure they cause dominate the encode).
+func snapshotSizeHint(s *Snapshot) int {
+	const evBytes = 56 // generous per-event estimate
+	n := 64 + len(s.Conflicts)*56 + len(s.ClosedSpans)*8 + len(s.Log)*evBytes
+	for i := range s.Prefixes {
+		n += 48 + len(s.Prefixes[i].History)*evBytes
+	}
+	return n
+}
+
+// AppendSnapshotBinary appends s's binary encoding to dst. It fails only
+// on a snapshot whose prefix strings do not parse (which Snapshot never
+// produces).
+func AppendSnapshotBinary(dst []byte, s *Snapshot) ([]byte, error) {
+	if dst == nil {
+		dst = make([]byte, 0, snapshotSizeHint(s))
+	}
+	dst = append(dst, snapshotMagic...)
+	dst = binary.AppendUvarint(dst, uint64(s.Version))
+
+	meta := binary.AppendUvarint(nil, uint64(s.Events))
+	dst = binenc.AppendFrame(dst, meta)
+
+	var err error
+	// The section scratch is sized for the biggest section up front, so
+	// neither it nor dst pays doubling-growth copies mid-encode.
+	sec := make([]byte, 0, snapshotSizeHint(s))
+	sec = binary.AppendUvarint(sec, uint64(len(s.Prefixes)))
+	for i := range s.Prefixes {
+		ps := &s.Prefixes[i]
+		p, perr := bgp.ParsePrefix(ps.Prefix)
+		if perr != nil {
+			return nil, fmt.Errorf("kernel: encode prefix %q: %w", ps.Prefix, perr)
+		}
+		sec = binenc.AppendPrefix(sec, p)
+		sec = appendASNs(sec, ps.Origins)
+		sec = append(sec, ps.Class)
+		sec = binary.AppendUvarint(sec, ps.Seq)
+		sec = binary.AppendVarint(sec, int64(ps.Since))
+		if sec, err = appendEventSnaps(sec, ps.History); err != nil {
+			return nil, err
+		}
+	}
+	dst = binenc.AppendFrame(dst, sec)
+
+	sec = binary.AppendUvarint(sec[:0], uint64(len(s.Conflicts)))
+	for i := range s.Conflicts {
+		cs := &s.Conflicts[i]
+		p, perr := bgp.ParsePrefix(cs.Prefix)
+		if perr != nil {
+			return nil, fmt.Errorf("kernel: encode conflict prefix %q: %w", cs.Prefix, perr)
+		}
+		sec = binenc.AppendPrefix(sec, p)
+		sec = binary.AppendVarint(sec, int64(cs.FirstDay))
+		sec = binary.AppendVarint(sec, int64(cs.LastDay))
+		sec = binary.AppendVarint(sec, int64(cs.DaysObserved))
+		sec = appendASNs(sec, cs.OriginsEver)
+		sec = binary.AppendUvarint(sec, uint64(len(cs.ClassDays)))
+		for _, d := range cs.ClassDays {
+			sec = binary.AppendVarint(sec, int64(d))
+		}
+	}
+	dst = binenc.AppendFrame(dst, sec)
+
+	sec = binary.AppendUvarint(sec[:0], uint64(len(s.ClosedSpans)))
+	for _, sp := range s.ClosedSpans {
+		sec = binary.AppendVarint(sec, int64(sp.Start))
+		sec = binary.AppendVarint(sec, int64(sp.End))
+	}
+	dst = binenc.AppendFrame(dst, sec)
+
+	if sec, err = appendEventSnaps(sec[:0], s.Log); err != nil {
+		return nil, err
+	}
+	dst = binenc.AppendFrame(dst, sec)
+	return dst, nil
+}
+
+// EncodeSnapshotBinary writes the snapshot in the binary format.
+func EncodeSnapshotBinary(w io.Writer, s *Snapshot) error {
+	buf, err := AppendSnapshotBinary(nil, s)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// DecodeSnapshotBinary parses a binary snapshot and validates its
+// version. Hostile input errors; it never panics or over-allocates.
+func DecodeSnapshotBinary(data []byte) (*Snapshot, error) {
+	if !bytes.HasPrefix(data, snapshotMagic) {
+		return nil, fmt.Errorf("kernel: not a binary snapshot (bad magic)")
+	}
+	r := binenc.NewReader(data[len(snapshotMagic):])
+	s := &Snapshot{Version: int(r.Uvarint())}
+	if r.Err() == nil && s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("kernel: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+
+	meta := r.Frame()
+	s.Events = int(meta.Uvarint())
+	if err := binenc.FirstErr(meta, r); err != nil {
+		return nil, fmt.Errorf("kernel: decode binary snapshot meta: %w", err)
+	}
+
+	sec := r.Frame()
+	// A prefix entry is at least 7 bytes (2-byte prefix, empty origin
+	// set, class, seq, since, empty history).
+	n := sec.Count(7)
+	for i := 0; i < n; i++ {
+		ps := PrefixSnap{Prefix: sec.Prefix().String()}
+		ps.Origins = readASNs(sec)
+		ps.Class = sec.Byte()
+		ps.Seq = sec.Uvarint()
+		ps.Since = sec.Int()
+		ps.History = readEventSnaps(sec)
+		s.Prefixes = append(s.Prefixes, ps)
+	}
+	if err := binenc.FirstErr(sec, r); err != nil {
+		return nil, fmt.Errorf("kernel: decode binary snapshot prefixes: %w", err)
+	}
+
+	sec = r.Frame()
+	n = sec.Count(7)
+	for i := 0; i < n; i++ {
+		cs := ConflictSnap{Prefix: sec.Prefix().String()}
+		cs.FirstDay = sec.Int()
+		cs.LastDay = sec.Int()
+		cs.DaysObserved = sec.Int()
+		cs.OriginsEver = readASNs(sec)
+		nd := sec.Count(1)
+		for j := 0; j < nd; j++ {
+			cs.ClassDays = append(cs.ClassDays, sec.Int())
+		}
+		s.Conflicts = append(s.Conflicts, cs)
+	}
+	if err := binenc.FirstErr(sec, r); err != nil {
+		return nil, fmt.Errorf("kernel: decode binary snapshot conflicts: %w", err)
+	}
+
+	sec = r.Frame()
+	n = sec.Count(2)
+	for i := 0; i < n; i++ {
+		s.ClosedSpans = append(s.ClosedSpans, SpanSnap{Start: sec.Int(), End: sec.Int()})
+	}
+	if err := binenc.FirstErr(sec, r); err != nil {
+		return nil, fmt.Errorf("kernel: decode binary snapshot spans: %w", err)
+	}
+
+	sec = r.Frame()
+	s.Log = readEventSnaps(sec)
+	if err := binenc.FirstErr(sec, r); err != nil {
+		return nil, fmt.Errorf("kernel: decode binary snapshot log: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("kernel: %d trailing bytes after binary snapshot", r.Len())
+	}
+	return s, nil
+}
+
+// DecodeSnapshotAuto reads a snapshot in either format, sniffing the
+// content: input opening with the binary magic parses as binary,
+// anything else as JSON (whose top level is always an object). This is
+// the restore entry point that keeps pre-binary JSON checkpoints
+// loading.
+func DecodeSnapshotAuto(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: read snapshot: %w", err)
+	}
+	if bytes.HasPrefix(data, snapshotMagic) {
+		return DecodeSnapshotBinary(data)
+	}
+	return DecodeSnapshot(bytes.NewReader(data))
+}

@@ -1,0 +1,141 @@
+package kernel_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"moas/internal/kernel"
+)
+
+// midRunSnapshot drives the shared script to its split point and returns
+// the kernel's snapshot — the populated image (active and dissolved
+// conflicts, history, spans, registry, log) the codec tests encode.
+func midRunSnapshot(t testing.TB) *kernel.Snapshot {
+	t.Helper()
+	all, splitAt := script()
+	k := kernel.New(kernel.Options{KeepLog: true})
+	drive(k, all[:splitAt])
+	return k.Snapshot()
+}
+
+// TestBinarySnapshotRoundTrip: the binary codec must reproduce the exact
+// snapshot image, and the sniffing decoder must accept both encodings of
+// the same snapshot.
+func TestBinarySnapshotRoundTrip(t *testing.T) {
+	snap := midRunSnapshot(t)
+	if len(snap.Prefixes) == 0 || len(snap.Conflicts) == 0 || len(snap.Log) == 0 {
+		t.Fatalf("fixture snapshot too empty to prove anything: %+v", snap)
+	}
+
+	bin, err := kernel.AppendSnapshotBinary(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := kernel.DecodeSnapshotBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, decoded) {
+		t.Fatalf("binary round trip changed the snapshot:\nwant %+v\n got %+v", snap, decoded)
+	}
+
+	var js bytes.Buffer
+	if err := kernel.EncodeSnapshot(&js, snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(bin) >= js.Len() {
+		t.Fatalf("binary encoding (%d bytes) not smaller than JSON (%d bytes)", len(bin), js.Len())
+	}
+	for name, blob := range map[string][]byte{"binary": bin, "json": js.Bytes()} {
+		sniffed, err := kernel.DecodeSnapshotAuto(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("sniffing decode of %s: %v", name, err)
+		}
+		if !reflect.DeepEqual(snap, sniffed) {
+			t.Fatalf("sniffing decode of %s changed the snapshot", name)
+		}
+	}
+}
+
+// TestBinarySnapshotRestoreEquivalence: restoring from the binary form
+// mid-run and finishing the script matches the uninterrupted kernel, the
+// same guarantee the JSON round-trip test proves.
+func TestBinarySnapshotRestoreEquivalence(t *testing.T) {
+	all, splitAt := script()
+	opts := kernel.Options{KeepLog: true}
+
+	uninterrupted := kernel.New(opts)
+	drive(uninterrupted, all)
+
+	bin, err := kernel.AppendSnapshotBinary(nil, midRunSnapshot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := kernel.DecodeSnapshotAuto(bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := kernel.New(opts)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	drive(restored, all[splitAt:])
+
+	if w, g := uninterrupted.Snapshot(), restored.Snapshot(); !reflect.DeepEqual(w, g) {
+		t.Fatalf("final snapshots differ:\nwant %+v\n got %+v", w, g)
+	}
+	diffRegistries(t, uninterrupted.Registry(), restored.Registry())
+}
+
+// TestBinarySnapshotRejectsDamage: version skew, truncation at every
+// byte boundary, magic corruption and trailing garbage must error — and
+// never panic.
+func TestBinarySnapshotRejectsDamage(t *testing.T) {
+	snap := midRunSnapshot(t)
+	bin, err := kernel.AppendSnapshotBinary(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := kernel.DecodeSnapshotBinary(append(bytes.Clone(bin), 0xFF)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	for cut := 0; cut < len(bin); cut++ {
+		if _, err := kernel.DecodeSnapshotBinary(bin[:cut]); err == nil {
+			t.Fatalf("truncation at byte %d accepted", cut)
+		}
+	}
+
+	bad := bytes.Clone(bin)
+	bad[0] = 'X' // magic
+	if _, err := kernel.DecodeSnapshotBinary(bad); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+
+	snap.Version = 99
+	futureBin, err := kernel.AppendSnapshotBinary(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernel.DecodeSnapshotBinary(futureBin); err == nil {
+		t.Fatal("version-99 binary snapshot accepted")
+	}
+}
+
+// TestRestoreRejectsBogusClass: a snapshot carrying a class byte past the
+// known classes must fail restore up front — deferring it would panic in
+// the first CloseDay's ClassDays indexing.
+func TestRestoreRejectsBogusClass(t *testing.T) {
+	snap := midRunSnapshot(t)
+	snap.Prefixes[0].Class = 200
+	if err := kernel.New(kernel.Options{}).Restore(snap); err == nil {
+		t.Fatal("restore accepted class 200")
+	}
+
+	snap = midRunSnapshot(t)
+	snap.Log[0].PrevClass = 200
+	if err := kernel.New(kernel.Options{KeepLog: true}).Restore(snap); err == nil {
+		t.Fatal("restore accepted event class 200")
+	}
+}

@@ -1,0 +1,96 @@
+package kernel_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+	"moas/internal/kernel"
+)
+
+// corpusSeeds returns the fuzz seed inputs: real snapshots in both
+// encodings plus damaged variants of each. The same bytes are committed
+// under testdata/fuzz/FuzzSnapshotRestore (see TestGenerateFuzzCorpus),
+// so `go test` and the CI fuzz-smoke step always exercise them.
+func corpusSeeds(t testing.TB) map[string][]byte {
+	t.Helper()
+	snap := midRunSnapshot(t)
+	bin, err := kernel.AppendSnapshotBinary(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := kernel.EncodeSnapshot(&js, snap); err != nil {
+		t.Fatal(err)
+	}
+	flipped := bytes.Clone(bin)
+	flipped[len(flipped)/2] ^= 0x40
+	return map[string][]byte{
+		"binary":           bin,
+		"json":             js.Bytes(),
+		"binary-truncated": bin[:len(bin)/2],
+		"json-truncated":   js.Bytes()[:js.Len()/2],
+		"binary-flipped":   flipped,
+		"empty":            {},
+	}
+}
+
+// FuzzSnapshotRestore is the snapshot surface's robustness claim: any
+// byte string fed to the sniffing decoder either errors or yields a
+// snapshot that restores into a fully usable kernel — no panic, no
+// deferred crash in CloseDay/Apply/Snapshot, and a re-encode that
+// succeeds in both codecs.
+func FuzzSnapshotRestore(f *testing.F) {
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := kernel.DecodeSnapshotAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		k := kernel.New(kernel.Options{KeepLog: true, HistoryCap: 8})
+		if err := k.Restore(s); err != nil {
+			return
+		}
+		// A restore that succeeded must leave a working state machine.
+		k.CloseDay(1 << 20)
+		k.Apply(kernel.Obs{
+			Day:     1 << 20,
+			Prefix:  bgp.MustParsePrefix("203.0.113.0/24"),
+			Origins: []bgp.ASN{64500, 64501},
+			Class:   core.ClassDistinctPaths,
+		})
+		k.AppendSpans(nil)
+		out := k.Snapshot()
+		if _, err := kernel.AppendSnapshotBinary(nil, out); err != nil {
+			t.Fatalf("restored kernel re-encodes with error: %v", err)
+		}
+		if err := kernel.EncodeSnapshot(&bytes.Buffer{}, out); err != nil {
+			t.Fatalf("restored kernel re-encodes to JSON with error: %v", err)
+		}
+	})
+}
+
+// TestGenerateFuzzCorpus rewrites the committed seed corpus from the
+// current codecs. Run with MOAS_GEN_FUZZ_CORPUS=1 after a deliberate
+// format change; it is a skip otherwise.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("MOAS_GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set MOAS_GEN_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSnapshotRestore")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range corpusSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

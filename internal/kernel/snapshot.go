@@ -88,10 +88,26 @@ func eventToSnap(ev *Event) EventSnap {
 	}
 }
 
+// validClass bounds snapshot class bytes: anything past the known
+// classes would index-panic ClassDays/ByClass accumulators downstream,
+// so restore rejects it instead of deferring the crash.
+func validClass(c uint8) error {
+	if int(c) >= core.NumClasses {
+		return fmt.Errorf("kernel: snapshot class %d, want < %d", c, core.NumClasses)
+	}
+	return nil
+}
+
 func snapToEvent(s *EventSnap) (Event, error) {
 	p, err := bgp.ParsePrefix(s.Prefix)
 	if err != nil {
 		return Event{}, fmt.Errorf("kernel: snapshot event prefix %q: %w", s.Prefix, err)
+	}
+	if err := validClass(s.Class); err != nil {
+		return Event{}, err
+	}
+	if err := validClass(s.PrevClass); err != nil {
+		return Event{}, err
 	}
 	return Event{
 		Type:        EventType(s.Type),
@@ -159,6 +175,9 @@ func (k *Kernel) Restore(s *Snapshot) error {
 		p, err := bgp.ParsePrefix(ps.Prefix)
 		if err != nil {
 			return fmt.Errorf("kernel: snapshot prefix %q: %w", ps.Prefix, err)
+		}
+		if err := validClass(ps.Class); err != nil {
+			return fmt.Errorf("kernel: snapshot prefix %s: %w", ps.Prefix, err)
 		}
 		st := &state{
 			origins: append([]bgp.ASN(nil), ps.Origins...),

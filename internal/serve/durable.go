@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"moas/internal/binenc"
+	"moas/internal/stream"
+)
+
+// Durability configures crash-safe auto-checkpointing: every hosted
+// scenario is periodically serialized into its own subdirectory of Dir
+// (atomic write-rename, oldest files rotated out), and Recover rebuilds
+// the registry from those directories at boot. The zero value disables
+// the whole subsystem.
+type Durability struct {
+	// Dir is the checkpoint root; each scenario owns Dir/<id>/. Empty
+	// disables durability.
+	Dir string
+	// Interval is the auto-checkpoint period (0 = DefaultCheckpointInterval).
+	Interval time.Duration
+	// Keep is how many checkpoint files each scenario retains; older ones
+	// are removed after every successful write (0 = DefaultCheckpointKeep).
+	Keep int
+}
+
+// DefaultCheckpointInterval is the auto-checkpoint period when
+// Durability.Interval is zero.
+const DefaultCheckpointInterval = time.Minute
+
+// DefaultCheckpointKeep is the per-scenario rotation depth when
+// Durability.Keep is zero. More than one on purpose: recovery falls back
+// to the previous file when the newest was cut short by the crash that
+// made recovery necessary.
+const DefaultCheckpointKeep = 3
+
+func (d Durability) enabled() bool { return d.Dir != "" }
+
+func (d Durability) interval() time.Duration {
+	if d.Interval <= 0 {
+		return DefaultCheckpointInterval
+	}
+	return d.Interval
+}
+
+func (d Durability) keep() int {
+	if d.Keep <= 0 {
+		return DefaultCheckpointKeep
+	}
+	return d.Keep
+}
+
+// scenarioCheckpointMagic introduces a binary scenario checkpoint file.
+// Like the inner codecs' magics, its first byte can never open a JSON
+// document, so on-disk formats sniff apart unambiguously.
+var scenarioCheckpointMagic = []byte("MSCK")
+
+// AppendScenarioCheckpointBinary appends ck's binary file encoding: the
+// magic and version, a JSON frame carrying the envelope (source config,
+// calendar position, SSE cursor — small and worth keeping inspectable),
+// and a frame with the engine checkpoint in stream's binary format,
+// which is where full-archive-scale state lives.
+func AppendScenarioCheckpointBinary(dst []byte, ck *ScenarioCheckpoint) ([]byte, error) {
+	if ck.Engine == nil {
+		return nil, fmt.Errorf("serve: checkpoint has no engine state")
+	}
+	meta := *ck
+	meta.Engine = nil
+	metaJSON, err := json.Marshal(&meta)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := stream.AppendCheckpointBinary(nil, ck.Engine)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, scenarioCheckpointMagic...)
+	dst = binary.AppendUvarint(dst, uint64(ck.Version))
+	dst = binenc.AppendFrame(dst, metaJSON)
+	dst = binenc.AppendFrame(dst, eng)
+	return dst, nil
+}
+
+// ReadScenarioCheckpoint reads a scenario checkpoint file in either
+// format, sniffing the content: the binary envelope by its magic,
+// anything else as the JSON form — which is byte-for-byte what POST
+// /scenarios/{id}/checkpoint returns, so an operator can drop a saved
+// API response into the checkpoint directory and boot from it.
+func ReadScenarioCheckpoint(r io.Reader) (*ScenarioCheckpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: read checkpoint: %w", err)
+	}
+	var ck ScenarioCheckpoint
+	if !bytes.HasPrefix(data, scenarioCheckpointMagic) {
+		if err := json.Unmarshal(data, &ck); err != nil {
+			return nil, fmt.Errorf("serve: decode checkpoint: %w", err)
+		}
+	} else {
+		rd := binenc.NewReader(data[len(scenarioCheckpointMagic):])
+		version := rd.Uvarint()
+		if rd.Err() == nil && version != ScenarioCheckpointVersion {
+			return nil, fmt.Errorf("serve: checkpoint version %d, want %d", version, ScenarioCheckpointVersion)
+		}
+		metaJSON := rd.Frame()
+		meta := metaJSON.Bytes(metaJSON.Len())
+		engFrame := rd.Frame()
+		engBytes := engFrame.Bytes(engFrame.Len())
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("serve: decode binary checkpoint: %w", err)
+		}
+		if rd.Len() != 0 {
+			return nil, fmt.Errorf("serve: %d trailing bytes after binary checkpoint", rd.Len())
+		}
+		if err := json.Unmarshal(meta, &ck); err != nil {
+			return nil, fmt.Errorf("serve: decode checkpoint envelope: %w", err)
+		}
+		eng, err := stream.DecodeCheckpoint(bytes.NewReader(engBytes))
+		if err != nil {
+			return nil, err
+		}
+		ck.Engine = eng
+	}
+	if ck.Version != ScenarioCheckpointVersion {
+		return nil, fmt.Errorf("serve: checkpoint version %d, want %d", ck.Version, ScenarioCheckpointVersion)
+	}
+	if ck.Engine == nil {
+		return nil, fmt.Errorf("serve: checkpoint has no engine state")
+	}
+	return &ck, nil
+}
+
+// checkpointStore is one scenario's on-disk checkpoint directory:
+// rotation-numbered files, newest last by name.
+type checkpointStore struct {
+	dir  string
+	keep int
+}
+
+const (
+	checkpointFilePrefix = "ck-"
+	checkpointFileExt    = ".mckpt"
+)
+
+// files returns the store's checkpoint files sorted newest first. File
+// names order by rotation sequence (zero-padded), so a plain descending
+// name sort is newest-first; hand-dropped files sort wherever their
+// names land and are still considered.
+func (st checkpointStore) files() []string {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if e.Type().IsRegular() && !strings.HasPrefix(e.Name(), ".") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(out)))
+	return out
+}
+
+// latest returns the path of the newest checkpoint file.
+func (st checkpointStore) latest() (string, bool) {
+	fs := st.files()
+	if len(fs) == 0 {
+		return "", false
+	}
+	return filepath.Join(st.dir, fs[0]), true
+}
+
+// nextSeq scans existing rotation names for the highest sequence number.
+func (st checkpointStore) nextSeq() uint64 {
+	var max uint64
+	for _, name := range st.files() {
+		s := strings.TrimSuffix(strings.TrimPrefix(name, checkpointFilePrefix), checkpointFileExt)
+		if n, err := strconv.ParseUint(s, 10, 64); err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+// write persists ck atomically — encode to a dot-hidden temp file in the
+// same directory, fsync, rename into place — then rotates old files out.
+// A crash mid-write leaves only a temp file recovery ignores; the
+// previous checkpoint is never the thing being overwritten.
+func (st checkpointStore) write(ck *ScenarioCheckpoint) (string, error) {
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		return "", err
+	}
+	blob, err := AppendScenarioCheckpointBinary(nil, ck)
+	if err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(st.dir, ".tmp-ck-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	final := filepath.Join(st.dir, fmt.Sprintf("%s%010d%s", checkpointFilePrefix, st.nextSeq(), checkpointFileExt))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	// Make the rename durable too; not all platforms support syncing a
+	// directory, so this is best-effort.
+	if d, err := os.Open(st.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	st.prune()
+	return final, nil
+}
+
+// prune removes the oldest rotation files beyond keep. Only files the
+// store named itself are touched.
+func (st checkpointStore) prune() {
+	var owned []string
+	for _, name := range st.files() {
+		if strings.HasPrefix(name, checkpointFilePrefix) && strings.HasSuffix(name, checkpointFileExt) {
+			owned = append(owned, name)
+		}
+	}
+	for _, name := range owned[min(st.keep, len(owned)):] {
+		_ = os.Remove(filepath.Join(st.dir, name))
+	}
+}
+
+// recoverNewest walks the store newest-first and returns the first
+// checkpoint that still decodes, with the files it had to skip. This is
+// the corrupt-newest fallback: a file truncated by the crash itself (or
+// rotted on disk) costs one checkpoint interval of progress, not the
+// scenario.
+func (st checkpointStore) recoverNewest(logf func(string, ...any)) (*ScenarioCheckpoint, string, bool) {
+	for _, name := range st.files() {
+		path := filepath.Join(st.dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			logf("recover: %s: %v", path, err)
+			continue
+		}
+		ck, err := ReadScenarioCheckpoint(f)
+		f.Close()
+		if err != nil {
+			logf("recover: %s: skipping corrupt checkpoint: %v", path, err)
+			continue
+		}
+		return ck, path, true
+	}
+	return nil, "", false
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 
@@ -75,6 +77,8 @@ func statusToJSON(st Status) scenarioJSON {
 //	POST   /scenarios/{id}/pause         park the replay (settled view)
 //	POST   /scenarios/{id}/resume        release a paused replay
 //	POST   /scenarios/{id}/checkpoint    serialize a paused/done scenario
+//	GET    /scenarios/{id}/checkpoint    newest on-disk auto-checkpoint
+//	                                     bytes (404 with durability off)
 //	DELETE /scenarios/{id}               abort and remove
 //	GET    /scenarios/{id}/events        SSE conflict lifecycle stream
 //	                                     (Last-Event-ID resume)
@@ -187,6 +191,48 @@ func NewHandler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_ = json.NewEncoder(w).Encode(ck)
+	})
+
+	// The read half of durability: download the newest auto-checkpoint
+	// exactly as it sits on disk (binary envelope, or JSON if an operator
+	// dropped an API payload into the directory). The bytes feed off-host
+	// backup — saved elsewhere, they boot a standby daemon by landing in
+	// its checkpoint directory.
+	mux.HandleFunc("GET /scenarios/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		s := lookup(w, r)
+		if s == nil {
+			return
+		}
+		path, ok := reg.LatestCheckpoint(s.ID())
+		if !ok {
+			httpError(w, http.StatusNotFound, "no on-disk checkpoint (durability off or none written yet)")
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "checkpoint file vanished: "+err.Error())
+			return
+		}
+		defer f.Close()
+		var first [1]byte
+		if _, err := io.ReadFull(f, first[:]); err != nil {
+			httpError(w, http.StatusInternalServerError, "read checkpoint: "+err.Error())
+			return
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			httpError(w, http.StatusInternalServerError, "read checkpoint: "+err.Error())
+			return
+		}
+		ctype := "application/octet-stream"
+		if first[0] == '{' {
+			ctype = "application/json"
+		}
+		w.Header().Set("Content-Type", ctype)
+		if fi, err := f.Stat(); err == nil {
+			w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.Copy(w, f)
 	})
 
 	mux.HandleFunc("DELETE /scenarios/{id}", func(w http.ResponseWriter, r *http.Request) {

@@ -97,17 +97,34 @@ type ScenarioCheckpoint struct {
 	Engine *stream.Checkpoint `json:"engine"`
 }
 
-// isIDRune bounds the scenario-ID alphabet (IDs appear raw in URL paths).
+// isIDRune bounds the scenario-ID alphabet (IDs appear raw in URL paths
+// and name per-scenario checkpoint directories).
 func isIDRune(r rune) bool {
 	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
 		r == '.' || r == '_' || r == '-'
 }
 
+// validateID enforces the scenario-ID rules on a non-empty ID. "." and
+// ".." are refused even though their runes are legal: with durability on
+// the ID names a directory under the checkpoint root, and either would
+// escape it.
+func validateID(id string) error {
+	if id == "." || id == ".." {
+		return fmt.Errorf("scenario id %q not allowed", id)
+	}
+	for _, r := range id {
+		if !isIDRune(r) {
+			return fmt.Errorf("scenario id %q: only letters, digits, '.', '_', '-' allowed", id)
+		}
+	}
+	return nil
+}
+
 // normalize fills defaults and validates.
 func (c *ScenarioConfig) normalize() error {
-	for _, r := range c.ID {
-		if !isIDRune(r) {
-			return fmt.Errorf("scenario id %q: only letters, digits, '.', '_', '-' allowed", c.ID)
+	if c.ID != "" {
+		if err := validateID(c.ID); err != nil {
+			return err
 		}
 	}
 	if c.Source == "" {
@@ -235,6 +252,13 @@ func (c *ScenarioConfig) normalizeCheckpoint() error {
 	return nil
 }
 
+// DefaultID returns the ID the registry would derive for this config if
+// none were given (before collision suffixing). moasd pins its boot
+// scenarios to it so that after a crash recovery the boot flag collides
+// with the recovered scenario — and is skipped — instead of silently
+// auto-suffixing a duplicate replay.
+func (c *ScenarioConfig) DefaultID() string { return c.defaultID() }
+
 // defaultID derives an ID when the request gave none.
 func (c *ScenarioConfig) defaultID() string {
 	if c.Source == SourceCheckpoint {
@@ -265,8 +289,8 @@ func (c *ScenarioConfig) defaultID() string {
 				clean = append(clean, r)
 			}
 		}
-		if len(clean) > 0 {
-			return string(clean)
+		if id := string(clean); len(clean) > 0 && validateID(id) == nil {
+			return id
 		}
 		return "mrt"
 	}
@@ -360,6 +384,10 @@ type Scenario struct {
 	stop          chan struct{}
 	stopped       bool
 	done          chan struct{} // closed when the replay goroutine exits
+	// ckLoopDone, when non-nil, is closed by the auto-checkpoint loop on
+	// exit; shutdown waits on it so a loop iteration cannot write a
+	// checkpoint file after Delete removed the scenario's directory.
+	ckLoopDone chan struct{}
 }
 
 func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any)) (*Scenario, error) {
@@ -539,6 +567,118 @@ func (s *Scenario) checkpointSnapshot() *ScenarioCheckpoint {
 	}
 }
 
+// AutoCheckpoint serializes the scenario without an operator in the
+// loop: paused and done scenarios checkpoint directly, and a running one
+// is transparently parked at its next record boundary, checkpointed, and
+// released — the public state stays "running" throughout, so operators
+// and dashboards never see the flicker. Created and failed scenarios
+// return (nil, nil): there is nothing worth persisting.
+func (s *Scenario) AutoCheckpoint() (*ScenarioCheckpoint, error) {
+	s.mu.Lock()
+	switch s.state {
+	case StateCreated, StateFailed:
+		s.mu.Unlock()
+		return nil, nil
+	case StatePaused, StateDone:
+		s.mu.Unlock()
+		return s.Checkpoint()
+	}
+	// StateRunning with the source not yet open (totalDays unset): the
+	// replay goroutine is still building/scanning its source and cannot
+	// park, and there is no consumed state to save anyway.
+	if s.totalDays.Load() == 0 {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	// StateRunning: ask the replay to park. The gate is engine-level, so
+	// the lifecycle state is untouched.
+	s.eng.Pause()
+	s.mu.Unlock()
+
+	ck, err := s.autoSnapshotWhenParked()
+
+	// Release the replay — unless the scenario was operator-paused or
+	// shut down while we held it parked; their transition owns the gate
+	// now (Resume on a non-paused engine is a no-op either way).
+	s.mu.Lock()
+	if s.state == StateRunning && !s.stopped {
+		s.eng.Resume()
+	}
+	s.mu.Unlock()
+	return ck, err
+}
+
+// autoSnapshotWhenParked waits for the pause requested by AutoCheckpoint
+// to take effect and snapshots the settled engine. If the scenario left
+// the running state while waiting (operator pause, replay completion),
+// it defers to Checkpoint's own settled-state rules.
+func (s *Scenario) autoSnapshotWhenParked() (*ScenarioCheckpoint, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("scenario %s: shut down during auto-checkpoint", s.ID())
+		}
+		if s.state != StateRunning {
+			s.mu.Unlock()
+			return s.Checkpoint()
+		}
+		if s.eng.Parked() {
+			s.checkpointing++
+			s.mu.Unlock()
+			ck := s.checkpointSnapshot()
+			s.mu.Lock()
+			s.checkpointing--
+			s.mu.Unlock()
+			return ck, nil
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("scenario %s: replay did not park for auto-checkpoint", s.ID())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// autoCheckpointLoop periodically persists the scenario into its
+// checkpoint store. Started by Registry.Create when durability is on;
+// exits when the scenario shuts down. Ticks where the replay consumed no
+// new records since the last successful write are skipped, so an idle
+// (done or long-paused) scenario costs no I/O.
+func (s *Scenario) autoCheckpointLoop(store checkpointStore, interval time.Duration, logf func(string, ...any)) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var written bool
+	var lastRecords uint64
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+		if written && s.eng.Records() == lastRecords {
+			continue
+		}
+		ck, err := s.AutoCheckpoint()
+		if err != nil {
+			logf("scenario %s: auto-checkpoint: %v", s.ID(), err)
+			continue
+		}
+		if ck == nil {
+			continue // nothing worth persisting yet
+		}
+		path, err := store.write(ck)
+		if err != nil {
+			logf("scenario %s: auto-checkpoint write: %v", s.ID(), err)
+			continue
+		}
+		written, lastRecords = true, ck.Engine.Records
+		logf("scenario %s: auto-checkpoint at %d/%d days -> %s",
+			s.ID(), ck.DaysClosed, ck.TotalDays, path)
+	}
+}
+
 // shutdown aborts any in-flight replay (waking a paused one), closes the
 // hub so SSE handlers end, and waits for the replay goroutine to exit.
 // Called by Registry.Delete.
@@ -559,6 +699,9 @@ func (s *Scenario) shutdown() {
 	started := s.state != StateCreated
 	s.eng.Resume()
 	s.mu.Unlock()
+	if s.ckLoopDone != nil {
+		<-s.ckLoopDone // no checkpoint writes may outlive the scenario
+	}
 	s.hub.Close()
 	if started {
 		<-s.done // run() closes the engine on its way out

@@ -16,6 +16,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 )
@@ -54,6 +56,11 @@ const DefaultMaxCreateBytes = 256 << 20
 // reached; the HTTP layer maps it to 429.
 var ErrTooManyScenarios = errors.New("serve: scenario limit reached")
 
+// ErrScenarioExists is returned by Create when the requested ID is
+// taken. moasd's boot path checks for it so a restart whose flag
+// scenarios were already recovered from checkpoints does not die.
+var ErrScenarioExists = errors.New("serve: scenario already exists")
+
 // Registry is the set of scenarios one moasd process hosts.
 type Registry struct {
 	// Logf, when non-nil, receives scenario lifecycle log lines (moasd
@@ -62,6 +69,10 @@ type Registry struct {
 
 	// Limits bounds the registry; set it before serving traffic.
 	Limits Limits
+
+	// Durability enables crash-safe auto-checkpointing (durable.go); set
+	// it before serving traffic and before Recover.
+	Durability Durability
 
 	mu        sync.RWMutex
 	scenarios map[string]*Scenario
@@ -122,13 +133,40 @@ func (r *Registry) Create(cfg ScenarioConfig) (*Scenario, error) {
 	if _, taken := r.scenarios[cfg.ID]; taken {
 		r.mu.Unlock()
 		s.shutdown()
-		return nil, fmt.Errorf("scenario %q already exists", cfg.ID)
+		return nil, fmt.Errorf("%w: %q", ErrScenarioExists, cfg.ID)
 	}
 	s.setID(cfg.ID)
+	if r.Durability.enabled() {
+		// Assign before the scenario becomes reachable: shutdown() reads
+		// ckLoopDone without a lock, so the write must happen-before any
+		// Delete/Close can find the scenario in the map.
+		s.ckLoopDone = make(chan struct{})
+	}
 	r.scenarios[cfg.ID] = s
 	r.mu.Unlock()
+	if s.ckLoopDone != nil {
+		go func() {
+			defer close(s.ckLoopDone)
+			s.autoCheckpointLoop(r.storeFor(cfg.ID), r.Durability.interval(), r.logf)
+		}()
+	}
 	r.logf("scenario %s: created (%s)", s.ID(), cfg.describeSource())
 	return s, nil
+}
+
+// storeFor returns the scenario's on-disk checkpoint store.
+func (r *Registry) storeFor(id string) checkpointStore {
+	return checkpointStore{dir: filepath.Join(r.Durability.Dir, id), keep: r.Durability.keep()}
+}
+
+// LatestCheckpoint returns the path of the scenario's newest on-disk
+// checkpoint file, or false when durability is off or nothing has been
+// written yet. The GET checkpoint endpoint serves these bytes.
+func (r *Registry) LatestCheckpoint(id string) (string, bool) {
+	if !r.Durability.enabled() {
+		return "", false
+	}
+	return r.storeFor(id).latest()
 }
 
 // Get returns the scenario with the given id, or nil.
@@ -152,7 +190,9 @@ func (r *Registry) List() []*Scenario {
 
 // Delete removes the scenario, aborting its replay if one is in flight
 // (a paused replay is woken to abort) and closing its event hub so SSE
-// handlers end. Returns false when no such scenario exists.
+// handlers end. With durability on, the scenario's checkpoint directory
+// is removed too — a deleted scenario must not resurrect at the next
+// boot's Recover. Returns false when no such scenario exists.
 func (r *Registry) Delete(id string) bool {
 	r.mu.Lock()
 	s := r.scenarios[id]
@@ -162,6 +202,77 @@ func (r *Registry) Delete(id string) bool {
 		return false
 	}
 	s.shutdown()
+	if r.Durability.enabled() {
+		if err := os.RemoveAll(r.storeFor(id).dir); err != nil {
+			r.logf("scenario %s: removing checkpoint dir: %v", id, err)
+		}
+	}
 	r.logf("scenario %s: deleted", id)
 	return true
+}
+
+// Close shuts every scenario down — aborting replays, closing hubs,
+// stopping auto-checkpoint loops — without touching on-disk checkpoints.
+// It is the graceful half of process shutdown; Recover at the next boot
+// is the other half. The registry is empty but reusable afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	scs := make([]*Scenario, 0, len(r.scenarios))
+	for id, s := range r.scenarios {
+		scs = append(scs, s)
+		delete(r.scenarios, id)
+	}
+	r.mu.Unlock()
+	for _, s := range scs {
+		s.shutdown()
+	}
+}
+
+// Recover scans the durability directory and re-creates scenarios from
+// their newest valid on-disk checkpoints, resuming each replay
+// mid-archive. Per scenario the newest file wins; a corrupt or
+// truncated file (the likely fate of the very checkpoint a crash
+// interrupted) falls back to the next older one. Scenarios that cannot
+// be recovered at all are logged and skipped — one rotted directory
+// must not take down the boot. Returns the number of scenarios
+// recovered.
+func (r *Registry) Recover() (int, error) {
+	if !r.Durability.enabled() {
+		return 0, nil
+	}
+	ents, err := os.ReadDir(r.Durability.Dir)
+	if os.IsNotExist(err) {
+		return 0, nil // first boot: nothing persisted yet
+	}
+	if err != nil {
+		return 0, fmt.Errorf("serve: recover: %w", err)
+	}
+	recovered := 0
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		id := ent.Name()
+		if err := validateID(id); err != nil {
+			r.logf("recover: skipping %s: %v", id, err)
+			continue
+		}
+		ck, path, ok := r.storeFor(id).recoverNewest(r.logf)
+		if !ok {
+			r.logf("recover: scenario %s: no usable checkpoint", id)
+			continue
+		}
+		s, err := r.Create(ScenarioConfig{ID: id, Source: SourceCheckpoint, Checkpoint: ck})
+		if err != nil {
+			r.logf("recover: scenario %s: %v", id, err)
+			continue
+		}
+		if err := s.Start(); err != nil {
+			r.logf("recover: scenario %s: %v", id, err)
+			continue
+		}
+		r.logf("scenario %s: recovered from %s (%d/%d days)", id, path, ck.DaysClosed, ck.TotalDays)
+		recovered++
+	}
+	return recovered, nil
 }

@@ -1,0 +1,239 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+
+	"moas/internal/bgp"
+	"moas/internal/binenc"
+	"moas/internal/kernel"
+)
+
+// The binary checkpoint format — the full-archive-scale encoding of
+// Checkpoint. JSON stays the portable API form (the /checkpoint
+// endpoint's payload); this is what the auto-checkpoint loop writes to
+// disk, where route attribute blocks dominate and hex-in-JSON would
+// double them. Layout:
+//
+//	magic "MCKP" | uvarint version
+//	frame: cursor — varint lastClosedDay, uvarint messages/ops/records
+//	frame: kernel — the kernel snapshot in its own binary format
+//	frame: routes — uvarint prefix count, then per prefix:
+//	                prefix, uvarint route count, then per route:
+//	                16-byte peer IP, uvarint peer AS,
+//	                uvarint length + raw attribute wire bytes
+//
+// DecodeCheckpoint sniffs the two encodings apart by the magic, so
+// pre-binary JSON checkpoints keep restoring unchanged.
+
+// checkpointMagic introduces a binary engine checkpoint. Like the kernel
+// snapshot magic, its first byte can never open a JSON document.
+var checkpointMagic = []byte("MCKP")
+
+// routesSizeHint estimates the encoded route section's size (the bulk
+// of a full-scale checkpoint) so buffers grow once, not by doubling.
+func routesSizeHint(ck *Checkpoint) int {
+	n := 64
+	for i := range ck.Routes {
+		n += 24
+		for j := range ck.Routes[i].Routes {
+			n += 16 + 8 + len(ck.Routes[i].Routes[j].Attrs)/2
+		}
+	}
+	return n
+}
+
+// AppendCheckpointBinary appends ck's binary encoding to dst. It fails
+// on a checkpoint whose hex fields do not decode (which Checkpoint never
+// produces).
+func AppendCheckpointBinary(dst []byte, ck *Checkpoint) ([]byte, error) {
+	if ck.Kernel == nil {
+		return nil, fmt.Errorf("stream: checkpoint has no kernel snapshot")
+	}
+	ksec, err := kernel.AppendSnapshotBinary(nil, ck.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	routesHint := routesSizeHint(ck)
+	if dst == nil {
+		dst = make([]byte, 0, len(ksec)+routesHint+64)
+	}
+	dst = append(dst, checkpointMagic...)
+	dst = binary.AppendUvarint(dst, uint64(ck.Version))
+
+	cur := binary.AppendVarint(nil, int64(ck.LastClosedDay))
+	cur = binary.AppendUvarint(cur, ck.Messages)
+	cur = binary.AppendUvarint(cur, ck.Ops)
+	cur = binary.AppendUvarint(cur, ck.Records)
+	dst = binenc.AppendFrame(dst, cur)
+	dst = binenc.AppendFrame(dst, ksec)
+
+	sec := make([]byte, 0, routesHint)
+	sec = binary.AppendUvarint(sec, uint64(len(ck.Routes)))
+	for i := range ck.Routes {
+		pr := &ck.Routes[i]
+		p, perr := bgp.ParsePrefix(pr.Prefix)
+		if perr != nil {
+			return nil, fmt.Errorf("stream: encode route prefix %q: %w", pr.Prefix, perr)
+		}
+		sec = binenc.AppendPrefix(sec, p)
+		sec = binary.AppendUvarint(sec, uint64(len(pr.Routes)))
+		for j := range pr.Routes {
+			// Hex decodes land directly in the output buffer: at
+			// full-scan scale the route section dominates the encode, and
+			// per-route hex.DecodeString allocations would make the
+			// binary codec slower than the JSON one it exists to beat.
+			rt := &pr.Routes[j]
+			if len(rt.PeerIP) != 32 {
+				return nil, fmt.Errorf("stream: encode peer ip %q: bad 16-byte hex", rt.PeerIP)
+			}
+			var herr error
+			if sec, herr = appendHexDecoded(sec, rt.PeerIP); herr != nil {
+				return nil, fmt.Errorf("stream: encode peer ip %q: %w", rt.PeerIP, herr)
+			}
+			sec = binary.AppendUvarint(sec, uint64(rt.PeerAS))
+			sec = binary.AppendUvarint(sec, uint64(len(rt.Attrs)/2))
+			if sec, herr = appendHexDecoded(sec, rt.Attrs); herr != nil {
+				return nil, fmt.Errorf("stream: encode attrs for %s: %w", pr.Prefix, herr)
+			}
+		}
+	}
+	dst = binenc.AppendFrame(dst, sec)
+	return dst, nil
+}
+
+// unhexTable maps an ASCII byte to its hex value, -1 for non-hex — a
+// table lookup instead of branches, because at full-scan scale the
+// encoder pushes megabytes of hex through this path per checkpoint.
+var unhexTable = func() (t [256]int8) {
+	for i := range t {
+		t[i] = -1
+	}
+	for c := byte('0'); c <= '9'; c++ {
+		t[c] = int8(c - '0')
+	}
+	for c := byte('a'); c <= 'f'; c++ {
+		t[c] = int8(c-'a') + 10
+	}
+	for c := byte('A'); c <= 'F'; c++ {
+		t[c] = int8(c-'A') + 10
+	}
+	return t
+}()
+
+// appendHexDecoded appends the raw decoding of a hex string to dst
+// without intermediate allocation.
+func appendHexDecoded(dst []byte, s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd-length hex")
+	}
+	n := len(dst)
+	dst = slices.Grow(dst, len(s)/2)[:n+len(s)/2]
+	for i, j := 0, n; i < len(s); i, j = i+2, j+1 {
+		hi, lo := unhexTable[s[i]], unhexTable[s[i+1]]
+		if hi < 0 || lo < 0 {
+			return nil, fmt.Errorf("bad hex byte at %d", i)
+		}
+		dst[j] = byte(hi)<<4 | byte(lo)
+	}
+	return dst, nil
+}
+
+// EncodeCheckpointBinary writes the checkpoint in the binary format.
+func EncodeCheckpointBinary(w io.Writer, ck *Checkpoint) error {
+	buf, err := AppendCheckpointBinary(nil, ck)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// EncodeCheckpointJSON writes the checkpoint as compact JSON — the
+// portable, inspectable form the HTTP checkpoint endpoint also serves.
+func EncodeCheckpointJSON(w io.Writer, ck *Checkpoint) error {
+	return json.NewEncoder(w).Encode(ck)
+}
+
+// DecodeCheckpointBinary parses a binary checkpoint and validates its
+// version. Hostile input errors; it never panics or over-allocates.
+func DecodeCheckpointBinary(data []byte) (*Checkpoint, error) {
+	if !bytes.HasPrefix(data, checkpointMagic) {
+		return nil, fmt.Errorf("stream: not a binary checkpoint (bad magic)")
+	}
+	r := binenc.NewReader(data[len(checkpointMagic):])
+	ck := &Checkpoint{Version: int(r.Uvarint())}
+	if r.Err() == nil && ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("stream: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	}
+
+	cur := r.Frame()
+	ck.LastClosedDay = cur.Int()
+	ck.Messages = cur.Uvarint()
+	ck.Ops = cur.Uvarint()
+	ck.Records = cur.Uvarint()
+	if err := binenc.FirstErr(cur, r); err != nil {
+		return nil, fmt.Errorf("stream: decode checkpoint cursor: %w", err)
+	}
+
+	ksec := r.Frame()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("stream: decode checkpoint kernel: %w", err)
+	}
+	snap, err := kernel.DecodeSnapshotBinary(ksec.Bytes(ksec.Len()))
+	if err != nil {
+		return nil, err
+	}
+	ck.Kernel = snap
+
+	sec := r.Frame()
+	// A route entry is at least 3 bytes (2-byte prefix, zero routes).
+	n := sec.Count(3)
+	for i := 0; i < n; i++ {
+		pr := PrefixRoutes{Prefix: sec.Prefix().String()}
+		// 18 bytes minimum per route: 16-byte IP, AS, empty attrs.
+		nr := sec.Count(18)
+		for j := 0; j < nr; j++ {
+			rt := PeerRouteSnap{PeerIP: hex.EncodeToString(sec.Bytes(16))}
+			rt.PeerAS = bgp.ASN(sec.Uvarint())
+			rt.Attrs = hex.EncodeToString(sec.Bytes(sec.Count(1)))
+			pr.Routes = append(pr.Routes, rt)
+		}
+		ck.Routes = append(ck.Routes, pr)
+	}
+	if err := binenc.FirstErr(sec, r); err != nil {
+		return nil, fmt.Errorf("stream: decode checkpoint routes: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("stream: %d trailing bytes after binary checkpoint", r.Len())
+	}
+	return ck, nil
+}
+
+// DecodeCheckpoint reads an engine checkpoint in either format, sniffing
+// the content: the binary magic selects the binary codec, anything else
+// parses as JSON. Restore-side sniffing is what lets checkpoint archives
+// mix generations — a directory of old JSON checkpoints keeps working
+// after the writer switches to binary.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("stream: read checkpoint: %w", err)
+	}
+	if bytes.HasPrefix(data, checkpointMagic) {
+		return DecodeCheckpointBinary(data)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("stream: decode checkpoint: %w", err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("stream: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	}
+	return &ck, nil
+}

@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"moas/internal/bgp"
+)
+
+// tinyCheckpoint builds a small, fully deterministic engine checkpoint
+// by scripting updates directly instead of replaying an archive: three
+// peers, three prefixes, a conflict that starts, churns origin and
+// class, and one that dissolves, across three closed days. Checkpoint
+// output is sorted everywhere, so the bytes are stable run to run —
+// which is what the golden fixtures, fuzz seed corpus, and the
+// byte-by-byte damage scan need (the real archive checkpoint is
+// megabytes; scanning it per byte would be quadratic).
+func tinyCheckpoint(t testing.TB) *Checkpoint {
+	t.Helper()
+	e := New(Config{Shards: 2})
+	peer := func(last byte, as bgp.ASN) PeerKey {
+		var k PeerKey
+		k.IP[15] = last
+		k.AS = as
+		return k
+	}
+	p1, p2 := peer(1, 701), peer(2, 3356)
+	p3 := peer(3, 1239)
+	pa := bgp.MustParsePrefix("10.0.0.0/8")
+	pb := bgp.MustParsePrefix("192.0.2.0/24")
+	pc := bgp.MustParsePrefix("2001:db8::/32")
+	ann := func(day int, pk PeerKey, p bgp.Prefix, path ...bgp.ASN) {
+		e.ApplyUpdate(day, pk, &bgp.Update{NLRI: []bgp.Prefix{p}, Attrs: &bgp.Attrs{ASPath: bgp.Seq(path...)}})
+	}
+	ann(0, p1, pa, 701, 9)
+	ann(0, p2, pa, 3356, 7) // pa: MOAS 7 vs 9
+	ann(0, p1, pb, 701, 42)
+	ann(0, p3, pc, 1239, 64500)
+	e.CloseDay(0)
+	ann(1, p3, pa, 1239, 2914, 11) // pa origin set grows
+	ann(1, p2, pb, 3356, 43)       // pb: MOAS 42 vs 43
+	e.CloseDay(1)
+	e.ApplyUpdate(2, p2, &bgp.Update{Withdrawn: []bgp.Prefix{pb}}) // pb dissolves
+	e.CloseDay(2)
+	e.Close()
+	return e.Checkpoint()
+}
+
+// TestBinaryCheckpointRoundTrip: the binary codec must reproduce the
+// exact checkpoint image, the sniffing decoder must accept both
+// encodings, and the binary form must actually be smaller (the reason it
+// exists).
+func TestBinaryCheckpointRoundTrip(t *testing.T) {
+	sc, _, _ := fixtures(t)
+	ck, _ := checkpointAtDay(t, Config{Shards: 2}, len(ScenarioCalendar(sc).Days)/2)
+	if len(ck.Routes) == 0 || len(ck.Kernel.Prefixes) == 0 {
+		t.Fatalf("fixture checkpoint too empty to prove anything")
+	}
+
+	bin, err := AppendCheckpointBinary(nil, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := EncodeCheckpointJSON(&js, ck); err != nil {
+		t.Fatal(err)
+	}
+	if len(bin) >= js.Len() {
+		t.Fatalf("binary checkpoint (%d bytes) not smaller than JSON (%d bytes)", len(bin), js.Len())
+	}
+	for name, blob := range map[string][]byte{"binary": bin, "json": js.Bytes()} {
+		decoded, err := DecodeCheckpoint(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("sniffing decode of %s: %v", name, err)
+		}
+		if !reflect.DeepEqual(ck, decoded) {
+			t.Fatalf("sniffing decode of %s changed the checkpoint", name)
+		}
+	}
+}
+
+// TestBinaryCheckpointResumeMatchesUninterrupted: a mid-archive
+// checkpoint crossing the binary codec and restored into a different
+// shard layout finishes the archive in exactly the uninterrupted
+// engine's state — the binary counterpart of the JSON resume test.
+func TestBinaryCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	sc, archive, _ := fixtures(t)
+	cal := ScenarioCalendar(sc)
+
+	ck, daysClosed := checkpointAtDay(t, Config{Shards: 4}, len(cal.Days)/3)
+	bin, err := AppendCheckpointBinary(nil, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thawed, err := DecodeCheckpoint(bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewFromCheckpoint(Config{Shards: 2}, thawed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = restored.Replay(bytes.NewReader(archive), cal, &ReplayOptions{
+		Resume: &ReplayPosition{Records: thawed.Records, DaysClosed: daysClosed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Close()
+
+	want := replayAll(t, Config{Shards: 3})
+	diffRegistries(t, want.Registry(), restored.Registry())
+	if w, g := want.Events(), restored.Events(); !reflect.DeepEqual(w, g) {
+		t.Fatalf("event logs differ: %d vs %d events", len(w), len(g))
+	}
+	if w, g := sortSpans(want.Spans()), sortSpans(restored.Spans()); !reflect.DeepEqual(w, g) {
+		t.Fatalf("spans differ:\nwant %v\n got %v", w, g)
+	}
+	ws, gs := want.Stats(), restored.Stats()
+	if ws.Messages != gs.Messages || ws.Ops != gs.Ops || ws.Events != gs.Events ||
+		ws.LastClosedDay != gs.LastClosedDay || ws.ActiveConflicts != gs.ActiveConflicts ||
+		ws.TotalConflicts != gs.TotalConflicts || ws.Lifecycle != gs.Lifecycle {
+		t.Fatalf("stats differ:\nwant %+v\n got %+v", ws, gs)
+	}
+}
+
+// TestBinaryCheckpointRejectsDamage: truncation at every byte boundary,
+// magic corruption, trailing garbage and version skew must error — never
+// panic.
+func TestBinaryCheckpointRejectsDamage(t *testing.T) {
+	ck := tinyCheckpoint(t)
+	bin, err := AppendCheckpointBinary(nil, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeCheckpointBinary(append(bytes.Clone(bin), 0x01)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	for cut := 0; cut < len(bin); cut++ {
+		if _, err := DecodeCheckpointBinary(bin[:cut]); err == nil {
+			t.Fatalf("truncation at byte %d accepted", cut)
+		}
+	}
+	bad := bytes.Clone(bin)
+	bad[0] = 'J'
+	if _, err := DecodeCheckpointBinary(bad); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+
+	ck.Version = 99
+	futureBin, err := AppendCheckpointBinary(nil, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpointBinary(futureBin); err == nil {
+		t.Fatal("version-99 binary checkpoint accepted")
+	}
+}

@@ -30,7 +30,7 @@ func sortSpans(spans []analysis.Span) []analysis.Span {
 // day closes, pauses there, waits for the park, checkpoints, and aborts
 // the rest of the replay. It returns the checkpoint and the number of
 // days closed.
-func checkpointAtDay(t *testing.T, cfg Config, stopAfterDays int) (*Checkpoint, int) {
+func checkpointAtDay(t testing.TB, cfg Config, stopAfterDays int) (*Checkpoint, int) {
 	t.Helper()
 	sc, archive, _ := fixtures(t)
 	cal := ScenarioCalendar(sc)

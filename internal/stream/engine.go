@@ -206,6 +206,13 @@ func (e *Engine) pauseGate() chan struct{} {
 	return e.paused
 }
 
+// Records returns the number of MRT records fully consumed by Replay —
+// the checkpoint cursor (Checkpoint.Records). The auto-checkpoint loop
+// reads it as a cheap progress probe to skip writes when nothing moved.
+func (e *Engine) Records() uint64 {
+	return e.recs.Load()
+}
+
 // Close flushes remaining work, stops the workers and waits for them to
 // drain. The engine stays queryable; it only stops accepting updates.
 func (e *Engine) Close() {

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkpointCorpusSeeds returns the fuzz seed inputs: a real mid-archive
+// checkpoint in both encodings plus damaged variants. The same bytes are
+// committed under testdata/fuzz/FuzzCheckpointRestore (see
+// TestGenerateCheckpointFuzzCorpus).
+func checkpointCorpusSeeds(t testing.TB) map[string][]byte {
+	t.Helper()
+	ck := tinyCheckpoint(t)
+	bin, err := AppendCheckpointBinary(nil, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := EncodeCheckpointJSON(&js, ck); err != nil {
+		t.Fatal(err)
+	}
+	flipped := bytes.Clone(bin)
+	flipped[len(flipped)/3] ^= 0x10
+	return map[string][]byte{
+		"binary":           bin,
+		"json":             js.Bytes(),
+		"binary-truncated": bin[:len(bin)/2],
+		"json-truncated":   js.Bytes()[:js.Len()/2],
+		"binary-flipped":   flipped,
+		"empty":            {},
+	}
+}
+
+// FuzzCheckpointRestore is the checkpoint surface's robustness claim:
+// any byte string fed to the sniffing decoder either errors or yields a
+// checkpoint that NewFromCheckpoint restores into a fully usable engine
+// (queries, spans, a re-checkpoint in both codecs) — or rejects, without
+// panicking or leaking shard goroutines either way.
+func FuzzCheckpointRestore(f *testing.F) {
+	for _, seed := range checkpointCorpusSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		e, err := NewFromCheckpoint(Config{Shards: 2}, ck)
+		if err != nil {
+			return
+		}
+		defer e.Close()
+		e.Stats()
+		e.ActiveConflicts()
+		e.Spans()
+		out := e.Checkpoint()
+		if _, err := AppendCheckpointBinary(nil, out); err != nil {
+			t.Fatalf("restored engine re-encodes with error: %v", err)
+		}
+		if err := EncodeCheckpointJSON(&bytes.Buffer{}, out); err != nil {
+			t.Fatalf("restored engine re-encodes to JSON with error: %v", err)
+		}
+	})
+}
+
+// TestGenerateCheckpointFuzzCorpus rewrites the committed seed corpus
+// from the current codecs; a skip unless MOAS_GEN_FUZZ_CORPUS=1.
+func TestGenerateCheckpointFuzzCorpus(t *testing.T) {
+	if os.Getenv("MOAS_GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set MOAS_GEN_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckpointRestore")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range checkpointCorpusSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

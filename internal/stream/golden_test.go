@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"moas/internal/bgp"
+)
+
+// The golden fixtures pin the v1 checkpoint formats: a scripted engine
+// checkpoint committed in both encodings plus the state summary it must
+// restore to. Future codec changes that can't read these bytes — or
+// read them into different state — fail here instead of silently
+// orphaning every archived checkpoint. Regenerate (only after a
+// deliberate, version-bumped format change) with MOAS_GEN_GOLDEN=1.
+const (
+	goldenJSON   = "testdata/checkpoint_v1.json"
+	goldenBinary = "testdata/checkpoint_v1.mckpt"
+	goldenExpect = "testdata/checkpoint_v1.expect.json"
+)
+
+// goldenSummary is the restored-state image the fixtures are compared
+// against: the replay cursor plus the full conflict registry.
+type goldenSummary struct {
+	LastClosedDay   int              `json:"last_closed_day"`
+	Messages        uint64           `json:"messages"`
+	Ops             uint64           `json:"ops"`
+	Records         uint64           `json:"records"`
+	Events          int              `json:"events"`
+	ActiveConflicts int              `json:"active_conflicts"`
+	Conflicts       []goldenConflict `json:"conflicts"`
+}
+
+type goldenConflict struct {
+	Prefix       string    `json:"prefix"`
+	FirstDay     int       `json:"first_day"`
+	LastDay      int       `json:"last_day"`
+	DaysObserved int       `json:"days_observed"`
+	OriginsEver  []bgp.ASN `json:"origins_ever"`
+	ClassDays    []int     `json:"class_days"`
+}
+
+// summarize restores ck into an engine and extracts the golden image.
+func summarize(t testing.TB, ck *Checkpoint) *goldenSummary {
+	t.Helper()
+	e, err := NewFromCheckpoint(Config{Shards: 2}, ck)
+	if err != nil {
+		t.Fatalf("restore golden checkpoint: %v", err)
+	}
+	defer e.Close()
+	st := e.Stats()
+	sum := &goldenSummary{
+		LastClosedDay:   st.LastClosedDay,
+		Messages:        st.Messages,
+		Ops:             st.Ops,
+		Records:         e.Records(),
+		Events:          st.Events,
+		ActiveConflicts: st.ActiveConflicts,
+	}
+	for _, c := range e.Registry().Conflicts() {
+		sum.Conflicts = append(sum.Conflicts, goldenConflict{
+			Prefix:       c.Prefix.String(),
+			FirstDay:     c.FirstDay,
+			LastDay:      c.LastDay,
+			DaysObserved: c.DaysObserved,
+			OriginsEver:  c.OriginsEver,
+			ClassDays:    c.ClassDays[:],
+		})
+	}
+	return sum
+}
+
+func marshalSummary(t testing.TB, sum *goldenSummary) []byte {
+	t.Helper()
+	blob, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(blob, '\n')
+}
+
+// TestGoldenCheckpointsRestore is the compatibility battery: both
+// committed v1 fixtures must still decode — through the sniffing entry
+// point — and restore to exactly the committed state summary.
+func TestGoldenCheckpointsRestore(t *testing.T) {
+	want, err := os.ReadFile(goldenExpect)
+	if err != nil {
+		t.Fatalf("missing golden expectation (regenerate with MOAS_GEN_GOLDEN=1): %v", err)
+	}
+	for _, path := range []string{goldenJSON, goldenBinary} {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden fixture (regenerate with MOAS_GEN_GOLDEN=1): %v", err)
+		}
+		ck, err := DecodeCheckpoint(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("%s no longer decodes: %v", path, err)
+		}
+		got := marshalSummary(t, summarize(t, ck))
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s restores to different state than committed:\nwant %s\n got %s", path, want, got)
+		}
+	}
+}
+
+// TestGenerateGoldenCheckpoints rewrites the fixtures from the current
+// codecs; a skip unless MOAS_GEN_GOLDEN=1.
+func TestGenerateGoldenCheckpoints(t *testing.T) {
+	if os.Getenv("MOAS_GEN_GOLDEN") == "" {
+		t.Skip("set MOAS_GEN_GOLDEN=1 to regenerate golden checkpoints")
+	}
+	ck := tinyCheckpoint(t)
+	if err := os.MkdirAll(filepath.Dir(goldenJSON), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := EncodeCheckpointJSON(&js, ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenJSON, js.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := AppendCheckpointBinary(nil, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenBinary, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenExpect, marshalSummary(t, summarize(t, ck)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
