@@ -15,15 +15,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench records the streaming perf trajectory: the replay throughput,
-# shard-reassess hot-path and checkpoint-codec (JSON vs binary — ns/op
-# plus encoded size via the bytes metric) benchmarks, in the standard Go
-# benchmark text format benchstat consumes, written to BENCH_stream.json.
-# Compare two recordings with: benchstat old.json BENCH_stream.json
+# bench records the streaming perf trajectory: the replay throughput
+# (with allocs/update and distinct-attrs), the update-decode old-vs-Into
+# comparison, the shard-reassess hot path and the checkpoint codecs
+# (JSON vs binary v1 vs binary v2 — ns/op plus encoded size via the
+# bytes metric), in the standard Go benchmark text format benchstat
+# consumes, written to BENCH_stream.json. Compare two recordings with:
+# benchstat old.json BENCH_stream.json (CI's bench-trend job does this
+# against the previous run automatically).
 # (Redirect-then-cat, not tee: a pipe would let a failing benchmark run
 # exit 0 through tee and upload a garbage artifact.)
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkStreamReplay|BenchmarkShardReassess|BenchmarkCheckpointEncode' \
+	$(GO) test -run XXX -bench 'BenchmarkStreamReplay|BenchmarkDecodeUpdate|BenchmarkShardReassess|BenchmarkCheckpointEncode' \
 		-benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) ./internal/stream \
 		> BENCH_stream.json || { cat BENCH_stream.json; exit 1; }
 	@cat BENCH_stream.json

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served by -pprof only
 	"os"
 	"runtime"
 
@@ -30,20 +31,33 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8643", "HTTP listen address")
-		scale    = flag.String("scenario", "", `create and start a synthesized scenario at this scale: "small" (two months) or "full" (the paper's 1279 days)`)
-		mrtPath  = flag.String("mrt", "", "create and start a scenario replaying this MRT BGP4MP file (plain or gzipped)")
-		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "prefix-space worker shards per scenario")
-		rate     = flag.Float64("days-per-sec", 0, "replay pacing in observed days per second (0 = as fast as possible)")
-		history  = flag.Int("history", 256, "lifecycle events retained per prefix (0 or -1 = unlimited)")
-		maxScen  = flag.Int("max-scenarios", 0, "maximum concurrently hosted scenarios; further creates get 429 (0 = unlimited)")
-		maxSubs  = flag.Int("max-subscribers", 0, "maximum SSE subscribers per scenario; further subscribes get 429 (0 = unlimited)")
-		ringSize = flag.Int("event-ring", serve.DefaultEventRing, "per-scenario resume buffer: events a reconnecting SSE client can catch up on via Last-Event-ID")
-		ckptDir  = flag.String("checkpoint-dir", "", "root directory for periodic per-scenario auto-checkpoints; scanned at boot to recover scenarios after a crash (empty = durability off)")
-		ckptInt  = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "auto-checkpoint period per scenario")
-		ckptKeep = flag.Int("checkpoint-keep", serve.DefaultCheckpointKeep, "checkpoint files retained per scenario (rotation depth)")
+		listen    = flag.String("listen", ":8643", "HTTP listen address")
+		scale     = flag.String("scenario", "", `create and start a synthesized scenario at this scale: "small" (two months) or "full" (the paper's 1279 days)`)
+		mrtPath   = flag.String("mrt", "", "create and start a scenario replaying this MRT BGP4MP file (plain or gzipped)")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "prefix-space worker shards per scenario")
+		rate      = flag.Float64("days-per-sec", 0, "replay pacing in observed days per second (0 = as fast as possible)")
+		history   = flag.Int("history", 256, "lifecycle events retained per prefix (0 or -1 = unlimited)")
+		maxScen   = flag.Int("max-scenarios", 0, "maximum concurrently hosted scenarios; further creates get 429 (0 = unlimited)")
+		maxSubs   = flag.Int("max-subscribers", 0, "maximum SSE subscribers per scenario; further subscribes get 429 (0 = unlimited)")
+		ringSize  = flag.Int("event-ring", serve.DefaultEventRing, "per-scenario resume buffer: events a reconnecting SSE client can catch up on via Last-Event-ID")
+		ckptDir   = flag.String("checkpoint-dir", "", "root directory for periodic per-scenario auto-checkpoints; scanned at boot to recover scenarios after a crash (empty = durability off)")
+		ckptInt   = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "auto-checkpoint period per scenario")
+		ckptKeep  = flag.Int("checkpoint-keep", serve.DefaultCheckpointKeep, "checkpoint files retained per scenario (rotation depth)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side listener (e.g. localhost:6060); empty disables it. Keep it off public interfaces — profiles expose internals and the endpoint has no auth")
 	)
 	flag.Parse()
+
+	// Profiling rides a separate listener so production replay hotspots
+	// (decode stage, shard workers, checkpoint encodes) are diagnosable
+	// without exposing pprof on the public API address.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("moasd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	reg := serve.NewRegistry()
 	reg.Logf = log.Printf

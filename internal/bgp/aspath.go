@@ -383,3 +383,43 @@ func decodePathSized(b []byte, size int) (Path, error) {
 	}
 	return p, nil
 }
+
+// decodePathSizedInto is decodePathSized with storage reuse: segments are
+// decoded into dst's existing slots, each slot keeping its previous ASes
+// backing array. Decoding a stream of paths through one scratch Path is
+// allocation-free in steady state. Only sound when nothing aliases dst's
+// old contents (the AttrsInterner's scratch decode).
+func decodePathSizedInto(dst Path, b []byte, size int) (Path, error) {
+	dst = dst[:0]
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("%w: truncated segment header", ErrBadPath)
+		}
+		t, n := SegmentType(b[0]), int(b[1])
+		if t != SegSet && t != SegSequence {
+			return nil, fmt.Errorf("%w: segment type %d", ErrBadPath, t)
+		}
+		b = b[2:]
+		if len(b) < size*n {
+			return nil, fmt.Errorf("%w: truncated segment body", ErrBadPath)
+		}
+		if len(dst) < cap(dst) {
+			dst = dst[:len(dst)+1]
+		} else {
+			dst = append(dst, Segment{})
+		}
+		seg := &dst[len(dst)-1]
+		seg.Type = t
+		ases := seg.ASes[:0]
+		for i := 0; i < n; i++ {
+			if size == 4 {
+				ases = append(ases, ASN(be32(b[4*i:])))
+			} else {
+				ases = append(ases, ASN(b[2*i])<<8|ASN(b[2*i+1]))
+			}
+		}
+		seg.ASes = ases
+		b = b[size*n:]
+	}
+	return dst, nil
+}

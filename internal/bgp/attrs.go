@@ -188,6 +188,22 @@ func (a *Attrs) DecodeAttrs(b []byte) error { return a.DecodeAttrsEx(b, false) }
 
 // DecodeAttrsEx is DecodeAttrs with selectable ASN width (see AppendWireEx).
 func (a *Attrs) DecodeAttrsEx(b []byte, asn4 bool) error {
+	return a.decodeAttrsEx(b, asn4, false)
+}
+
+// decodeAttrsEx is the shared implementation. With reuse set it recycles
+// a's previous backing storage — path segments (including their AS
+// arrays), the communities slice and the aggregator value — so decoding a
+// stream of blocks through one scratch Attrs allocates nothing in steady
+// state. Reuse is only sound when nothing else aliases a's old contents;
+// the AttrsInterner's scratch is the intended caller.
+func (a *Attrs) decodeAttrsEx(b []byte, asn4, reuse bool) error {
+	var oldPath Path
+	var oldComm []uint32
+	var oldAgg *Aggregator
+	if reuse {
+		oldPath, oldComm, oldAgg = a.ASPath, a.Communities[:0], a.Aggregator
+	}
 	*a = Attrs{}
 	for len(b) > 0 {
 		if len(b) < 3 {
@@ -218,10 +234,14 @@ func (a *Attrs) DecodeAttrsEx(b []byte, asn4 bool) error {
 		case AttrASPath:
 			var p Path
 			var err error
+			size := 2
 			if asn4 {
-				p, err = DecodePathWire4(body)
+				size = 4
+			}
+			if reuse {
+				p, err = decodePathSizedInto(oldPath, body, size)
 			} else {
-				p, err = DecodePathWire(body)
+				p, err = decodePathSized(body, size)
 			}
 			if err != nil {
 				return err
@@ -265,12 +285,21 @@ func (a *Attrs) DecodeAttrsEx(b []byte, asn4 bool) error {
 				agg.AS = ASN(body[0])<<8 | ASN(body[1])
 				copy(agg.Addr[:], body[2:6])
 			}
-			a.Aggregator = &agg
+			if reuse && oldAgg != nil {
+				*oldAgg = agg
+				a.Aggregator = oldAgg
+			} else {
+				a.Aggregator = &agg
+			}
 		case AttrCommunities:
 			if len(body)%4 != 0 {
 				return fmt.Errorf("%w: COMMUNITIES length %d", ErrBadAttrs, len(body))
 			}
-			a.Communities = make([]uint32, 0, len(body)/4)
+			if reuse {
+				a.Communities = oldComm
+			} else {
+				a.Communities = make([]uint32, 0, len(body)/4)
+			}
 			for i := 0; i+4 <= len(body); i += 4 {
 				a.Communities = append(a.Communities, be32(body[i:]))
 			}

@@ -1,0 +1,188 @@
+package bgp
+
+import (
+	"bytes"
+	"sync/atomic"
+)
+
+// AttrsInterner is a hash-consing table for decoded path attribute blocks,
+// keyed by their exact wire bytes. Real BGP update streams are dominated
+// by a small set of distinct attribute blocks (the same AS-path announced
+// for thousands of prefixes, re-announced across peers), so interning
+// turns the per-update attribute decode — the allocation hot spot of an
+// archive replay — into a hash probe that allocates nothing on a hit and
+// returns one canonical *Attrs per distinct block.
+//
+// Misses are nearly allocation-free too: the block is decoded into a
+// reusable scratch value and then committed into chunked arenas (Attrs
+// values, path segments, AS numbers, communities, key bytes), so the
+// steady-state cost of N distinct blocks is O(N) bytes in a handful of
+// chunk allocations rather than several heap objects per block. The
+// arenas only grow — an interner's footprint is proportional to the
+// distinct blocks it has seen, which for BGP feeds is small and stable.
+//
+// Canonicalization is by wire bytes, not by decoded value: identical wire
+// bytes always yield the same pointer, so pointer equality is a sound
+// fast path for "attributes unchanged". Two different wire encodings of
+// the same logical attributes (attribute reordering, 2- vs 4-octet AS
+// width) produce different pointers; consumers that need full equality
+// must fall back to Attrs.Equal when the pointers differ.
+//
+// Interned Attrs values are shared and must be treated as immutable by
+// every holder.
+//
+// Intern is single-goroutine (one interner per decode stream); Len is
+// safe to call concurrently with Intern, which is what lets an engine's
+// stats endpoint report the distinct-block count mid-replay.
+type AttrsInterner struct {
+	asn4 bool
+	// m maps an FNV-1a hash of the wire bytes to the head of a chain of
+	// entries (collisions resolved by byte comparison). Indexing entries
+	// by position keeps the table pointer-free and the probe alloc-free.
+	m       map[uint64]int32
+	entries []internEntry
+	n       atomic.Int64
+
+	scratch Attrs // reusable decode target for misses
+
+	// Arenas. attrsArena and aggArena hand out interior pointers, so a
+	// full chunk is replaced rather than grown (append within capacity
+	// never moves the backing array). The slice arenas hand out
+	// full-capacity sub-slices, so appends by holders cannot bleed into
+	// neighboring allocations.
+	attrsArena []Attrs
+	aggArena   []Aggregator
+	segArena   []Segment
+	asnArena   []ASN
+	u32Arena   []uint32
+	keyArena   []byte
+}
+
+type internEntry struct {
+	wire  []byte // exact attribute block bytes (keyArena sub-slice)
+	attrs *Attrs
+	next  int32 // chain link, -1 terminates
+}
+
+// NewAttrsInterner returns an empty interner. asn4 selects the 4-octet
+// AS wire encoding (see DecodeAttrsEx); an interner is bound to one
+// encoding because the same bytes decode differently under the other.
+func NewAttrsInterner(asn4 bool) *AttrsInterner {
+	return &AttrsInterner{asn4: asn4, m: make(map[uint64]int32, 256)}
+}
+
+// Intern returns the canonical *Attrs for the attribute block wire,
+// decoding and caching it on first sight. A hit performs zero
+// allocations; a miss amortizes to near zero through the arenas. The
+// returned value is shared: callers must not mutate it.
+func (in *AttrsInterner) Intern(wire []byte) (*Attrs, error) {
+	h := hashBytes(wire)
+	head, ok := in.m[h]
+	if ok {
+		for i := head; i >= 0; i = in.entries[i].next {
+			if bytes.Equal(in.entries[i].wire, wire) {
+				return in.entries[i].attrs, nil
+			}
+		}
+	} else {
+		head = -1
+	}
+	if err := in.scratch.decodeAttrsEx(wire, in.asn4, true); err != nil {
+		return nil, err
+	}
+	a := in.allocAttrs()
+	*a = in.scratch
+	a.ASPath = in.copyPath(in.scratch.ASPath)
+	a.Communities = in.copyU32(in.scratch.Communities)
+	if in.scratch.Aggregator != nil {
+		a.Aggregator = in.allocAgg(*in.scratch.Aggregator)
+	}
+	in.entries = append(in.entries, internEntry{wire: in.copyKey(wire), attrs: a, next: head})
+	in.m[h] = int32(len(in.entries) - 1)
+	in.n.Add(1)
+	return a, nil
+}
+
+// Len returns the number of distinct attribute blocks interned so far.
+// Safe to call concurrently with Intern.
+func (in *AttrsInterner) Len() int {
+	return int(in.n.Load())
+}
+
+// hashBytes is FNV-1a over the wire bytes.
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+func (in *AttrsInterner) allocAttrs() *Attrs {
+	if len(in.attrsArena) == cap(in.attrsArena) {
+		in.attrsArena = make([]Attrs, 0, 512)
+	}
+	in.attrsArena = append(in.attrsArena, Attrs{})
+	return &in.attrsArena[len(in.attrsArena)-1]
+}
+
+func (in *AttrsInterner) allocAgg(v Aggregator) *Aggregator {
+	if len(in.aggArena) == cap(in.aggArena) {
+		in.aggArena = make([]Aggregator, 0, 64)
+	}
+	in.aggArena = append(in.aggArena, v)
+	return &in.aggArena[len(in.aggArena)-1]
+}
+
+// copyPath deep-copies p into the segment and ASN arenas. The segments of
+// one path are contiguous, so the Path itself is an arena sub-slice too.
+func (in *AttrsInterner) copyPath(p Path) Path {
+	if p == nil {
+		return nil
+	}
+	if len(in.segArena)+len(p) > cap(in.segArena) {
+		in.segArena = make([]Segment, 0, max(512, len(p)))
+	}
+	off := len(in.segArena)
+	for _, s := range p {
+		in.segArena = append(in.segArena, Segment{Type: s.Type, ASes: in.copyASNs(s.ASes)})
+	}
+	end := len(in.segArena)
+	return Path(in.segArena[off:end:end])
+}
+
+func (in *AttrsInterner) copyASNs(v []ASN) []ASN {
+	if v == nil {
+		return nil
+	}
+	if len(in.asnArena)+len(v) > cap(in.asnArena) {
+		in.asnArena = make([]ASN, 0, max(4096, len(v)))
+	}
+	off := len(in.asnArena)
+	in.asnArena = append(in.asnArena, v...)
+	end := len(in.asnArena)
+	return in.asnArena[off:end:end]
+}
+
+func (in *AttrsInterner) copyU32(v []uint32) []uint32 {
+	if v == nil {
+		return nil
+	}
+	if len(in.u32Arena)+len(v) > cap(in.u32Arena) {
+		in.u32Arena = make([]uint32, 0, max(1024, len(v)))
+	}
+	off := len(in.u32Arena)
+	in.u32Arena = append(in.u32Arena, v...)
+	end := len(in.u32Arena)
+	return in.u32Arena[off:end:end]
+}
+
+func (in *AttrsInterner) copyKey(b []byte) []byte {
+	if len(in.keyArena)+len(b) > cap(in.keyArena) {
+		in.keyArena = make([]byte, 0, max(1<<16, len(b)))
+	}
+	off := len(in.keyArena)
+	in.keyArena = append(in.keyArena, b...)
+	end := len(in.keyArena)
+	return in.keyArena[off:end:end]
+}

@@ -99,27 +99,40 @@ func AppendKeepalive(dst []byte) []byte {
 	return appendHeader(dst, MsgKeepalive, 0)
 }
 
+// MessageBody validates one BGP message header (marker, length bounds)
+// and returns its type code and body without decoding the body — the
+// allocation-free front half of DecodeMessage, for callers that dispatch
+// on the type themselves (the streaming replay decodes only UPDATEs this
+// way). The body borrows b.
+func MessageBody(b []byte) (msgType byte, body []byte, err error) {
+	if len(b) < headerLen {
+		return 0, nil, fmt.Errorf("%w: short header", ErrBadMessage)
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != 0xFF {
+			return 0, nil, fmt.Errorf("%w: bad marker", ErrBadMessage)
+		}
+	}
+	total := int(b[16])<<8 | int(b[17])
+	msgType = b[18]
+	if total < headerLen || total > maxMsgLen {
+		return 0, nil, fmt.Errorf("%w: length %d", ErrBadMessage, total)
+	}
+	if len(b) < total {
+		return 0, nil, fmt.Errorf("%w: truncated body", ErrBadMessage)
+	}
+	return msgType, b[headerLen:total], nil
+}
+
 // DecodeMessage decodes one BGP message from b, returning the decoded
 // message (*Open, *Update, *Notification, or nil for KEEPALIVE), the number
 // of bytes consumed, and any error.
 func DecodeMessage(b []byte) (msg any, n int, err error) {
-	if len(b) < headerLen {
-		return nil, 0, fmt.Errorf("%w: short header", ErrBadMessage)
+	msgType, body, err := MessageBody(b)
+	if err != nil {
+		return nil, 0, err
 	}
-	for i := 0; i < 16; i++ {
-		if b[i] != 0xFF {
-			return nil, 0, fmt.Errorf("%w: bad marker", ErrBadMessage)
-		}
-	}
-	total := int(b[16])<<8 | int(b[17])
-	msgType := b[18]
-	if total < headerLen || total > maxMsgLen {
-		return nil, 0, fmt.Errorf("%w: length %d", ErrBadMessage, total)
-	}
-	if len(b) < total {
-		return nil, 0, fmt.Errorf("%w: truncated body", ErrBadMessage)
-	}
-	body := b[headerLen:total]
+	total := headerLen + len(body)
 	switch msgType {
 	case MsgOpen:
 		m, err := decodeOpen(body)
@@ -163,42 +176,68 @@ func decodeOpen(body []byte) (*Open, error) {
 // 19-byte header); MRT BGP4MP records embed whole messages, while
 // TABLE_DUMP records embed bare attribute blocks decoded via Attrs.
 func DecodeUpdateBody(body []byte) (*Update, error) {
+	m := &Update{}
+	if err := DecodeUpdateBodyInto(m, body, nil); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeUpdateBodyInto is the reuse form of DecodeUpdateBody: it decodes
+// into u, truncating and reusing u's Withdrawn and NLRI backing arrays,
+// so decoding a stream of updates through one Update performs zero
+// steady-state allocations. When in is non-nil the path attribute block
+// is resolved through the interner — u.Attrs then points at the shared
+// canonical value for those wire bytes and must not be mutated; when in
+// is nil a fresh Attrs is decoded, as DecodeUpdateBody always did. On
+// error u is left partially filled and must not be used.
+func DecodeUpdateBodyInto(u *Update, body []byte, in *AttrsInterner) error {
+	u.Withdrawn = u.Withdrawn[:0]
+	u.NLRI = u.NLRI[:0]
+	u.Attrs = nil
 	if len(body) < 4 {
-		return nil, fmt.Errorf("%w: short update", ErrBadMessage)
+		return fmt.Errorf("%w: short update", ErrBadMessage)
 	}
 	wdLen := int(body[0])<<8 | int(body[1])
 	if len(body) < 2+wdLen+2 {
-		return nil, fmt.Errorf("%w: truncated withdrawn block", ErrBadMessage)
+		return fmt.Errorf("%w: truncated withdrawn block", ErrBadMessage)
 	}
-	m := &Update{}
 	wd := body[2 : 2+wdLen]
 	for len(wd) > 0 {
 		p, n, err := DecodeNLRI(wd, FamilyIPv4)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m.Withdrawn = append(m.Withdrawn, p)
+		u.Withdrawn = append(u.Withdrawn, p)
 		wd = wd[n:]
 	}
 	rest := body[2+wdLen:]
 	attrLen := int(rest[0])<<8 | int(rest[1])
 	if len(rest) < 2+attrLen {
-		return nil, fmt.Errorf("%w: truncated attribute block", ErrBadMessage)
+		return fmt.Errorf("%w: truncated attribute block", ErrBadMessage)
 	}
 	if attrLen > 0 {
-		m.Attrs = new(Attrs)
-		if err := m.Attrs.DecodeAttrs(rest[2 : 2+attrLen]); err != nil {
-			return nil, err
+		if in != nil {
+			a, err := in.Intern(rest[2 : 2+attrLen])
+			if err != nil {
+				return err
+			}
+			u.Attrs = a
+		} else {
+			u.Attrs = new(Attrs)
+			if err := u.Attrs.DecodeAttrs(rest[2 : 2+attrLen]); err != nil {
+				return err
+			}
 		}
 	}
 	nlri := rest[2+attrLen:]
 	for len(nlri) > 0 {
 		p, n, err := DecodeNLRI(nlri, FamilyIPv4)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m.NLRI = append(m.NLRI, p)
+		u.NLRI = append(u.NLRI, p)
 		nlri = nlri[n:]
 	}
-	return m, nil
+	return nil
 }

@@ -107,6 +107,12 @@ type Obs struct {
 // state is one prefix's assessed conflict state.
 type state struct {
 	origins []bgp.ASN // current origin set (ascending); in conflict iff len >= 2
+	// escaped marks origins' backing array as aliased by an emitted event
+	// (Origins of the event that committed it). While false the backing
+	// is exclusively the kernel's and may be overwritten in place, which
+	// is what makes eventless origin churn — single-origin route flap,
+	// the bulk of a real feed — allocation-free.
+	escaped bool
 	class   core.Class
 	seq     uint64 // lifecycle event ordinal for this prefix
 	since   int    // day the current activation started
@@ -136,6 +142,13 @@ type Kernel struct {
 	// active set (state.since) on demand.
 	closedSpans []Span
 	evBuf       []Event // Apply's reused return buffer
+	// stateArena allocates state values in chunks and freeStates recycles
+	// deleted ones, so prefixes that flap between announced and withdrawn
+	// (created, deleted as "no lifecycle worth keeping", re-created) do
+	// not allocate a fresh state per cycle.
+	stateArena []state
+	freeStates []*state
+	asnArena   []bgp.ASN // chunked backing for unescaped origin commits
 }
 
 // New returns an empty kernel.
@@ -173,43 +186,110 @@ func (k *Kernel) Apply(o Obs) []Event {
 		if len(origins) == 0 {
 			return nil // never tracked and observed absent: nothing to do
 		}
-		st = &state{}
+		st = k.newState()
 		k.states[o.Prefix] = st
 	}
 
-	// Commit a copy: st.origins and emitted events must not alias the
-	// caller's scratch, which the next assessment overwrites.
-	var committed []bgp.ASN
-	if len(origins) > 0 {
-		committed = append(make([]bgp.ASN, 0, len(origins)), origins...)
-	}
-	was, now := len(prevOrigins) >= 2, len(committed) >= 2
-	ev := Event{Day: o.Day, Prefix: o.Prefix, Origins: committed, PrevOrigins: prevOrigins, Class: class, PrevClass: prevClass}
+	// The lifecycle transition is decided before the commit so the commit
+	// can reuse st.origins' backing in place for the eventless case; an
+	// emitted event aliases both the old set (PrevOrigins) and the new
+	// (Origins), so it forces a fresh copy.
+	was, now := len(prevOrigins) >= 2, len(origins) >= 2
+	var evType EventType
 	switch {
 	case !was && now:
-		ev.Type = EventConflictStart
+		evType = EventConflictStart
+	case was && !now:
+		evType = EventConflictEnd
+	case was && now && !sameSet:
+		evType = EventOriginChange
+	case was && now && class != prevClass:
+		evType = EventClassChange
+	}
+
+	// Commit: st.origins and emitted events must not alias the caller's
+	// scratch, which the next assessment overwrites.
+	var committed []bgp.ASN
+	if evType == 0 && !st.escaped && cap(st.origins) >= len(origins) {
+		committed = append(st.origins[:0], origins...)
+	} else if len(origins) > 0 {
+		if evType == 0 && !st.escaped {
+			// Eventless commit outgrowing its backing — in practice a
+			// fresh state's first single-origin set. Nothing escapes it,
+			// so it can come from the chunked arena; it stays with the
+			// state (and its recycled successors) from here on.
+			committed = append(k.allocOrigins(len(origins)), origins...)
+		} else {
+			committed = append(make([]bgp.ASN, 0, len(origins)), origins...)
+		}
+	}
+	ev := Event{Type: evType, Day: o.Day, Prefix: o.Prefix, Origins: committed, PrevOrigins: prevOrigins, Class: class, PrevClass: prevClass}
+	switch evType {
+	case EventConflictStart:
 		st.since = o.Day
 		k.active[o.Prefix] = struct{}{}
-	case was && !now:
-		ev.Type = EventConflictEnd
+	case EventConflictEnd:
 		ev.Origins = nil
 		delete(k.active, o.Prefix)
 		k.closedSpans = append(k.closedSpans, Span{Start: st.since, End: o.Day})
-	case was && now && !sameSet:
-		ev.Type = EventOriginChange
-	case was && now && class != prevClass:
-		ev.Type = EventClassChange
 	}
 	st.origins, st.class = committed, class
+	// An end event's committed set (at most one origin) is not carried by
+	// the event, so its backing stays exclusively the kernel's.
+	st.escaped = evType != 0 && evType != EventConflictEnd && len(committed) > 0
 	if len(st.origins) == 0 && st.seq == 0 {
-		delete(k.states, o.Prefix) // fully withdrawn, no lifecycle worth keeping
+		// Fully withdrawn, no lifecycle worth keeping: recycle the state.
+		// Organically seq == 0 implies no event here, but a hostile
+		// snapshot can restore >=2 origins with Seq 0, making this very
+		// observation emit a conflict-end — emit() below would then write
+		// into a recycled state and corrupt the free list, so such a
+		// state is dropped to the GC instead.
+		delete(k.states, o.Prefix)
+		if evType == 0 {
+			k.freeState(st)
+		}
 	}
-	if ev.Type == 0 {
+	if evType == 0 {
 		return nil // sub-conflict origin churn (e.g. one origin to another)
 	}
 	k.emit(st, &ev)
 	k.evBuf = append(k.evBuf[:0], ev)
 	return k.evBuf
+}
+
+// newState returns a zeroed state, recycling freed ones and carving fresh
+// ones from the chunked arena.
+func (k *Kernel) newState() *state {
+	if n := len(k.freeStates); n > 0 {
+		st := k.freeStates[n-1]
+		k.freeStates = k.freeStates[:n-1]
+		return st
+	}
+	if len(k.stateArena) == cap(k.stateArena) {
+		k.stateArena = make([]state, 0, 512)
+	}
+	k.stateArena = append(k.stateArena, state{})
+	return &k.stateArena[len(k.stateArena)-1]
+}
+
+// allocOrigins reserves an n-capacity, zero-length origin slice from the
+// chunked arena. The full-capacity bound keeps a later in-place reuse
+// from appending into a neighbor's reservation.
+func (k *Kernel) allocOrigins(n int) []bgp.ASN {
+	if len(k.asnArena)+n > cap(k.asnArena) {
+		k.asnArena = make([]bgp.ASN, 0, max(1024, n))
+	}
+	off := len(k.asnArena)
+	k.asnArena = k.asnArena[:off+n]
+	return k.asnArena[off : off : off+n]
+}
+
+// freeState recycles st, keeping its origins backing for reuse. Only
+// lifecycle-free states reach here (seq == 0, hence no emitted event and
+// no escaped backing), so nothing aliases the state or its slices.
+func (k *Kernel) freeState(st *state) {
+	*st = state{origins: st.origins[:0]}
+	k.freeStates = append(k.freeStates, st)
 }
 
 func (k *Kernel) emit(st *state, ev *Event) {

@@ -19,6 +19,14 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// Reset repoints the Reader at a new source, keeping its internal buffers
+// (the 64 KiB read-ahead and the record body scratch). Together with Next's
+// body reuse it makes reading N records — or re-reading the same archive —
+// an O(1)-allocation affair, which the ingest alloc gate depends on.
+func (r *Reader) Reset(src io.Reader) {
+	r.br.Reset(src)
+}
+
 // Next returns the next raw record. The record's Body is valid only until
 // the following Next call; callers keeping data must copy it (the typed
 // Decode* methods already copy what they retain). Next returns io.EOF at a

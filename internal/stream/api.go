@@ -57,6 +57,7 @@ type statsJSON struct {
 	Messages        uint64         `json:"messages"`
 	Ops             uint64         `json:"ops"`
 	LastClosedDay   int            `json:"last_closed_day"`
+	DistinctAttrs   int            `json:"distinct_attrs"`
 	ActiveConflicts int            `json:"active_conflicts"`
 	TotalConflicts  int            `json:"total_conflicts"`
 	Events          int            `json:"events"`
@@ -201,6 +202,7 @@ func statsToJSON(e *Engine) statsJSON {
 		Messages:        st.Messages,
 		Ops:             st.Ops,
 		LastClosedDay:   st.LastClosedDay,
+		DistinctAttrs:   st.DistinctAttrs,
 		ActiveConflicts: st.ActiveConflicts,
 		TotalConflicts:  st.TotalConflicts,
 		Events:          st.Events,

@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -12,7 +13,12 @@ import (
 
 // BenchmarkStreamReplay measures full-archive replay throughput at 1, 4
 // and GOMAXPROCS shards. The custom updates/s metric is the trajectory
-// number future PRs track (b.SetBytes additionally reports archive MB/s).
+// number future PRs track (b.SetBytes additionally reports archive MB/s);
+// allocs/update is the zero-alloc-ingest claim at replay granularity
+// (whole-replay allocations — engine construction, interner misses,
+// kernel state — amortized over the update count), and distinct-attrs is
+// how many attribute blocks the interner actually deduplicated the
+// archive onto.
 func BenchmarkStreamReplay(b *testing.B) {
 	sc, archive, _ := fixtures(b)
 	cal := ScenarioCalendar(sc)
@@ -22,6 +28,9 @@ func BenchmarkStreamReplay(b *testing.B) {
 			b.SetBytes(int64(len(archive)))
 			b.ReportAllocs()
 			var msgs uint64
+			var distinct int
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e := New(Config{Shards: shards})
@@ -30,13 +39,75 @@ func BenchmarkStreamReplay(b *testing.B) {
 				}
 				e.Close()
 				msgs = e.Stats().Messages
+				distinct = e.DistinctAttrs()
 			}
 			b.StopTimer()
+			runtime.ReadMemStats(&m1)
+			if total := msgs * uint64(b.N); total > 0 {
+				b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(total), "allocs/update")
+			}
+			b.ReportMetric(float64(distinct), "distinct-attrs")
 			if sec := b.Elapsed().Seconds(); sec > 0 {
 				b.ReportMetric(float64(msgs)*float64(b.N)/sec, "updates/s")
 			}
 		})
 	}
+}
+
+// BenchmarkDecodeUpdate compares the two UPDATE-body decoders over a
+// realistic mixed wire corpus: the allocating DecodeUpdateBody (fresh
+// Update, fresh Attrs per message) against DecodeUpdateBodyInto with a
+// reused Update and a warm interner — the replay decode stage's
+// configuration, which must run at 0 allocs/op.
+func BenchmarkDecodeUpdate(b *testing.B) {
+	bodies := updateWireCorpus()
+	b.Run("variant=old", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bgp.DecodeUpdateBody(bodies[i%len(bodies)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("variant=into", func(b *testing.B) {
+		var u bgp.Update
+		in := bgp.NewAttrsInterner(false)
+		for _, body := range bodies { // warm the interner
+			if err := bgp.DecodeUpdateBodyInto(&u, body, in); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := bgp.DecodeUpdateBodyInto(&u, bodies[i%len(bodies)], in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// updateWireCorpus builds a spread of UPDATE message bodies: varying
+// NLRI fan-out, withdrawals, and a few dozen distinct attribute blocks.
+func updateWireCorpus() [][]byte {
+	var bodies [][]byte
+	for i := 0; i < 64; i++ {
+		u := bgp.Update{
+			Attrs: &bgp.Attrs{
+				ASPath:  bgp.Seq(bgp.ASN(64000+i%4), 1239, bgp.ASN(64500+i%29)),
+				NextHop: [4]byte{10, 0, byte(i), 1},
+			},
+		}
+		for j := 0; j <= i%7; j++ {
+			u.NLRI = append(u.NLRI, bgp.PrefixFromUint32(uint32(10<<24|i<<16|j<<8), 24))
+		}
+		if i%5 == 0 {
+			u.Withdrawn = append(u.Withdrawn, bgp.PrefixFromUint32(uint32(172<<24|i<<8), 24))
+		}
+		msg := u.AppendWire(nil)
+		bodies = append(bodies, msg[19:]) // strip the BGP header
+	}
+	return bodies
 }
 
 // Full-scan-scale checkpoint fixture for the codec benchmark: tens of
@@ -90,39 +161,44 @@ func (w *countWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// BenchmarkCheckpointEncode compares the two checkpoint codecs at
+// BenchmarkCheckpointEncode compares the three checkpoint codecs at
 // full-scan-scale state — ns/op via the timer, encoded size via the
 // bytes metric (and MB/s via SetBytes). This is the recorded evidence
-// that the binary format earns its keep: it must be measurably smaller
-// and faster than JSON, or durability should go back to one codec.
+// that each binary generation earns its keep: v1 must beat JSON, and the
+// v2 container's shared attrs-block table (codec=binary, the production
+// writer) must be measurably smaller than v1 on the same corpus.
 func BenchmarkCheckpointEncode(b *testing.B) {
 	ck := bigCheckpoint(b)
-	b.Run("codec=json", func(b *testing.B) {
-		var size int64
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			var w countWriter
-			if err := EncodeCheckpointJSON(&w, ck); err != nil {
-				b.Fatal(err)
+	codecs := []struct {
+		name string
+		enc  func(io.Writer, *Checkpoint) error
+	}{
+		{"codec=json", EncodeCheckpointJSON},
+		{"codec=binaryv1", func(w io.Writer, ck *Checkpoint) error {
+			buf, err := AppendCheckpointBinaryV1(nil, ck)
+			if err != nil {
+				return err
 			}
-			size = w.n
-		}
-		b.SetBytes(size)
-		b.ReportMetric(float64(size), "bytes")
-	})
-	b.Run("codec=binary", func(b *testing.B) {
-		var size int64
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			var w countWriter
-			if err := EncodeCheckpointBinary(&w, ck); err != nil {
-				b.Fatal(err)
+			_, err = w.Write(buf)
+			return err
+		}},
+		{"codec=binary", EncodeCheckpointBinary},
+	}
+	for _, c := range codecs {
+		b.Run(c.name, func(b *testing.B) {
+			var size int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var w countWriter
+				if err := c.enc(&w, ck); err != nil {
+					b.Fatal(err)
+				}
+				size = w.n
 			}
-			size = w.n
-		}
-		b.SetBytes(size)
-		b.ReportMetric(float64(size), "bytes")
-	})
+			b.SetBytes(size)
+			b.ReportMetric(float64(size), "bytes")
+		})
+	}
 }
 
 // BenchmarkShardReassess measures the per-op cost of the reassess hot
@@ -131,7 +207,7 @@ func BenchmarkCheckpointEncode(b *testing.B) {
 // feed). The origin-set recompute runs into the shard's reusable scratch,
 // so allocs/op must be 0 — the regression this benchmark guards.
 func BenchmarkShardReassess(b *testing.B) {
-	s := newShard(1, 0, false, nil)
+	s := newShard(1, 0, false, nil, nil)
 	p := bgp.MustParsePrefix("10.0.0.0/8")
 	peerA := PeerKey{IP: [16]byte{1}, AS: 701}
 	peerB := PeerKey{IP: [16]byte{2}, AS: 3356}

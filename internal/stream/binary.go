@@ -18,26 +18,59 @@ import (
 // Checkpoint. JSON stays the portable API form (the /checkpoint
 // endpoint's payload); this is what the auto-checkpoint loop writes to
 // disk, where route attribute blocks dominate and hex-in-JSON would
-// double them. Layout:
+// double them.
 //
-//	magic "MCKP" | uvarint version
-//	frame: cursor — varint lastClosedDay, uvarint messages/ops/records
-//	frame: kernel — the kernel snapshot in its own binary format
-//	frame: routes — uvarint prefix count, then per prefix:
-//	                prefix, uvarint route count, then per route:
-//	                16-byte peer IP, uvarint peer AS,
-//	                uvarint length + raw attribute wire bytes
+// The container carries its own format version after the magic, separate
+// from the Checkpoint struct version it stores:
 //
-// DecodeCheckpoint sniffs the two encodings apart by the magic, so
-// pre-binary JSON checkpoints keep restoring unchanged.
+//	container v1 (legacy, decode-only):
+//	  magic "MCKP" | uvarint struct version
+//	  frame: cursor — varint lastClosedDay, uvarint messages/ops/records
+//	  frame: kernel — the kernel snapshot in its own binary format
+//	  frame: routes — uvarint prefix count, then per prefix:
+//	                  prefix, uvarint route count, then per route:
+//	                  16-byte peer IP, uvarint peer AS,
+//	                  uvarint length + raw attribute wire bytes
+//
+//	container v2 (written by AppendCheckpointBinary):
+//	  magic "MCKP" | uvarint 2 | uvarint struct version
+//	  frame: cursor — as v1
+//	  frame: kernel — as v1
+//	  frame: attrs — uvarint block count, then per block:
+//	                 uvarint length + raw attribute wire bytes
+//	  frame: routes — uvarint prefix count, then per prefix:
+//	                  prefix, uvarint route count, then per route:
+//	                  16-byte peer IP, uvarint peer AS,
+//	                  uvarint attrs-block index
+//
+// v2 exploits the same redundancy the ingest interner does: a table's
+// routes share a small set of distinct attribute blocks, so each block is
+// written once and routes reference it by index — most of a v1
+// checkpoint's bytes were those blocks repeated per route. The v1 value
+// in the version slot can never be 2 (it was the struct version, fixed at
+// 1), so one uvarint read disambiguates the containers, and
+// DecodeCheckpoint still sniffs binary apart from JSON by the magic —
+// archives mixing JSON, v1 and v2 files all restore.
 
 // checkpointMagic introduces a binary engine checkpoint. Like the kernel
 // snapshot magic, its first byte can never open a JSON document.
 var checkpointMagic = []byte("MCKP")
 
-// routesSizeHint estimates the encoded route section's size (the bulk
-// of a full-scale checkpoint) so buffers grow once, not by doubling.
-func routesSizeHint(ck *Checkpoint) int {
+// checkpointContainerV2 is the container format version introduced with
+// the shared attrs-block table.
+const checkpointContainerV2 = 2
+
+// appendCursor appends the cursor section shared by both containers.
+func appendCursor(ck *Checkpoint) []byte {
+	cur := binary.AppendVarint(nil, int64(ck.LastClosedDay))
+	cur = binary.AppendUvarint(cur, ck.Messages)
+	cur = binary.AppendUvarint(cur, ck.Ops)
+	return binary.AppendUvarint(cur, ck.Records)
+}
+
+// routesSizeHintV1 estimates the v1 route section's size (the bulk of a
+// full-scale checkpoint) so buffers grow once, not by doubling.
+func routesSizeHintV1(ck *Checkpoint) int {
 	n := 64
 	for i := range ck.Routes {
 		n += 24
@@ -48,9 +81,9 @@ func routesSizeHint(ck *Checkpoint) int {
 	return n
 }
 
-// AppendCheckpointBinary appends ck's binary encoding to dst. It fails
-// on a checkpoint whose hex fields do not decode (which Checkpoint never
-// produces).
+// AppendCheckpointBinary appends ck's binary encoding — container v2,
+// with the shared attrs-block table — to dst. It fails on a checkpoint
+// whose hex fields do not decode (which Checkpoint never produces).
 func AppendCheckpointBinary(dst []byte, ck *Checkpoint) ([]byte, error) {
 	if ck.Kernel == nil {
 		return nil, fmt.Errorf("stream: checkpoint has no kernel snapshot")
@@ -59,18 +92,97 @@ func AppendCheckpointBinary(dst []byte, ck *Checkpoint) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	routesHint := routesSizeHint(ck)
+
+	// First pass: the distinct attribute blocks, in first-use order, and
+	// the total route count (for the routes-section size hint).
+	blockIdx := make(map[string]uint64, 256)
+	var blocks []string
+	nroutes := 0
+	attrBytes := 0
+	for i := range ck.Routes {
+		for j := range ck.Routes[i].Routes {
+			nroutes++
+			a := ck.Routes[i].Routes[j].Attrs
+			if _, ok := blockIdx[a]; !ok {
+				blockIdx[a] = uint64(len(blocks))
+				blocks = append(blocks, a)
+				attrBytes += len(a) / 2
+			}
+		}
+	}
+
+	asec := make([]byte, 0, attrBytes+4*len(blocks)+8)
+	asec = binary.AppendUvarint(asec, uint64(len(blocks)))
+	for _, a := range blocks {
+		asec = binary.AppendUvarint(asec, uint64(len(a)/2))
+		var herr error
+		if asec, herr = appendHexDecoded(asec, a); herr != nil {
+			return nil, fmt.Errorf("stream: encode attrs block %q: %w", a, herr)
+		}
+	}
+
+	rsec := make([]byte, 0, 24*len(ck.Routes)+20*nroutes+8)
+	rsec = binary.AppendUvarint(rsec, uint64(len(ck.Routes)))
+	for i := range ck.Routes {
+		pr := &ck.Routes[i]
+		p, perr := bgp.ParsePrefix(pr.Prefix)
+		if perr != nil {
+			return nil, fmt.Errorf("stream: encode route prefix %q: %w", pr.Prefix, perr)
+		}
+		rsec = binenc.AppendPrefix(rsec, p)
+		rsec = binary.AppendUvarint(rsec, uint64(len(pr.Routes)))
+		for j := range pr.Routes {
+			rt := &pr.Routes[j]
+			if len(rt.PeerIP) != 32 {
+				return nil, fmt.Errorf("stream: encode peer ip %q: bad 16-byte hex", rt.PeerIP)
+			}
+			var herr error
+			if rsec, herr = appendHexDecoded(rsec, rt.PeerIP); herr != nil {
+				return nil, fmt.Errorf("stream: encode peer ip %q: %w", rt.PeerIP, herr)
+			}
+			rsec = binary.AppendUvarint(rsec, uint64(rt.PeerAS))
+			rsec = binary.AppendUvarint(rsec, blockIdx[rt.Attrs])
+		}
+	}
+
+	if dst == nil {
+		dst = make([]byte, 0, len(ksec)+len(asec)+len(rsec)+96)
+	}
+	dst = append(dst, checkpointMagic...)
+	dst = binary.AppendUvarint(dst, checkpointContainerV2)
+	dst = binary.AppendUvarint(dst, uint64(ck.Version))
+	dst = binenc.AppendFrame(dst, appendCursor(ck))
+	dst = binenc.AppendFrame(dst, ksec)
+	dst = binenc.AppendFrame(dst, asec)
+	dst = binenc.AppendFrame(dst, rsec)
+	return dst, nil
+}
+
+// AppendCheckpointBinaryV1 appends the legacy container-v1 encoding
+// (attribute bytes repeated per route). Kept for the codec benchmark's
+// v1-vs-v2 comparison and the golden fixture generator; production
+// writers use AppendCheckpointBinary.
+func AppendCheckpointBinaryV1(dst []byte, ck *Checkpoint) ([]byte, error) {
+	if ck.Kernel == nil {
+		return nil, fmt.Errorf("stream: checkpoint has no kernel snapshot")
+	}
+	if ck.Version == checkpointContainerV2 {
+		// The v1 version slot doubles as the container discriminator; a
+		// struct version equal to the v2 marker would make the bytes
+		// ambiguous on decode.
+		return nil, fmt.Errorf("stream: struct version %d cannot be encoded in the v1 container", ck.Version)
+	}
+	ksec, err := kernel.AppendSnapshotBinary(nil, ck.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	routesHint := routesSizeHintV1(ck)
 	if dst == nil {
 		dst = make([]byte, 0, len(ksec)+routesHint+64)
 	}
 	dst = append(dst, checkpointMagic...)
 	dst = binary.AppendUvarint(dst, uint64(ck.Version))
-
-	cur := binary.AppendVarint(nil, int64(ck.LastClosedDay))
-	cur = binary.AppendUvarint(cur, ck.Messages)
-	cur = binary.AppendUvarint(cur, ck.Ops)
-	cur = binary.AppendUvarint(cur, ck.Records)
-	dst = binenc.AppendFrame(dst, cur)
+	dst = binenc.AppendFrame(dst, appendCursor(ck))
 	dst = binenc.AppendFrame(dst, ksec)
 
 	sec := make([]byte, 0, routesHint)
@@ -160,14 +272,22 @@ func EncodeCheckpointJSON(w io.Writer, ck *Checkpoint) error {
 	return json.NewEncoder(w).Encode(ck)
 }
 
-// DecodeCheckpointBinary parses a binary checkpoint and validates its
-// version. Hostile input errors; it never panics or over-allocates.
+// DecodeCheckpointBinary parses a binary checkpoint — either container
+// version — and validates its struct version. Hostile input errors; it
+// never panics or over-allocates.
 func DecodeCheckpointBinary(data []byte) (*Checkpoint, error) {
 	if !bytes.HasPrefix(data, checkpointMagic) {
 		return nil, fmt.Errorf("stream: not a binary checkpoint (bad magic)")
 	}
 	r := binenc.NewReader(data[len(checkpointMagic):])
+	// Container v1 stored the struct version (always 1) in this slot, so
+	// the value doubles as the container discriminator.
+	v2 := false
 	ck := &Checkpoint{Version: int(r.Uvarint())}
+	if r.Err() == nil && ck.Version == checkpointContainerV2 {
+		v2 = true
+		ck.Version = int(r.Uvarint())
+	}
 	if r.Err() == nil && ck.Version != CheckpointVersion {
 		return nil, fmt.Errorf("stream: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
 	}
@@ -191,17 +311,42 @@ func DecodeCheckpointBinary(data []byte) (*Checkpoint, error) {
 	}
 	ck.Kernel = snap
 
+	// v2: the shared attrs-block table the route entries index into.
+	var blocks []string
+	if v2 {
+		asec := r.Frame()
+		nb := asec.Count(1)
+		blocks = make([]string, nb)
+		for i := 0; i < nb; i++ {
+			blocks[i] = hex.EncodeToString(asec.Bytes(asec.Count(1)))
+		}
+		if err := binenc.FirstErr(asec, r); err != nil {
+			return nil, fmt.Errorf("stream: decode checkpoint attrs table: %w", err)
+		}
+	}
+
 	sec := r.Frame()
 	// A route entry is at least 3 bytes (2-byte prefix, zero routes).
 	n := sec.Count(3)
 	for i := 0; i < n; i++ {
 		pr := PrefixRoutes{Prefix: sec.Prefix().String()}
-		// 18 bytes minimum per route: 16-byte IP, AS, empty attrs.
+		// Minimum bytes per route: 16-byte IP + AS + (v1: empty attrs
+		// length | v2: block index) = 18 either way.
 		nr := sec.Count(18)
 		for j := 0; j < nr; j++ {
 			rt := PeerRouteSnap{PeerIP: hex.EncodeToString(sec.Bytes(16))}
 			rt.PeerAS = bgp.ASN(sec.Uvarint())
-			rt.Attrs = hex.EncodeToString(sec.Bytes(sec.Count(1)))
+			if v2 {
+				idx := sec.Uvarint()
+				if sec.Err() == nil {
+					if idx >= uint64(len(blocks)) {
+						return nil, fmt.Errorf("stream: checkpoint attrs index %d beyond %d-block table", idx, len(blocks))
+					}
+					rt.Attrs = blocks[idx]
+				}
+			} else {
+				rt.Attrs = hex.EncodeToString(sec.Bytes(sec.Count(1)))
+			}
 			pr.Routes = append(pr.Routes, rt)
 		}
 		ck.Routes = append(ck.Routes, pr)
@@ -216,10 +361,10 @@ func DecodeCheckpointBinary(data []byte) (*Checkpoint, error) {
 }
 
 // DecodeCheckpoint reads an engine checkpoint in either format, sniffing
-// the content: the binary magic selects the binary codec, anything else
-// parses as JSON. Restore-side sniffing is what lets checkpoint archives
-// mix generations — a directory of old JSON checkpoints keeps working
-// after the writer switches to binary.
+// the content: the binary magic selects the binary codec (both container
+// versions), anything else parses as JSON. Restore-side sniffing is what
+// lets checkpoint archives mix generations — a directory of old JSON or
+// v1 binary checkpoints keeps working after the writer moves on.
 func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {

@@ -47,10 +47,11 @@ func tinyCheckpoint(t testing.TB) *Checkpoint {
 	return e.Checkpoint()
 }
 
-// TestBinaryCheckpointRoundTrip: the binary codec must reproduce the
-// exact checkpoint image, the sniffing decoder must accept both
-// encodings, and the binary form must actually be smaller (the reason it
-// exists).
+// TestBinaryCheckpointRoundTrip: both binary containers must reproduce
+// the exact checkpoint image, the sniffing decoder must accept all three
+// encodings, and each binary generation must actually be smaller than
+// what it replaces (the reason it exists) — v1 beats JSON, v2's shared
+// attrs-block table beats v1.
 func TestBinaryCheckpointRoundTrip(t *testing.T) {
 	sc, _, _ := fixtures(t)
 	ck, _ := checkpointAtDay(t, Config{Shards: 2}, len(ScenarioCalendar(sc).Days)/2)
@@ -62,14 +63,21 @@ func TestBinaryCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	binV1, err := AppendCheckpointBinaryV1(nil, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var js bytes.Buffer
 	if err := EncodeCheckpointJSON(&js, ck); err != nil {
 		t.Fatal(err)
 	}
-	if len(bin) >= js.Len() {
-		t.Fatalf("binary checkpoint (%d bytes) not smaller than JSON (%d bytes)", len(bin), js.Len())
+	if len(binV1) >= js.Len() {
+		t.Fatalf("v1 binary checkpoint (%d bytes) not smaller than JSON (%d bytes)", len(binV1), js.Len())
 	}
-	for name, blob := range map[string][]byte{"binary": bin, "json": js.Bytes()} {
+	if len(bin) >= len(binV1) {
+		t.Fatalf("v2 binary checkpoint (%d bytes) not smaller than v1 (%d bytes)", len(bin), len(binV1))
+	}
+	for name, blob := range map[string][]byte{"binary": bin, "binary-v1": binV1, "json": js.Bytes()} {
 		decoded, err := DecodeCheckpoint(bytes.NewReader(blob))
 		if err != nil {
 			t.Fatalf("sniffing decode of %s: %v", name, err)
@@ -128,34 +136,52 @@ func TestBinaryCheckpointResumeMatchesUninterrupted(t *testing.T) {
 
 // TestBinaryCheckpointRejectsDamage: truncation at every byte boundary,
 // magic corruption, trailing garbage and version skew must error — never
-// panic.
+// panic — in both binary containers.
 func TestBinaryCheckpointRejectsDamage(t *testing.T) {
 	ck := tinyCheckpoint(t)
+	encoders := map[string]func([]byte, *Checkpoint) ([]byte, error){
+		"v2": AppendCheckpointBinary,
+		"v1": AppendCheckpointBinaryV1,
+	}
+	for name, enc := range encoders {
+		t.Run(name, func(t *testing.T) {
+			bin, err := enc(nil, ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if _, err := DecodeCheckpointBinary(append(bytes.Clone(bin), 0x01)); err == nil {
+				t.Fatal("trailing garbage accepted")
+			}
+			for cut := 0; cut < len(bin); cut++ {
+				if _, err := DecodeCheckpointBinary(bin[:cut]); err == nil {
+					t.Fatalf("truncation at byte %d accepted", cut)
+				}
+			}
+			bad := bytes.Clone(bin)
+			bad[0] = 'J'
+			if _, err := DecodeCheckpointBinary(bad); err == nil {
+				t.Fatal("corrupt magic accepted")
+			}
+
+			future := *ck
+			future.Version = 99
+			futureBin, err := enc(nil, &future)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := DecodeCheckpointBinary(futureBin); err == nil {
+				t.Fatal("version-99 binary checkpoint accepted")
+			}
+		})
+	}
+
+	// A v2 route referencing past the attrs table must error, not panic.
 	bin, err := AppendCheckpointBinary(nil, ck)
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	if _, err := DecodeCheckpointBinary(append(bytes.Clone(bin), 0x01)); err == nil {
-		t.Fatal("trailing garbage accepted")
-	}
-	for cut := 0; cut < len(bin); cut++ {
-		if _, err := DecodeCheckpointBinary(bin[:cut]); err == nil {
-			t.Fatalf("truncation at byte %d accepted", cut)
-		}
-	}
-	bad := bytes.Clone(bin)
-	bad[0] = 'J'
-	if _, err := DecodeCheckpointBinary(bad); err == nil {
-		t.Fatal("corrupt magic accepted")
-	}
-
-	ck.Version = 99
-	futureBin, err := AppendCheckpointBinary(nil, ck)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := DecodeCheckpointBinary(futureBin); err == nil {
-		t.Fatal("version-99 binary checkpoint accepted")
+	if decoded, err := DecodeCheckpointBinary(bin); err != nil || len(decoded.Routes) == 0 {
+		t.Fatalf("fixture v2 checkpoint unusable: %v", err)
 	}
 }

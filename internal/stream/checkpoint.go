@@ -62,13 +62,14 @@ func (e *Engine) Checkpoint() *Checkpoint {
 	for _, s := range e.shards {
 		s.mu.RLock()
 		parts = append(parts, s.k.Snapshot())
-		for p, st := range s.prefixes {
+		for p, head := range s.prefixes {
 			pr := PrefixRoutes{Prefix: p.String()}
-			for peer, attrs := range st.routes {
+			for i := head; i >= 0; i = s.nodes[i].next {
+				n := &s.nodes[i]
 				pr.Routes = append(pr.Routes, PeerRouteSnap{
-					PeerIP: hex.EncodeToString(peer.IP[:]),
-					PeerAS: peer.AS,
-					Attrs:  hex.EncodeToString(attrs.AppendWireEx(nil, true)),
+					PeerIP: hex.EncodeToString(n.peer.IP[:]),
+					PeerAS: n.peer.AS,
+					Attrs:  hex.EncodeToString(n.attrs.AppendWireEx(nil, true)),
 				})
 			}
 			sort.Slice(pr.Routes, func(i, j int) bool {
@@ -148,42 +149,49 @@ func NewFromCheckpoint(cfg Config, ck *Checkpoint) (*Engine, error) {
 	}
 
 	// Rebuild the per-peer route tables, re-sharing identical attribute
-	// blocks the way grouped announcements did on the live path.
-	attrsCache := make(map[string]*bgp.Attrs)
+	// blocks the way the interning decode stage does on the live path.
+	// The restore interner is 4-octet (the checkpoint wire form) and
+	// local: a later Replay interns the live 2-octet encoding separately,
+	// and the pointer fast path falls back to Attrs.Equal across the two.
+	restoreIn := bgp.NewAttrsInterner(true)
 	for _, pr := range ck.Routes {
 		p, err := bgp.ParsePrefix(pr.Prefix)
 		if err != nil {
 			return fail(fmt.Errorf("stream: checkpoint route prefix %q: %w", pr.Prefix, err))
 		}
 		s := e.shards[e.shardFor(p)]
-		st := &prefixState{routes: make(map[PeerKey]*bgp.Attrs, len(pr.Routes))}
+		head := int32(-1)
+		s.mu.Lock()
 		for _, rt := range pr.Routes {
 			ipBytes, err := hex.DecodeString(rt.PeerIP)
 			if err != nil || len(ipBytes) != 16 {
+				s.mu.Unlock()
 				return fail(fmt.Errorf("stream: checkpoint peer ip %q: bad 16-byte hex", rt.PeerIP))
 			}
 			var peer PeerKey
 			copy(peer.IP[:], ipBytes)
 			peer.AS = rt.PeerAS
-			attrs, ok := attrsCache[rt.Attrs]
-			if !ok {
-				wire, err := hex.DecodeString(rt.Attrs)
-				if err != nil {
-					return fail(fmt.Errorf("stream: checkpoint attrs for %s: %w", pr.Prefix, err))
-				}
-				attrs = new(bgp.Attrs)
-				if err := attrs.DecodeAttrsEx(wire, true); err != nil {
-					return fail(fmt.Errorf("stream: checkpoint attrs for %s: %w", pr.Prefix, err))
-				}
-				attrsCache[rt.Attrs] = attrs
+			wire, err := hex.DecodeString(rt.Attrs)
+			if err != nil {
+				s.mu.Unlock()
+				return fail(fmt.Errorf("stream: checkpoint attrs for %s: %w", pr.Prefix, err))
 			}
-			st.routes[peer] = attrs
+			attrs, err := restoreIn.Intern(wire)
+			if err != nil {
+				s.mu.Unlock()
+				return fail(fmt.Errorf("stream: checkpoint attrs for %s: %w", pr.Prefix, err))
+			}
+			// upsert, not blind insert: a hand-edited or hostile
+			// checkpoint may repeat a peer under one prefix, and a
+			// duplicate node would shadow the peer's route forever
+			// (list walks stop at the first match). Last entry wins,
+			// as the old map-based restore behaved.
+			head, _ = s.upsertRoute(head, peer, attrs)
 		}
-		if len(st.routes) > 0 {
-			s.mu.Lock()
-			s.prefixes[p] = st
-			s.mu.Unlock()
+		if head >= 0 {
+			s.prefixes[p] = head
 		}
+		s.mu.Unlock()
 	}
 	return e, nil
 }

@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"fmt"
+
+	"moas/internal/bgp"
+	"moas/internal/mrt"
+)
+
+// The replay decode stage. Replay used to read, decode and dispatch every
+// record on one goroutine, which capped throughput at the serial decode
+// rate no matter how many shards the engine ran. The decoder below runs
+// on its own goroutine, streaming MRT records into reusable batches of
+// pre-decoded records that the apply loop (Replay proper) consumes: the
+// decode stage and the shard workers overlap, and the apply goroutine is
+// left with hashing and channel sends only.
+//
+// Batches travel a two-channel ring (free -> fill -> out -> drain ->
+// free), so the steady state recycles the same few batches — and their
+// record slots' Withdrawn/NLRI backing arrays — forever: zero allocations
+// per record. Everything the engine retains from a batch is copied out by
+// value (prefixes, peer keys) or canonical-by-construction (interned
+// *bgp.Attrs), so recycling a drained batch is safe.
+
+const (
+	// decBatchLen is the number of records decoded per batch — enough to
+	// amortize channel handoffs without letting the decode stage run far
+	// ahead of a paused or stopping apply loop.
+	decBatchLen = 256
+	// decRingDepth is the number of batches in flight; it bounds decode
+	// read-ahead (and the memory parked in the ring) at
+	// decRingDepth*decBatchLen records.
+	decRingDepth = 4
+)
+
+// decRec is one pre-decoded MRT record, in archive order.
+type decRec struct {
+	// skip marks a record that is not a BGP4MP message: the apply loop
+	// counts it into the record cursor and does nothing else, exactly as
+	// an archive consumer must.
+	skip bool
+	// hasUpd marks a BGP UPDATE; upd is valid only then. A message record
+	// without hasUpd (keepalive, open, ...) still drives day-close
+	// bookkeeping through its timestamp.
+	hasUpd bool
+	ts     uint32
+	peer   PeerKey
+	// upd's Withdrawn/NLRI slices are owned by this slot and recycled
+	// with the batch; Attrs is interned (stable, shared).
+	upd bgp.Update
+	// err is a record-level decode failure. Day closes implied by ts
+	// still run first; then the replay fails with this error — the same
+	// order the serial loop produced.
+	err error
+}
+
+// decBatch is the ring element: a run of records plus, on the final batch
+// of a stream, the terminal error (io.EOF for a clean end).
+type decBatch struct {
+	recs []decRec
+	err  error
+}
+
+// newDecBatch builds a batch with every slot's NLRI and Withdrawn slices
+// pre-carved from two shared arrays (full-capacity sub-slices, so a long
+// update that outgrows its slot reallocates privately without bleeding
+// into a neighbor). Pre-carving replaces ~2 first-use allocations per
+// slot per replay with 3 per batch.
+func newDecBatch() *decBatch {
+	const nlriCap, wdCap = 24, 8
+	recs := make([]decRec, decBatchLen)
+	nlri := make([]bgp.Prefix, decBatchLen*nlriCap)
+	wd := make([]bgp.Prefix, decBatchLen*wdCap)
+	for i := range recs {
+		recs[i].upd.NLRI = nlri[i*nlriCap : i*nlriCap : (i+1)*nlriCap]
+		recs[i].upd.Withdrawn = wd[i*wdCap : i*wdCap : (i+1)*wdCap]
+	}
+	return &decBatch{recs: recs[:0]}
+}
+
+// slot returns the next record slot, reusing the slot's previous backing
+// arrays from earlier trips around the ring. Callers (fill) never ask for
+// more than cap(b.recs) slots, so this is a reslice, never a grow — a
+// grow would silently lose the pre-carved backing newDecBatch set up.
+func (b *decBatch) slot() *decRec {
+	b.recs = b.recs[:len(b.recs)+1]
+	r := &b.recs[len(b.recs)-1]
+	r.skip, r.hasUpd, r.err = false, false, nil
+	return r
+}
+
+// decoder is the decode stage's state: the MRT reader, the engine's
+// attribute interner, and a reusable BGP4MP scratch message.
+type decoder struct {
+	mr  *mrt.Reader
+	in  *bgp.AttrsInterner
+	msg mrt.BGP4MPMessage
+}
+
+// fill decodes up to cap(b.recs) records into b. It returns true when the
+// stream is done: either b.err is set (terminal stream error, io.EOF for
+// a clean end) or the last record carries a record-level error.
+func (d *decoder) fill(b *decBatch) bool {
+	b.err = nil
+	b.recs = b.recs[:0]
+	for len(b.recs) < cap(b.recs) {
+		rec, err := d.mr.Next()
+		if err != nil {
+			b.err = err
+			return true
+		}
+		r := b.slot()
+		if rec.Type != mrt.TypeBGP4MP || rec.Subtype != mrt.SubtypeMessage {
+			r.skip = true
+			continue
+		}
+		r.ts = rec.Timestamp
+		if err := d.msg.DecodeBGP4MPMessageBorrow(rec.Body); err != nil {
+			r.err = err
+			return true
+		}
+		r.peer = PeerKey{IP: d.msg.PeerIP, AS: d.msg.PeerAS}
+		msgType, body, err := bgp.MessageBody(d.msg.Data)
+		if err != nil {
+			r.err = fmt.Errorf("stream: embedded message: %w", err)
+			return true
+		}
+		if msgType != bgp.MsgUpdate {
+			// Validate the rare non-update kinds the way the serial loop's
+			// full decode did, so malformed archives fail identically.
+			if _, _, err := bgp.DecodeMessage(d.msg.Data); err != nil {
+				r.err = fmt.Errorf("stream: embedded message: %w", err)
+				return true
+			}
+			continue
+		}
+		if err := bgp.DecodeUpdateBodyInto(&r.upd, body, d.in); err != nil {
+			r.err = fmt.Errorf("stream: embedded message: %w", err)
+			return true
+		}
+		r.hasUpd = true
+	}
+	return false
+}
+
+// run is the decode goroutine body: skip the resume cursor, then stream
+// batches through the ring until the archive ends, a decode error occurs,
+// or the apply loop signals it is done (done closes). Every exit path
+// either delivers a terminal batch or was ordered to quit, so the apply
+// loop never waits on a dead decoder.
+func (d *decoder) run(skip uint64, free, out chan *decBatch, done <-chan struct{}) {
+	send := func(b *decBatch) bool {
+		select {
+		case out <- b:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	for n := uint64(0); n < skip; n++ {
+		// Surface periodically during a deep skip: an empty batch lets
+		// the apply loop run its gate, so a Stop (scenario delete) or a
+		// Pause (operator or auto-checkpoint park) does not wait for a
+		// disk-bound skip of the whole resume cursor to finish.
+		if n%4096 == 0 && n > 0 {
+			var b *decBatch
+			select {
+			case b = <-free:
+			case <-done:
+				return
+			}
+			b.recs, b.err = b.recs[:0], nil
+			if !send(b) {
+				return
+			}
+		}
+		if _, err := d.mr.Next(); err != nil {
+			select {
+			case b := <-free:
+				b.recs, b.err = b.recs[:0], fmt.Errorf("stream: resume skip at record %d: %w", n, err)
+				send(b)
+			case <-done:
+			}
+			return
+		}
+	}
+	for {
+		var b *decBatch
+		select {
+		case b = <-free:
+		case <-done:
+			return
+		}
+		terminal := d.fill(b)
+		if !send(b) || terminal {
+			return
+		}
+	}
+}

@@ -50,8 +50,17 @@ type Engine struct {
 	cfg    Config
 	shards []*shard
 	pend   [][]op // dispatcher-owned per-shard pending batches
-	wg     sync.WaitGroup
-	closed atomic.Bool // set by Close; read by API handlers
+	// opFree recycles op slices between the dispatcher and the shard
+	// workers: flushShard takes a drained slice instead of allocating a
+	// fresh batch per flush, so steady-state dispatch allocates nothing.
+	opFree chan []op
+	// interner canonicalizes decoded path-attribute blocks by wire bytes
+	// for the replay decode stage; one pointer per distinct block is what
+	// makes applyOne's pointer-equality fast path hit and keeps the
+	// steady-state heap proportional to distinct attrs, not routes.
+	interner *bgp.AttrsInterner
+	wg       sync.WaitGroup
+	closed   atomic.Bool // set by Close; read by API handlers
 
 	msgs       atomic.Uint64
 	ops        atomic.Uint64
@@ -77,15 +86,43 @@ func New(cfg Config) *Engine {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 8
 	}
-	e := &Engine{cfg: cfg, pend: make([][]op, cfg.Shards)}
+	e := &Engine{
+		cfg:  cfg,
+		pend: make([][]op, cfg.Shards),
+		// Capacity covers every batch that can be in flight at once (per
+		// shard: the queue plus one being applied plus one pending), so a
+		// recycled slice is always waiting once the pipeline warms up.
+		opFree:   make(chan []op, cfg.Shards*(cfg.QueueDepth+2)),
+		interner: bgp.NewAttrsInterner(false),
+	}
 	e.lastClosed.Store(-1)
 	for i := 0; i < cfg.Shards; i++ {
-		s := newShard(cfg.QueueDepth, cfg.HistoryLimit, !cfg.DisableEventLog, cfg.OnEvent)
+		s := newShard(cfg.QueueDepth, cfg.HistoryLimit, !cfg.DisableEventLog, cfg.OnEvent, e.putOps)
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)
 		go s.run(&e.wg)
 	}
 	return e
+}
+
+// takeOps returns a recycled op slice, or a fresh one while the pool
+// warms up.
+func (e *Engine) takeOps() []op {
+	select {
+	case b := <-e.opFree:
+		return b
+	default:
+		return make([]op, 0, e.cfg.BatchSize)
+	}
+}
+
+// putOps recycles a drained op slice; called by shard workers. The pool
+// is sized to always have room, but a full pool simply drops the slice.
+func (e *Engine) putOps(b []op) {
+	select {
+	case e.opFree <- b[:0]:
+	default:
+	}
 }
 
 // shardFor hashes a canonical prefix onto a shard (FNV-1a over the address
@@ -130,7 +167,7 @@ func (e *Engine) flushShard(i int) {
 		return
 	}
 	e.shards[i].ch <- batch{ops: e.pend[i]}
-	e.pend[i] = make([]op, 0, e.cfg.BatchSize)
+	e.pend[i] = e.takeOps()
 }
 
 // CloseDay flushes pending batches and sends every shard a day-close
@@ -211,6 +248,14 @@ func (e *Engine) pauseGate() chan struct{} {
 // reads it as a cheap progress probe to skip writes when nothing moved.
 func (e *Engine) Records() uint64 {
 	return e.recs.Load()
+}
+
+// DistinctAttrs returns the number of distinct path-attribute blocks the
+// replay decode stage has interned — the live measure of how repetitive
+// the feed is (and of the interner's memory footprint). Safe to call
+// concurrently with a replay.
+func (e *Engine) DistinctAttrs() int {
+	return e.interner.Len()
 }
 
 // Close flushes remaining work, stops the workers and waits for them to
@@ -303,8 +348,8 @@ func (e *Engine) Prefix(p bgp.Prefix) PrefixInfo {
 		info.Class = v.Class
 		info.History = append([]Event(nil), v.History...)
 	}
-	if st, ok := s.prefixes[p]; ok {
-		info.Routes = len(st.routes)
+	if head, ok := s.prefixes[p]; ok {
+		info.Routes = s.routeCount(head)
 	}
 	if c, ok := s.k.Registry().Get(p); ok {
 		info.Conflict = c.Clone()
@@ -353,6 +398,7 @@ type Stats struct {
 	Messages        uint64 // UPDATE messages ingested
 	Ops             uint64 // route-level operations dispatched
 	LastClosedDay   int    // -1 before the first day close
+	DistinctAttrs   int    // attrs blocks interned by the replay decode stage
 	ActiveConflicts int
 	TotalConflicts  int                  // distinct prefixes ever in conflict
 	Events          int                  // lifecycle events emitted
@@ -369,6 +415,7 @@ func (e *Engine) Stats() Stats {
 		Messages:      e.msgs.Load(),
 		Ops:           e.ops.Load(),
 		LastClosedDay: int(e.lastClosed.Load()),
+		DistinctAttrs: e.DistinctAttrs(),
 	}
 	for _, s := range e.shards {
 		s.mu.RLock()

@@ -9,13 +9,18 @@ import (
 )
 
 // checkpointCorpusSeeds returns the fuzz seed inputs: a real mid-archive
-// checkpoint in both encodings plus damaged variants. The same bytes are
-// committed under testdata/fuzz/FuzzCheckpointRestore (see
-// TestGenerateCheckpointFuzzCorpus).
+// checkpoint in every encoding (JSON, binary container v1, binary
+// container v2 with the shared attrs table) plus damaged variants. The
+// same bytes are committed under testdata/fuzz/FuzzCheckpointRestore
+// (see TestGenerateCheckpointFuzzCorpus).
 func checkpointCorpusSeeds(t testing.TB) map[string][]byte {
 	t.Helper()
 	ck := tinyCheckpoint(t)
 	bin, err := AppendCheckpointBinary(nil, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binV1, err := AppendCheckpointBinaryV1(nil, ck)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,13 +30,18 @@ func checkpointCorpusSeeds(t testing.TB) map[string][]byte {
 	}
 	flipped := bytes.Clone(bin)
 	flipped[len(flipped)/3] ^= 0x10
+	flippedV1 := bytes.Clone(binV1)
+	flippedV1[len(flippedV1)/3] ^= 0x10
 	return map[string][]byte{
-		"binary":           bin,
-		"json":             js.Bytes(),
-		"binary-truncated": bin[:len(bin)/2],
-		"json-truncated":   js.Bytes()[:js.Len()/2],
-		"binary-flipped":   flipped,
-		"empty":            {},
+		"binary":              bin,
+		"binary-v1":           binV1,
+		"json":                js.Bytes(),
+		"binary-truncated":    bin[:len(bin)/2],
+		"binary-v1-truncated": binV1[:len(binV1)/2],
+		"json-truncated":      js.Bytes()[:js.Len()/2],
+		"binary-flipped":      flipped,
+		"binary-v1-flipped":   flippedV1,
+		"empty":               {},
 	}
 }
 

@@ -17,9 +17,10 @@ import (
 // orphaning every archived checkpoint. Regenerate (only after a
 // deliberate, version-bumped format change) with MOAS_GEN_GOLDEN=1.
 const (
-	goldenJSON   = "testdata/checkpoint_v1.json"
-	goldenBinary = "testdata/checkpoint_v1.mckpt"
-	goldenExpect = "testdata/checkpoint_v1.expect.json"
+	goldenJSON     = "testdata/checkpoint_v1.json"
+	goldenBinary   = "testdata/checkpoint_v1.mckpt"
+	goldenBinaryV2 = "testdata/checkpoint_v2.mckpt"
+	goldenExpect   = "testdata/checkpoint_v1.expect.json"
 )
 
 // goldenSummary is the restored-state image the fixtures are compared
@@ -82,15 +83,17 @@ func marshalSummary(t testing.TB, sum *goldenSummary) []byte {
 	return append(blob, '\n')
 }
 
-// TestGoldenCheckpointsRestore is the compatibility battery: both
-// committed v1 fixtures must still decode — through the sniffing entry
-// point — and restore to exactly the committed state summary.
+// TestGoldenCheckpointsRestore is the compatibility battery: the
+// committed v1 fixtures (JSON and legacy binary container) and the v2
+// binary fixture must all still decode — through the sniffing entry
+// point — and restore to exactly the same committed state summary. All
+// three fixtures image the same engine, so one expectation serves.
 func TestGoldenCheckpointsRestore(t *testing.T) {
 	want, err := os.ReadFile(goldenExpect)
 	if err != nil {
 		t.Fatalf("missing golden expectation (regenerate with MOAS_GEN_GOLDEN=1): %v", err)
 	}
-	for _, path := range []string{goldenJSON, goldenBinary} {
+	for _, path := range []string{goldenJSON, goldenBinary, goldenBinaryV2} {
 		blob, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatalf("missing golden fixture (regenerate with MOAS_GEN_GOLDEN=1): %v", err)
@@ -123,11 +126,18 @@ func TestGenerateGoldenCheckpoints(t *testing.T) {
 	if err := os.WriteFile(goldenJSON, js.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	bin, err := AppendCheckpointBinary(nil, ck)
+	bin, err := AppendCheckpointBinaryV1(nil, ck)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(goldenBinary, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	binV2, err := AppendCheckpointBinary(nil, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenBinaryV2, binV2, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(goldenExpect, marshalSummary(t, summarize(t, ck)), 0o644); err != nil {

@@ -6,7 +6,6 @@ import (
 	"io"
 	"sort"
 
-	"moas/internal/bgp"
 	"moas/internal/mrt"
 	"moas/internal/scenario"
 )
@@ -98,6 +97,15 @@ func (e *Engine) gate(stop <-chan struct{}) error {
 // than BGP4MP_MESSAGE and BGP messages other than UPDATE are skipped, as a
 // collector consumer must. Replay does not Close the engine — callers may
 // keep feeding or querying afterwards.
+//
+// Internally Replay is a two-stage pipeline: a decode goroutine streams
+// records into reusable pre-decoded batches (see decode.go) while this
+// goroutine — the apply stage — runs the gate, day-close and dispatch
+// logic over them in archive order. Pause/stop semantics and the record
+// cursor are untouched by the split: the cursor counts only applied
+// records, day closes fire at the same record boundaries, and a parked
+// replay serves the same settled view (decode read-ahead is bounded by
+// the ring and simply discarded if the replay is abandoned).
 func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 	if len(cal.Days) == 0 {
 		return errors.New("stream: empty calendar")
@@ -116,80 +124,102 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 		stop = opts.Stop
 	}
 
-	mr := mrt.NewReader(r)
+	var skip uint64
 	if opts != nil && opts.Resume != nil {
-		// Skip what the checkpointed replay already consumed. The records'
-		// effects (including their day closes) are restored engine state,
-		// so they are discarded without gating or dispatch.
+		// The skipped records' effects (including their day closes) are
+		// restored engine state, so the decode stage discards them
+		// without dispatch.
 		if opts.Resume.DaysClosed < 0 || opts.Resume.DaysClosed > len(cal.Days) {
 			return fmt.Errorf("stream: resume at day %d of a %d-day calendar",
 				opts.Resume.DaysClosed, len(cal.Days))
 		}
-		for n := uint64(0); n < opts.Resume.Records; n++ {
-			// Keep honoring aborts and pauses: a checkpoint deep into a
-			// large archive makes this loop disk-bound for a while, and a
-			// DELETE must not wait for it.
-			if n%1024 == 0 {
+		skip = opts.Resume.Records
+		idx = opts.Resume.DaysClosed
+		e.recs.Store(opts.Resume.Records)
+	}
+
+	free := make(chan *decBatch, decRingDepth)
+	out := make(chan *decBatch, decRingDepth)
+	for i := 0; i < decRingDepth; i++ {
+		free <- newDecBatch()
+	}
+	done := make(chan struct{})
+	decDone := make(chan struct{})
+	go func() {
+		defer close(decDone)
+		d := &decoder{mr: mrt.NewReader(r), in: e.interner}
+		d.run(skip, free, out, done)
+	}()
+	// The decoder owns r until it exits; Replay must not return while it
+	// might still read (callers close the file right after).
+	defer func() {
+		close(done)
+		<-decDone
+	}()
+
+	for {
+		var b *decBatch
+		if stop != nil {
+			select {
+			case b = <-out:
+			case <-stop:
+				return ErrReplayStopped
+			}
+		} else {
+			b = <-out
+		}
+		// Gate per batch as well as per record: the decoder emits empty
+		// batches while skipping a resume cursor, and this is where a
+		// pause or stop lands during that disk-bound stretch.
+		if err := e.gate(stop); err != nil {
+			return err
+		}
+		for i := range b.recs {
+			rec := &b.recs[i]
+			if err := e.gate(stop); err != nil {
+				return err
+			}
+			if rec.skip {
+				e.recs.Add(1)
+				continue
+			}
+			dayClosed := false
+			for idx+1 < len(cal.Days) && rec.ts >= cal.Times[idx+1] {
+				closeDay()
+				dayClosed = true
+			}
+			// Re-check the gate after a day close: OnDayClose is where
+			// callers pause, and the record in hand belongs to the new day —
+			// parking here keeps a paused view exactly at the just-closed
+			// day instead of one update past it. The record cursor (e.recs)
+			// has not counted the record yet, so a checkpoint taken at this
+			// park re-reads and applies it on resume.
+			if dayClosed {
 				if err := e.gate(stop); err != nil {
 					return err
 				}
 			}
-			if _, err := mr.Next(); err != nil {
-				return fmt.Errorf("stream: resume skip at record %d: %w", n, err)
+			if rec.err != nil {
+				return rec.err
 			}
-		}
-		idx = opts.Resume.DaysClosed
-		e.recs.Store(opts.Resume.Records)
-	}
-	var msg mrt.BGP4MPMessage
-	for {
-		if err := e.gate(stop); err != nil {
-			return err
-		}
-		rec, err := mr.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		if rec.Type != mrt.TypeBGP4MP || rec.Subtype != mrt.SubtypeMessage {
+			if rec.hasUpd {
+				// idx can only reach len(cal.Days) through a crafted Resume
+				// position (all days closed, records left over); a legitimate
+				// checkpoint never produces that, but it must not panic.
+				if idx >= len(cal.Days) {
+					return fmt.Errorf("stream: update record beyond the %d-day calendar (bad resume position?)", len(cal.Days))
+				}
+				e.ApplyUpdate(cal.Days[idx], rec.peer, &rec.upd)
+			}
 			e.recs.Add(1)
-			continue
 		}
-		dayClosed := false
-		for idx+1 < len(cal.Days) && rec.Timestamp >= cal.Times[idx+1] {
-			closeDay()
-			dayClosed = true
-		}
-		// Re-check the gate after a day close: OnDayClose is where
-		// callers pause, and the record in hand belongs to the new day —
-		// parking here keeps a paused view exactly at the just-closed
-		// day instead of one update past it. The record cursor (e.recs)
-		// has not counted the record yet, so a checkpoint taken at this
-		// park re-reads and applies it on resume.
-		if dayClosed {
-			if err := e.gate(stop); err != nil {
-				return err
+		if b.err != nil {
+			if b.err == io.EOF {
+				break
 			}
+			return b.err
 		}
-		if err := msg.DecodeBGP4MPMessage(rec.Body); err != nil {
-			return err
-		}
-		decoded, err := msg.Message()
-		if err != nil {
-			return fmt.Errorf("stream: embedded message: %w", err)
-		}
-		if upd, ok := decoded.(*bgp.Update); ok {
-			// idx can only reach len(cal.Days) through a crafted Resume
-			// position (all days closed, records left over); a legitimate
-			// checkpoint never produces that, but it must not panic.
-			if idx >= len(cal.Days) {
-				return fmt.Errorf("stream: update record beyond the %d-day calendar (bad resume position?)", len(cal.Days))
-			}
-			e.ApplyUpdate(cal.Days[idx], PeerKey{IP: msg.PeerIP, AS: msg.PeerAS}, upd)
-		}
-		e.recs.Add(1)
+		free <- b
 	}
 	// Close the day in flight and any quiet tail days.
 	for idx < len(cal.Days) {

@@ -33,12 +33,17 @@ type batch struct {
 	sync     *sync.WaitGroup // non-nil: fence — signal and continue
 }
 
-// prefixState is one prefix's live route table within its shard. All
-// episode bookkeeping — origin sets, classes, events, spans, registry —
-// lives in the shard's kernel; the shard only stores what the kernel's
-// observations are assessed from.
-type prefixState struct {
-	routes map[PeerKey]*bgp.Attrs
+// routeNode is one (peer → attrs) entry of a prefix's live route table.
+// Nodes live in the shard's arena slice and chain through indices, so the
+// per-prefix table is a linked list with no per-prefix heap object: route
+// flap — withdraw-then-reannounce, the dominant churn on a real feed —
+// recycles nodes through the shard free list instead of reallocating maps.
+// Peer counts per prefix are small (a collector has tens of peers), so the
+// linear list walk beats a map on both allocation and locality.
+type routeNode struct {
+	peer  PeerKey
+	attrs *bgp.Attrs
+	next  int32 // arena index of the next route for the prefix; -1 ends
 }
 
 // shard owns a hash partition of the prefix space: the per-peer route
@@ -47,8 +52,13 @@ type prefixState struct {
 // worker goroutine write-locks per batch, live queries read-lock per
 // shard.
 type shard struct {
-	mu       sync.RWMutex
-	prefixes map[bgp.Prefix]*prefixState
+	mu sync.RWMutex
+	// prefixes maps a prefix to the head of its route list in nodes.
+	// Values, not pointers: deleting and re-adding a prefix costs no
+	// allocation once the map has grown.
+	prefixes map[bgp.Prefix]int32
+	nodes    []routeNode
+	freeNode int32 // head of the recycled-node list, -1 when empty
 	k        *kernel.Kernel
 
 	scratch []rib.PeerRoute
@@ -58,14 +68,17 @@ type shard struct {
 	origScratch []bgp.ASN
 	notify      func(Event) // engine Config.OnEvent; called outside the lock
 	notifyBuf   []Event     // events emitted by the batch being applied
+	recycle     func([]op)  // returns drained batch slices to the engine pool
 	ch          chan batch
 }
 
-func newShard(queueDepth, historyCap int, keepLog bool, notify func(Event)) *shard {
+func newShard(queueDepth, historyCap int, keepLog bool, notify func(Event), recycle func([]op)) *shard {
 	return &shard{
-		prefixes: make(map[bgp.Prefix]*prefixState),
+		prefixes: make(map[bgp.Prefix]int32),
+		freeNode: -1,
 		k:        kernel.New(kernel.Options{HistoryCap: historyCap, KeepLog: keepLog}),
 		notify:   notify,
+		recycle:  recycle,
 		ch:       make(chan batch, queueDepth),
 	}
 }
@@ -81,6 +94,9 @@ func (s *shard) run(wg *sync.WaitGroup) {
 			s.closeDay(b.closeDay)
 		default:
 			s.apply(b.ops)
+			if s.recycle != nil {
+				s.recycle(b.ops)
+			}
 		}
 	}
 }
@@ -103,31 +119,101 @@ func (s *shard) apply(ops []op) {
 	s.notifyBuf = s.notifyBuf[:0]
 }
 
+// allocNode returns a free node index, recycling before growing the arena.
+func (s *shard) allocNode() int32 {
+	if i := s.freeNode; i >= 0 {
+		s.freeNode = s.nodes[i].next
+		return i
+	}
+	s.nodes = append(s.nodes, routeNode{})
+	return int32(len(s.nodes) - 1)
+}
+
 func (s *shard) applyOne(o *op) {
-	st := s.prefixes[o.prefix]
+	head, ok := s.prefixes[o.prefix]
+	if !ok {
+		head = -1
+	}
 	if o.withdraw {
-		if st == nil {
+		if !ok {
 			return
 		}
-		if _, ok := st.routes[o.peer]; !ok {
+		newHead, removed := s.removeRoute(head, o.peer)
+		if !removed {
 			return
 		}
-		delete(st.routes, o.peer)
+		head = newHead
+		if head >= 0 {
+			s.prefixes[o.prefix] = head
+		} else {
+			// Fully withdrawn: the kernel keeps any lifecycle worth keeping.
+			delete(s.prefixes, o.prefix)
+		}
 	} else {
-		if st == nil {
-			st = &prefixState{routes: make(map[PeerKey]*bgp.Attrs, 4)}
-			s.prefixes[o.prefix] = st
-		}
-		if old, ok := st.routes[o.peer]; ok && old.Equal(o.attrs) {
+		newHead, changed := s.upsertRoute(head, o.peer, o.attrs)
+		if !changed {
 			return
 		}
-		st.routes[o.peer] = o.attrs
+		if newHead != head {
+			s.prefixes[o.prefix] = newHead
+			head = newHead
+		}
 	}
-	s.reassess(o.prefix, st, o.day)
-	if len(st.routes) == 0 {
-		// Fully withdrawn: the kernel keeps any lifecycle worth keeping.
-		delete(s.prefixes, o.prefix)
+	s.reassess(o.prefix, head, o.day)
+}
+
+// upsertRoute stores attrs as peer's route in the list at head, returning
+// the (possibly new) head and whether anything changed.
+func (s *shard) upsertRoute(head int32, peer PeerKey, attrs *bgp.Attrs) (int32, bool) {
+	for i := head; i >= 0; i = s.nodes[i].next {
+		n := &s.nodes[i]
+		if n.peer == peer {
+			// Pointer equality first: the replay decode stage interns
+			// attrs by wire bytes, so a re-announcement with unchanged
+			// attributes — the overwhelmingly common case on a real feed —
+			// carries the exact pointer already stored and never reaches
+			// the deep comparison. Equal stays as the fallback for attrs
+			// from other feeders (direct ApplyUpdate callers, checkpoint
+			// restores).
+			if n.attrs == attrs || n.attrs.Equal(attrs) {
+				return head, false
+			}
+			n.attrs = attrs
+			return head, true
+		}
 	}
+	i := s.allocNode()
+	s.nodes[i] = routeNode{peer: peer, attrs: attrs, next: head}
+	return i, true
+}
+
+// removeRoute unlinks peer's route from the list at head, returning the
+// new head and whether a route was removed.
+func (s *shard) removeRoute(head int32, peer PeerKey) (int32, bool) {
+	prev := int32(-1)
+	for i := head; i >= 0; i = s.nodes[i].next {
+		if s.nodes[i].peer == peer {
+			if prev < 0 {
+				head = s.nodes[i].next
+			} else {
+				s.nodes[prev].next = s.nodes[i].next
+			}
+			s.nodes[i] = routeNode{next: s.freeNode}
+			s.freeNode = i
+			return head, true
+		}
+		prev = i
+	}
+	return head, false
+}
+
+// routeCount returns the length of the route list at head.
+func (s *shard) routeCount(head int32) int {
+	n := 0
+	for i := head; i >= 0; i = s.nodes[i].next {
+		n++
+	}
+	return n
 }
 
 // reassess recomputes the prefix's origin set and classification after a
@@ -137,16 +223,17 @@ func (s *shard) applyOne(o *op) {
 // the set actually changed, so the common case — an update that does not
 // flip the origin set — performs zero allocations
 // (BenchmarkShardReassess's claim).
-func (s *shard) reassess(p bgp.Prefix, st *prefixState, day int) {
+func (s *shard) reassess(p bgp.Prefix, head int32, day int) {
 	s.scratch = s.scratch[:0]
-	for peer, attrs := range st.routes {
+	for i := head; i >= 0; i = s.nodes[i].next {
+		n := &s.nodes[i]
 		s.scratch = append(s.scratch, rib.PeerRoute{
-			PeerAS: peer.AS,
-			Route:  bgp.Route{Prefix: p, Attrs: attrs},
+			PeerAS: n.peer.AS,
+			Route:  bgp.Route{Prefix: p, Attrs: n.attrs},
 		})
 	}
-	// AppendOrigins and ClassifyRoutes are order-independent, so the map
-	// iteration order above cannot leak into events or the registry.
+	// AppendOrigins and ClassifyRoutes are order-independent, so the list
+	// order above cannot leak into events or the registry.
 	s.origScratch, _ = rib.AppendOrigins(s.origScratch, s.scratch)
 	var class core.Class
 	if len(s.origScratch) >= 2 {
