@@ -1,8 +1,12 @@
 // Command moasd is the live MOAS detection daemon. One process hosts any
-// number of concurrent scenario replays — synthesized archives or real
-// MRT BGP4MP files — each streamed through its own sharded detection
-// engine and served over an HTTP/JSON API with scenario-id routing and an
-// SSE event stream (see docs/API.md for the full reference).
+// number of concurrent scenarios — synthesized archives, real MRT BGP4MP
+// files, or live feeds (a RIS Live-style websocket subscription, or a
+// passive BGP speaker real peers dial into) — each streamed through its
+// own sharded detection engine and served over an HTTP/JSON API with
+// scenario-id routing and an SSE event stream (see docs/API.md for the
+// full reference). SIGINT/SIGTERM shut down gracefully: live sources
+// close their transports (the speaker sends NOTIFICATION cease), and
+// with durability on every scenario is checkpointed one last time.
 //
 //	# start empty, manage scenarios over HTTP:
 //	moasd
@@ -11,12 +15,15 @@
 //	# or boot with scenarios from flags:
 //	moasd -scenario small -days-per-sec 4
 //	moasd -mrt updates.mrt.gz
+//	moasd -rislive ws://ris-live.example.net/v1/ws/
+//	moasd -bgp-listen :1790
 //	curl localhost:8643/scenarios
 //	curl localhost:8643/scenarios/small/conflicts?limit=5
 //	curl -N localhost:8643/scenarios/small/events
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,7 +31,10 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served by -pprof only
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"moas/internal/serve"
 )
@@ -34,6 +44,9 @@ func main() {
 		listen    = flag.String("listen", ":8643", "HTTP listen address")
 		scale     = flag.String("scenario", "", `create and start a synthesized scenario at this scale: "small" (two months) or "full" (the paper's 1279 days)`)
 		mrtPath   = flag.String("mrt", "", "create and start a scenario replaying this MRT BGP4MP file (plain or gzipped)")
+		risURL    = flag.String("rislive", "", "create and start a live scenario subscribed to this RIS Live-style ws:// feed")
+		bgpListen = flag.String("bgp-listen", "", "create and start a live scenario running a passive BGP speaker on this TCP address (e.g. :179)")
+		bgpAS     = flag.Uint("bgp-as", 64512, "local AS the BGP speaker answers OPEN with")
 		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "prefix-space worker shards per scenario")
 		rate      = flag.Float64("days-per-sec", 0, "replay pacing in observed days per second (0 = as fast as possible)")
 		history   = flag.Int("history", 256, "lifecycle events retained per prefix (0 or -1 = unlimited)")
@@ -85,7 +98,11 @@ func main() {
 		// collide (and be skipped below), not auto-suffix a duplicate.
 		cfg.ID = cfg.DefaultID()
 		cfg.Shards = *shards
-		cfg.DaysPerSec = *rate
+		if cfg.Source != serve.SourceRISLive && cfg.Source != serve.SourceBGP {
+			// Pacing is a replay knob; live feeds run at feed speed and
+			// the config rejects the combination.
+			cfg.DaysPerSec = *rate
+		}
 		cfg.History = *history
 		if *history == 0 {
 			// PR 1's flag used 0 for unlimited; keep that meaning (the
@@ -112,8 +129,39 @@ func main() {
 	if *mrtPath != "" {
 		boot(serve.ScenarioConfig{Source: serve.SourceMRT, Path: *mrtPath})
 	}
+	if *risURL != "" {
+		boot(serve.ScenarioConfig{Source: serve.SourceRISLive, URL: *risURL})
+	}
+	if *bgpListen != "" {
+		boot(serve.ScenarioConfig{Source: serve.SourceBGP, Listen: *bgpListen, LocalAS: uint32(*bgpAS)})
+	}
 
-	log.Printf("moasd listening on %s (%d scenarios at boot; POST /scenarios to add more)",
-		*listen, len(reg.List()))
-	log.Fatal(http.ListenAndServe(*listen, serve.NewHandler(reg)))
+	srv := &http.Server{Addr: *listen, Handler: serve.NewHandler(reg)}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("moasd listening on %s (%d scenarios at boot; POST /scenarios to add more)",
+			*listen, len(reg.List()))
+		errCh <- srv.ListenAndServe()
+	}()
+
+	// Graceful shutdown: stop accepting HTTP, then tear the scenarios
+	// down — live sources close their transports (BGP NOTIFICATION cease,
+	// websocket close) and, with durability on, Registry.Close writes one
+	// final checkpoint per scenario so the next boot's Recover resumes
+	// from the moment of the signal.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("moasd: %v", err)
+	case s := <-sig:
+		log.Printf("moasd: %v: shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("moasd: http shutdown: %v", err)
+		}
+		cancel()
+		reg.Close()
+		log.Printf("moasd: shutdown complete")
+	}
 }

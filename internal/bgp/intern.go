@@ -17,9 +17,20 @@ import (
 // reusable scratch value and then committed into chunked arenas (Attrs
 // values, path segments, AS numbers, communities, key bytes), so the
 // steady-state cost of N distinct blocks is O(N) bytes in a handful of
-// chunk allocations rather than several heap objects per block. The
-// arenas only grow — an interner's footprint is proportional to the
-// distinct blocks it has seen, which for BGP feeds is small and stable.
+// chunk allocations rather than several heap objects per block. For a
+// bounded archive the arenas only grow — the footprint is proportional
+// to the distinct blocks seen, which for BGP feeds is small and stable.
+// An unbounded live feed is different: distinct blocks accrue forever
+// (path churn, communities carrying timestamps), so SetCap bounds the
+// table with epoch-based rebuilds — when the cap is hit the table and
+// arenas are dropped wholesale and interning starts a fresh epoch.
+// Blocks still referenced by route tables stay alive through those
+// references (the GC reclaims each old chunk once its last holder
+// drops), so resident memory plateaus at O(cap + live routes) instead
+// of growing monotonically. Pointer equality remains sound within an
+// epoch; across epochs the same wire bytes yield a different pointer
+// and consumers fall back to Attrs.Equal, exactly as they already must
+// for attrs from other feeders.
 //
 // Canonicalization is by wire bytes, not by decoded value: identical wire
 // bytes always yield the same pointer, so pointer equality is a sound
@@ -36,12 +47,16 @@ import (
 // stats endpoint report the distinct-block count mid-replay.
 type AttrsInterner struct {
 	asn4 bool
+	// cap bounds the distinct blocks held per epoch; 0 = unbounded.
+	cap int
 	// m maps an FNV-1a hash of the wire bytes to the head of a chain of
 	// entries (collisions resolved by byte comparison). Indexing entries
 	// by position keeps the table pointer-free and the probe alloc-free.
 	m       map[uint64]int32
 	entries []internEntry
-	n       atomic.Int64
+	n       atomic.Int64 // distinct blocks in the current epoch
+	epochs  atomic.Int64 // rebuilds performed (0 until the first cap hit)
+	bytes   atomic.Int64 // approximate arena bytes committed this epoch
 
 	scratch Attrs // reusable decode target for misses
 
@@ -71,6 +86,59 @@ func NewAttrsInterner(asn4 bool) *AttrsInterner {
 	return &AttrsInterner{asn4: asn4, m: make(map[uint64]int32, 256)}
 }
 
+// ASN4 reports the AS wire encoding the interner decodes with. Sources
+// that synthesize attribute blocks (the RIS Live client encodes decoded
+// JSON back to wire form before interning) must encode with the same
+// width or identical attributes would never hit the table.
+func (in *AttrsInterner) ASN4() bool { return in.asn4 }
+
+// SetCap bounds the distinct blocks held per epoch: once Intern has
+// committed n blocks, the next miss drops the whole table and arenas and
+// starts a fresh epoch (see the type comment for why that is sound and
+// what it bounds). n <= 0 removes the cap. Call from the interning
+// goroutine; the live daemon sets it once at engine construction.
+func (in *AttrsInterner) SetCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	in.cap = n
+}
+
+// Epochs returns the number of cap-triggered rebuilds so far. Safe to
+// call concurrently with Intern.
+func (in *AttrsInterner) Epochs() int { return int(in.epochs.Load()) }
+
+// Bytes returns the approximate arena bytes committed in the current
+// epoch — the tunable half of the interner's footprint (old epochs'
+// chunks survive only through still-referenced blocks). Safe to call
+// concurrently with Intern.
+func (in *AttrsInterner) Bytes() int64 { return in.bytes.Load() }
+
+// Per-block byte estimates for Bytes accounting. Exact sizes depend on
+// architecture and chunk rounding; these track the dominant terms.
+const (
+	internAttrsBytes   = 96 // one Attrs value
+	internSegmentBytes = 32 // one path segment header
+	internEntryBytes   = 48 // one table entry + map slot
+)
+
+// rebuild starts a fresh epoch: the table and arenas are released to the
+// GC (kept alive only by still-referenced blocks) and interning restarts
+// empty. The scratch decode value survives — it holds no committed state.
+func (in *AttrsInterner) rebuild() {
+	in.m = make(map[uint64]int32, 256)
+	in.entries = nil
+	in.attrsArena = nil
+	in.aggArena = nil
+	in.segArena = nil
+	in.asnArena = nil
+	in.u32Arena = nil
+	in.keyArena = nil
+	in.n.Store(0)
+	in.bytes.Store(0)
+	in.epochs.Add(1)
+}
+
 // Intern returns the canonical *Attrs for the attribute block wire,
 // decoding and caching it on first sight. A hit performs zero
 // allocations; a miss amortizes to near zero through the arenas. The
@@ -90,6 +158,13 @@ func (in *AttrsInterner) Intern(wire []byte) (*Attrs, error) {
 	if err := in.scratch.decodeAttrsEx(wire, in.asn4, true); err != nil {
 		return nil, err
 	}
+	if in.cap > 0 && int(in.n.Load()) >= in.cap {
+		// Cap hit: start a fresh epoch before committing this block, so
+		// the commit below lands in the new table. head from the old
+		// table is stale now.
+		in.rebuild()
+		head = -1
+	}
 	a := in.allocAttrs()
 	*a = in.scratch
 	a.ASPath = in.copyPath(in.scratch.ASPath)
@@ -100,11 +175,18 @@ func (in *AttrsInterner) Intern(wire []byte) (*Attrs, error) {
 	in.entries = append(in.entries, internEntry{wire: in.copyKey(wire), attrs: a, next: head})
 	in.m[h] = int32(len(in.entries) - 1)
 	in.n.Add(1)
+	sz := internAttrsBytes + internEntryBytes + len(wire)
+	for _, s := range a.ASPath {
+		sz += internSegmentBytes + 4*len(s.ASes)
+	}
+	sz += 4 * len(a.Communities)
+	in.bytes.Add(int64(sz))
 	return a, nil
 }
 
-// Len returns the number of distinct attribute blocks interned so far.
-// Safe to call concurrently with Intern.
+// Len returns the number of distinct attribute blocks held in the
+// current epoch (all blocks ever seen when no cap is set). Safe to call
+// concurrently with Intern.
 func (in *AttrsInterner) Len() int {
 	return int(in.n.Load())
 }

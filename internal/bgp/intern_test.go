@@ -1,0 +1,139 @@
+package bgp
+
+import (
+	"testing"
+)
+
+// wireFor encodes a minimal distinct attribute block: origin IGP, a
+// two-hop path ending in origin AS a.
+func wireFor(t testing.TB, a ASN) []byte {
+	t.Helper()
+	attrs := &Attrs{
+		Origin:  OriginIGP,
+		ASPath:  Path{{Type: SegSequence, ASes: []ASN{64500, a}}},
+		NextHop: [4]byte{10, 0, 0, 1},
+	}
+	return attrs.AppendWire(nil)
+}
+
+func TestInternerHitReturnsSamePointer(t *testing.T) {
+	in := NewAttrsInterner(false)
+	w := wireFor(t, 65001)
+	a1, err := in.Intern(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := in.Intern(append([]byte(nil), w...)) // equal bytes, distinct backing
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("identical wire bytes interned to different pointers")
+	}
+	if in.Len() != 1 || in.Epochs() != 0 {
+		t.Fatalf("Len=%d Epochs=%d, want 1/0", in.Len(), in.Epochs())
+	}
+	if in.Bytes() <= 0 {
+		t.Fatalf("Bytes=%d, want > 0", in.Bytes())
+	}
+}
+
+// TestInternerCapPlateaus is the continuous-operation claim: with a cap
+// set, an endless stream of distinct attribute blocks keeps the table
+// and its byte accounting bounded (epoch rebuilds) instead of growing
+// monotonically, and interning stays correct across rebuilds.
+func TestInternerCapPlateaus(t *testing.T) {
+	const cap = 64
+	in := NewAttrsInterner(false)
+	in.SetCap(cap)
+
+	var maxLen int
+	var maxBytes int64
+	var firstFull int64 // bytes when the first epoch reached the cap
+	for i := 0; i < 100*cap; i++ {
+		w := wireFor(t, ASN(1000+i))
+		a, err := in.Intern(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A fresh commit must be immediately re-internable to the same
+		// pointer (same epoch).
+		b, err := in.Intern(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("block %d: re-intern within epoch returned a different pointer", i)
+		}
+		if in.Len() > maxLen {
+			maxLen = in.Len()
+		}
+		if v := in.Bytes(); v > maxBytes {
+			maxBytes = v
+		}
+		if firstFull == 0 && in.Len() == cap {
+			firstFull = in.Bytes()
+		}
+	}
+	if maxLen > cap {
+		t.Fatalf("table grew to %d distinct blocks, cap %d", maxLen, cap)
+	}
+	if in.Epochs() < 90 {
+		t.Fatalf("Epochs=%d, want >= 90 for 100x cap distinct blocks", in.Epochs())
+	}
+	if firstFull == 0 {
+		t.Fatal("cap never reached")
+	}
+	if maxBytes > firstFull {
+		t.Fatalf("bytes kept growing past the first full epoch: max %d > first-full %d", maxBytes, firstFull)
+	}
+}
+
+func TestInternerNoCapGrowsAndCounts(t *testing.T) {
+	in := NewAttrsInterner(false)
+	for i := 0; i < 200; i++ {
+		if _, err := in.Intern(wireFor(t, ASN(2000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.Len() != 200 {
+		t.Fatalf("Len=%d, want 200", in.Len())
+	}
+	if in.Epochs() != 0 {
+		t.Fatalf("Epochs=%d, want 0 without a cap", in.Epochs())
+	}
+}
+
+func TestInternerDecodeMatchesDirect(t *testing.T) {
+	in := NewAttrsInterner(false)
+	in.SetCap(4)
+	for i := 0; i < 32; i++ {
+		w := wireFor(t, ASN(3000+i))
+		got, err := in.Intern(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want Attrs
+		if err := want.DecodeAttrs(w); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(&want) {
+			t.Fatalf("block %d: interned attrs %+v differ from direct decode %+v", i, got, &want)
+		}
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	in := NewAttrsInterner(false)
+	w := wireFor(b, 65001)
+	if _, err := in.Intern(w); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Intern(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -149,6 +149,10 @@ type Kernel struct {
 	stateArena []state
 	freeStates []*state
 	asnArena   []bgp.ASN // chunked backing for unescaped origin commits
+	// arenaTotal counts states ever carved from the arena (recycled ones
+	// are not re-counted) — the memory-accounting view of how many state
+	// objects the kernel retains across all chunks.
+	arenaTotal int
 }
 
 // New returns an empty kernel.
@@ -269,8 +273,14 @@ func (k *Kernel) newState() *state {
 		k.stateArena = make([]state, 0, 512)
 	}
 	k.stateArena = append(k.stateArena, state{})
+	k.arenaTotal++
 	return &k.stateArena[len(k.stateArena)-1]
 }
+
+// ArenaStates returns the number of state objects carved from the
+// kernel's arena over its lifetime — live states plus the recycled free
+// list, i.e. the arena's retained footprint in states.
+func (k *Kernel) ArenaStates() int { return k.arenaTotal }
 
 // allocOrigins reserves an n-capacity, zero-length origin slice from the
 // chunked arena. The full-capacity bound keeps a later in-place reuse

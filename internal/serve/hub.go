@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 
+	"moas/internal/source"
 	"moas/internal/stream"
 )
 
@@ -22,7 +23,8 @@ import (
 type Hub struct {
 	mu        sync.Mutex
 	subs      map[*Subscriber]struct{}
-	published uint64 // events fanned out
+	published uint64 // events fanned out (conflict events and gaps)
+	gaps      uint64 // live-feed delivery gaps published
 	dropped   uint64 // subscribers kicked because their buffer overflowed
 	closed    bool
 
@@ -35,10 +37,15 @@ type Hub struct {
 	ringPos int
 }
 
-// SeqEvent is one published event plus its scenario-wide ID.
+// SeqEvent is one published event plus its scenario-wide ID. Exactly one
+// of the two payloads is set: Gap non-nil marks a live-feed delivery gap
+// (disconnect, session drop) sharing the conflict events' ID space, so a
+// resuming subscriber replays gaps in order with the detections around
+// them; otherwise Event holds a conflict lifecycle event.
 type SeqEvent struct {
 	ID    uint64
 	Event stream.Event
+	Gap   *source.Gap
 }
 
 // Subscriber is one event-stream consumer.
@@ -145,6 +152,17 @@ func (h *Hub) Unsubscribe(s *Subscriber) {
 // delivers it to every subscriber without blocking. A subscriber with no
 // buffer space left is dropped on the spot.
 func (h *Hub) Publish(ev stream.Event) {
+	h.publish(SeqEvent{Event: ev})
+}
+
+// PublishGap publishes a live-source delivery gap into the same sequenced
+// stream as conflict events. Wired to the sources' OnGap callbacks, which
+// run on reconnect/session goroutines; like Publish it never blocks.
+func (h *Hub) PublishGap(g source.Gap) {
+	h.publish(SeqEvent{Gap: &g})
+}
+
+func (h *Hub) publish(sev SeqEvent) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -152,7 +170,10 @@ func (h *Hub) Publish(ev stream.Event) {
 	}
 	h.lastID++
 	h.published++
-	sev := SeqEvent{ID: h.lastID, Event: ev}
+	sev.ID = h.lastID
+	if sev.Gap != nil {
+		h.gaps++
+	}
 	if h.ringCap > 0 {
 		if len(h.ring) < h.ringCap {
 			h.ring = append(h.ring, sev)
@@ -191,7 +212,8 @@ func (h *Hub) Close() {
 // HubStats is a point-in-time fan-out summary.
 type HubStats struct {
 	Subscribers int    // currently connected
-	Published   uint64 // events fanned out since creation
+	Published   uint64 // events fanned out since creation (incl. gaps)
+	Gaps        uint64 // live-feed delivery gaps published
 	Dropped     uint64 // subscribers dropped for falling behind
 	LastID      uint64 // most recent event ID (0 before any)
 	Buffered    int    // events currently resumable from the ring
@@ -204,6 +226,7 @@ func (h *Hub) Stats() HubStats {
 	return HubStats{
 		Subscribers: len(h.subs),
 		Published:   h.published,
+		Gaps:        h.gaps,
 		Dropped:     h.dropped,
 		LastID:      h.lastID,
 		Buffered:    len(h.ring),

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"moas/internal/bgp"
+	"moas/internal/source"
+	"moas/internal/source/bgpd"
+	"moas/internal/source/rislive"
+)
+
+// liveScenarioJSON is the subset of the scenario status wire format the
+// live tests assert on.
+type liveScenarioJSON struct {
+	State         string         `json:"state"`
+	Error         string         `json:"error"`
+	TotalDays     int            `json:"total_days"`
+	Feed          *source.Status `json:"feed"`
+	GapsPublished uint64         `json:"gaps_published"`
+}
+
+func getLiveStatus(t *testing.T, client *http.Client, url string) liveScenarioJSON {
+	t.Helper()
+	var st liveScenarioJSON
+	getJSON(t, client, url, &st)
+	if st.State == "failed" {
+		t.Fatalf("%s failed: %s", url, st.Error)
+	}
+	return st
+}
+
+// waitFeed polls the scenario status until its live feed satisfies ok.
+func waitFeed(t *testing.T, client *http.Client, url string, what string, ok func(liveScenarioJSON) bool) liveScenarioJSON {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getLiveStatus(t, client, url)
+		if ok(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: still waiting for %s; last status %+v (feed %+v)", url, what, st, st.Feed)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// readSSEUntil scans the event stream for the next block of the given
+// event type and returns its data payload.
+func readSSEUntil(t *testing.T, br *bufio.Reader, event string) string {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE stream ended before %q: %v", event, err)
+		}
+		if !strings.HasPrefix(line, "event: "+event) {
+			continue
+		}
+		data, err := br.ReadString('\n')
+		if err != nil || !strings.HasPrefix(data, "data: ") {
+			t.Fatalf("%s data line %q, err %v", event, data, err)
+		}
+		return strings.TrimSpace(strings.TrimPrefix(data, "data: "))
+	}
+}
+
+// TestLiveRISScenario drives a rislive-sourced scenario end to end: the
+// daemon subscribes to a fake feed, streams its updates into the engine
+// (an SSE client sees the conflict-start push), survives a severed
+// connection by reconnecting, and surfaces the records lost across the
+// outage as an SSE gap event with an exact missed count.
+func TestLiveRISScenario(t *testing.T) {
+	fake, err := rislive.NewFake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fake.Close()
+
+	reg := NewRegistry()
+	defer reg.Close()
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+	client := srv.Client()
+
+	resp, body := postJSON(t, client, srv.URL+"/scenarios",
+		map[string]any{"id": "ris", "source": "rislive", "url": fake.URL(), "shards": 2, "start": true})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create rislive scenario: %d %v", resp.StatusCode, body)
+	}
+	if err := fake.WaitSubscribed(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := waitFeed(t, client, srv.URL+"/scenarios/ris", "feed status",
+		func(st liveScenarioJSON) bool { return st.Feed != nil })
+	if st.TotalDays != -1 {
+		t.Fatalf("total_days=%d for a live scenario, want -1 (endless)", st.TotalDays)
+	}
+	if st.Feed.Kind != "rislive" || !st.Feed.Connected {
+		t.Fatalf("feed status %+v, want connected rislive", st.Feed)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/scenarios/ris/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sse, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	br := bufio.NewReader(sse.Body)
+	if line, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(line, ": subscribed") {
+		t.Fatalf("SSE handshake line %q, err %v", line, err)
+	}
+
+	// Two peers originate the same prefix, then a third record stamped
+	// past midnight closes the observation day — conflicts are assessed
+	// per closed day (the paper's daily snapshots), so that close is
+	// what pushes conflict-start to the SSE subscriber.
+	ts := float64(time.Now().Unix())
+	send := func(m rislive.Msg) {
+		t.Helper()
+		if err := fake.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ann := func(when float64, peer string, as uint32, origin uint32, prefix string) rislive.Msg {
+		return rislive.Msg{
+			Timestamp: when, Peer: peer, PeerASN: as,
+			Path: []any{as, origin}, Origin: "IGP",
+			Announcements: []rislive.Announcement{{NextHop: "192.0.2.1", Prefixes: []string{prefix}}},
+		}
+	}
+	send(ann(ts, "10.9.9.1", 65101, 7, "99.0.0.0/8"))
+	send(ann(ts, "10.9.9.2", 65102, 8, "99.0.0.0/8"))
+	send(ann(ts+86410, "10.9.9.1", 65101, 7, "98.0.0.0/8")) // day-close nudge
+	var ev struct {
+		Scenario string `json:"scenario"`
+		Type     string `json:"type"`
+		Prefix   string `json:"prefix"`
+	}
+	if err := json.Unmarshal([]byte(readSSEUntil(t, br, "conflict-start")), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Scenario != "ris" || ev.Prefix != "99.0.0.0/8" {
+		t.Fatalf("conflict-start event %+v", ev)
+	}
+
+	// Sever the feed, lose one numbered message into the outage, and let
+	// the client reconnect: the next delivered message reveals exactly
+	// one missed record, which must reach the SSE stream as a gap event.
+	fake.Kill()
+	send(ann(ts, "10.9.9.3", 65103, 9, "97.0.0.0/8")) // no subscriber: lost, sequence consumed
+	if err := fake.WaitSubscribed(2, 30*time.Second); err != nil {
+		t.Fatalf("client never reconnected: %v", err)
+	}
+	send(ann(ts, "10.9.9.4", 65104, 10, "96.0.0.0/8"))
+	var gap struct {
+		Scenario string `json:"scenario"`
+		Missed   uint64 `json:"missed"`
+		Known    bool   `json:"known"`
+	}
+	if err := json.Unmarshal([]byte(readSSEUntil(t, br, "gap")), &gap); err != nil {
+		t.Fatal(err)
+	}
+	if gap.Scenario != "ris" || gap.Missed != 1 || !gap.Known {
+		t.Fatalf("gap event %+v, want exactly 1 known missed record", gap)
+	}
+
+	// The post-reconnect update was ingested (clean resubscribe), and the
+	// status surfaces the reconnect and the published gap.
+	st = waitFeed(t, client, srv.URL+"/scenarios/ris", "post-reconnect ingest",
+		func(st liveScenarioJSON) bool { return st.Feed != nil && st.Feed.Records >= 4 })
+	if st.Feed.Reconnects != 1 || st.Feed.Gaps != 1 {
+		t.Fatalf("feed status %+v, want 1 reconnect and 1 gap", st.Feed)
+	}
+	if st.GapsPublished != 1 {
+		t.Fatalf("gaps_published=%d, want 1", st.GapsPublished)
+	}
+}
+
+// TestLiveBGPScenario runs a bgp-sourced scenario: scripted peers dial
+// the daemon's passive speaker, their updates form a conflict, an
+// abrupt session drop publishes an unknown-count gap, and registry
+// shutdown sends the surviving peer a NOTIFICATION cease.
+func TestLiveBGPScenario(t *testing.T) {
+	reg := NewRegistry()
+	defer reg.Close()
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+	client := srv.Client()
+
+	resp, body := postJSON(t, client, srv.URL+"/scenarios",
+		map[string]any{"id": "bgp", "source": "bgp", "listen": "127.0.0.1:0", "local_as": 64999, "shards": 2, "start": true})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create bgp scenario: %d %v", resp.StatusCode, body)
+	}
+	// ":0" means the OS picked the port; the status' feed endpoint is the
+	// only way to learn it.
+	st := waitFeed(t, client, srv.URL+"/scenarios/bgp", "speaker endpoint",
+		func(st liveScenarioJSON) bool { return st.Feed != nil && st.Feed.Endpoint != "" })
+
+	attrs := func(hops ...bgp.ASN) *bgp.Attrs {
+		return &bgp.Attrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Path{{Type: bgp.SegSequence, ASes: hops}},
+			NextHop: [4]byte{192, 0, 2, 1},
+		}
+	}
+	p := bgp.MustParsePrefix("99.0.0.0/8")
+	p1, err := bgpd.DialScripted(st.Feed.Endpoint, 65001, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := bgpd.DialScripted(st.Feed.Endpoint, 65002, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+
+	if err := p1.SendUpdate(&bgp.Update{Attrs: attrs(65001, 70), NLRI: []bgp.Prefix{p}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.SendUpdate(&bgp.Update{Attrs: attrs(65002, 71), NLRI: []bgp.Prefix{p}}); err != nil {
+		t.Fatal(err)
+	}
+	// The speaker stamps records at receipt with the real clock, so no
+	// observation day can close inside the test (that needs midnight) —
+	// conflict materialization is proven at the stream layer with a fake
+	// clock. Here the contract is ingest: both sessions' updates land in
+	// the engine and the MOAS route pair is query-visible immediately.
+	var stats struct {
+		Messages uint64 `json:"messages"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for stats.Messages < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("engine stats %+v, want 2 messages", stats)
+		}
+		getJSON(t, client, srv.URL+"/scenarios/bgp/stats", &stats)
+		time.Sleep(5 * time.Millisecond)
+	}
+	var pr struct {
+		Routes int `json:"routes"`
+	}
+	getJSON(t, client, srv.URL+"/scenarios/bgp/prefix/99.0.0.0/8", &pr)
+	if pr.Routes != 2 {
+		t.Fatalf("prefix query returned %d routes, want the 2 live sessions'", pr.Routes)
+	}
+
+	// An abrupt TCP drop of an established session is data loss the
+	// speaker cannot quantify: Known=false, but still a published gap.
+	p2.Close()
+	st = waitFeed(t, client, srv.URL+"/scenarios/bgp", "session-drop gap",
+		func(st liveScenarioJSON) bool { return st.Feed != nil && st.Feed.Gaps >= 1 })
+	if st.GapsPublished < 1 {
+		t.Fatalf("gaps_published=%d after session drop, want >= 1", st.GapsPublished)
+	}
+
+	// Graceful shutdown reaches the wire: the speaker must cease, not
+	// vanish.
+	closed := make(chan struct{})
+	go func() { reg.Close(); close(closed) }()
+	code, _, err := p1.ReadNotification()
+	if err != nil {
+		t.Fatalf("reading shutdown NOTIFICATION: %v", err)
+	}
+	if code != bgpd.NotifCease {
+		t.Fatalf("shutdown NOTIFICATION code %d, want cease (%d)", code, bgpd.NotifCease)
+	}
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("registry close hung")
+	}
+}

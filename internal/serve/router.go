@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"moas/internal/bgp"
+	"moas/internal/source"
 )
 
 // Wire types. Scenario states render by name and events carry their
@@ -22,14 +23,21 @@ type scenarioJSON struct {
 	Source     string  `json:"source"`
 	Scale      string  `json:"scale,omitempty"`
 	Path       string  `json:"path,omitempty"`
+	URL        string  `json:"url,omitempty"`
+	Listen     string  `json:"listen,omitempty"`
 	State      string  `json:"state"`
 	Error      string  `json:"error,omitempty"`
 	DaysPerSec float64 `json:"days_per_sec,omitempty"`
-	TotalDays  int     `json:"total_days"`
-	ClosedDays int     `json:"closed_days"`
+	// TotalDays is -1 for live sources: the calendar never ends.
+	TotalDays  int `json:"total_days"`
+	ClosedDays int `json:"closed_days"`
+	// Feed is the live source's connection state (absent unless a live
+	// run is in flight).
+	Feed *source.Status `json:"feed,omitempty"`
 
 	Subscribers     int    `json:"subscribers"`
 	EventsPublished uint64 `json:"events_published"`
+	GapsPublished   uint64 `json:"gaps_published,omitempty"`
 	SlowDrops       uint64 `json:"slow_drops"`
 	LastEventID     uint64 `json:"last_event_id"`
 	ResumeBuffered  int    `json:"resume_buffered"`
@@ -54,13 +62,17 @@ func statusToJSON(st Status) scenarioJSON {
 		Source:          st.Source,
 		Scale:           st.Scale,
 		Path:            st.Path,
+		URL:             st.URL,
+		Listen:          st.Listen,
 		State:           st.State.String(),
 		Error:           st.Error,
 		DaysPerSec:      st.DaysPerSec,
 		TotalDays:       st.TotalDays,
 		ClosedDays:      st.ClosedDays,
+		Feed:            st.Feed,
 		Subscribers:     st.Events.Subscribers,
 		EventsPublished: st.Events.Published,
+		GapsPublished:   st.Events.Gaps,
 		SlowDrops:       st.Events.Dropped,
 		LastEventID:     st.Events.LastID,
 		ResumeBuffered:  st.Events.Buffered,
@@ -271,7 +283,10 @@ func NewHandler(reg *Registry) http.Handler {
 // EventSource behavior) and the stream resumes from the scenario's ring
 // buffer; if the client fell further behind than the ring remembers, an
 // "event: gap" block reports how many events were lost so it can
-// resynchronize through the query API.
+// resynchronize through the query API. Live-source scenarios publish a
+// second kind of gap into the same stream: a feed delivery gap
+// (disconnect, BGP session drop), carried as an "event: gap" block with
+// a "known" field saying whether the missed count is exact.
 //
 // The subscription is buffered (ScenarioConfig.EventBuffer); if the
 // client falls that far behind the publisher, the hub drops it and the
@@ -335,6 +350,15 @@ func serveEvents(w http.ResponseWriter, r *http.Request, s *Scenario) {
 				fmt.Fprint(w, "event: dropped\ndata: {\"reason\":\"slow consumer or scenario shutdown\"}\n\n")
 				fl.Flush()
 				return
+			}
+			if ev.Gap != nil {
+				// Live-feed delivery gaps bypass the ?types filter: a
+				// filtered consumer still needs to know its view has a
+				// hole in it.
+				fmt.Fprintf(w, "id: %d\nevent: gap\ndata: {\"scenario\":%q,\"missed\":%d,\"known\":%v}\n\n",
+					ev.ID, s.ID(), ev.Gap.Missed, ev.Gap.Known)
+				fl.Flush()
+				continue
 			}
 			if want != nil && !want[ev.Event.Type.String()] {
 				continue

@@ -12,8 +12,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"moas/internal/bgp"
 	"moas/internal/collector"
 	"moas/internal/scenario"
+	"moas/internal/source"
+	"moas/internal/source/bgpd"
+	"moas/internal/source/rislive"
 	"moas/internal/stream"
 )
 
@@ -30,6 +34,15 @@ const (
 	// from the serialized kernel state and the replay picks the original
 	// source back up mid-archive.
 	SourceCheckpoint = "checkpoint"
+	// SourceRISLive subscribes to a RIS Live-style JSON-over-websocket
+	// feed (internal/source/rislive) and runs continuously: observation
+	// days are absolute UTC days closed by the wall clock, and the client
+	// reconnects through transport loss, surfacing gaps on the SSE hub.
+	SourceRISLive = "rislive"
+	// SourceBGP runs a minimal passive BGP speaker
+	// (internal/source/bgpd): real peers TCP-dial in, OPEN/KEEPALIVE
+	// negotiate a session, and their UPDATEs feed the engine live.
+	SourceBGP = "bgp"
 )
 
 // ScenarioConfig is the POST /scenarios request body: what to replay and
@@ -39,13 +52,26 @@ type ScenarioConfig struct {
 	// defaults to the scale (synth) or the file's base name (mrt), with a
 	// numeric suffix on collision. Letters, digits, ".", "_", "-" only.
 	ID string `json:"id,omitempty"`
-	// Source is "synth" (default) or "mrt".
+	// Source is "synth" (default), "mrt", "rislive", "bgp" or
+	// "checkpoint".
 	Source string `json:"source,omitempty"`
 	// Scale selects the synthesized scenario: "small" (two months) or
 	// "full" (the paper's 1279 days). Synth only; default "small".
 	Scale string `json:"scale,omitempty"`
 	// Path is the MRT BGP4MP file to replay. MRT only; must exist.
 	Path string `json:"path,omitempty"`
+	// URL is the ws:// feed endpoint. RIS Live only.
+	URL string `json:"url,omitempty"`
+	// Listen is the TCP address the BGP speaker accepts sessions on
+	// (e.g. ":179", "127.0.0.1:1790"). BGP only.
+	Listen string `json:"listen,omitempty"`
+	// LocalAS is the AS the BGP speaker answers OPEN with (BGP only;
+	// 0 = 64512, the first private AS).
+	LocalAS uint32 `json:"local_as,omitempty"`
+	// MaxAttrs caps the engine's distinct-attrs interner; at the cap the
+	// interner rebuilds and its memory plateaus. 0 = the live default
+	// (1<<20) for live sources and unbounded for replays; -1 = unbounded.
+	MaxAttrs int `json:"max_attrs,omitempty"`
 	// Shards is the engine's worker count (0 = GOMAXPROCS).
 	Shards int `json:"shards,omitempty"`
 	// DaysPerSec paces the replay in observed days per second (0 = as
@@ -79,7 +105,7 @@ const ScenarioCheckpointVersion = 1
 type ScenarioCheckpoint struct {
 	Version int `json:"version"`
 	// Config is the checkpointed scenario's effective source config
-	// (always synth or mrt — restoring a restored scenario re-checkpoints
+	// (never "checkpoint" — restoring a restored scenario re-checkpoints
 	// against the original source).
 	Config ScenarioConfig `json:"config"`
 	// TotalDays is the source calendar's length (0 if the source was
@@ -153,19 +179,51 @@ func (c *ScenarioConfig) normalize() error {
 		if c.Scale != "" {
 			return errors.New(`"scale" is only valid with source "synth"`)
 		}
+	case SourceRISLive:
+		if c.URL == "" {
+			return errors.New(`source "rislive" requires "url"`)
+		}
+		if !strings.HasPrefix(c.URL, "ws://") {
+			return fmt.Errorf(`rislive url %q: only ws:// endpoints are supported`, c.URL)
+		}
+		if c.Scale != "" || c.Path != "" {
+			return errors.New(`"scale" and "path" are not valid with source "rislive"`)
+		}
+	case SourceBGP:
+		if c.Listen == "" {
+			return errors.New(`source "bgp" requires "listen"`)
+		}
+		if c.Scale != "" || c.Path != "" {
+			return errors.New(`"scale" and "path" are not valid with source "bgp"`)
+		}
+		if c.LocalAS == 0 {
+			c.LocalAS = 64512
+		}
 	case SourceCheckpoint:
 		if err := c.normalizeCheckpoint(); err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown source %q (want %q, %q or %q)",
-			c.Source, SourceSynth, SourceMRT, SourceCheckpoint)
+		return fmt.Errorf("unknown source %q (want %q, %q, %q, %q or %q)",
+			c.Source, SourceSynth, SourceMRT, SourceRISLive, SourceBGP, SourceCheckpoint)
 	}
 	if c.Source != SourceCheckpoint && c.Checkpoint != nil {
 		return errors.New(`"checkpoint" is only valid with source "checkpoint"`)
 	}
+	if c.Source != SourceRISLive && c.URL != "" {
+		return errors.New(`"url" is only valid with source "rislive"`)
+	}
+	if c.Source != SourceBGP && (c.Listen != "" || c.LocalAS != 0) {
+		return errors.New(`"listen" and "local_as" are only valid with source "bgp"`)
+	}
+	if c.isLive() && c.DaysPerSec != 0 {
+		return errors.New("days_per_sec paces replays; live sources run at feed speed")
+	}
 	if c.DaysPerSec < 0 {
 		return errors.New("days_per_sec must be >= 0")
+	}
+	if c.MaxAttrs < -1 {
+		return errors.New("max_attrs must be >= -1")
 	}
 	// Bound the allocation-driving knobs: these come from untrusted
 	// request bodies, and a single huge value would defeat the
@@ -227,8 +285,20 @@ func (c *ScenarioConfig) normalizeCheckpoint() error {
 		} else if fi.IsDir() {
 			return fmt.Errorf("checkpoint mrt path %s is a directory", inner.Path)
 		}
+	case SourceRISLive:
+		// A live feed cannot be seeked; the restored scenario keeps the
+		// engine state and simply reconnects, counting what it lost
+		// across the outage as a gap.
+		if !strings.HasPrefix(inner.URL, "ws://") {
+			return fmt.Errorf("checkpoint rislive url %q: only ws:// endpoints are supported", inner.URL)
+		}
+	case SourceBGP:
+		if inner.Listen == "" {
+			return errors.New("checkpoint bgp config has no listen address")
+		}
 	default:
-		return fmt.Errorf("checkpoint config has source %q; want %q or %q", inner.Source, SourceSynth, SourceMRT)
+		return fmt.Errorf("checkpoint config has source %q; want %q, %q, %q or %q",
+			inner.Source, SourceSynth, SourceMRT, SourceRISLive, SourceBGP)
 	}
 	if c.Scale != "" || c.Path != "" {
 		return errors.New(`"scale" and "path" come from the checkpoint with source "checkpoint"`)
@@ -248,6 +318,9 @@ func (c *ScenarioConfig) normalizeCheckpoint() error {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = inner.EventBuffer
+	}
+	if c.MaxAttrs == 0 {
+		c.MaxAttrs = inner.MaxAttrs
 	}
 	return nil
 }
@@ -279,6 +352,9 @@ func (c *ScenarioConfig) defaultID() string {
 		}
 		return string(clean) + "-restored"
 	}
+	if c.isLive() {
+		return c.Source // "rislive" or "bgp"
+	}
 	if c.Source == SourceMRT {
 		base := filepath.Base(c.Path)
 		base = strings.TrimSuffix(base, ".gz")
@@ -301,12 +377,28 @@ func (c *ScenarioConfig) describeSource() string {
 	switch c.Source {
 	case SourceMRT:
 		return "mrt file " + c.Path
+	case SourceRISLive:
+		return "ris live feed " + c.URL
+	case SourceBGP:
+		return "bgp speaker on " + c.Listen
 	case SourceCheckpoint:
 		return fmt.Sprintf("checkpoint of %s at %d/%d days",
 			c.Checkpoint.Config.describeSource(), c.Checkpoint.DaysClosed, c.Checkpoint.TotalDays)
 	}
 	return "synth scale " + c.Scale
 }
+
+// isLive reports whether the config's source is a continuous feed (no
+// finite calendar, wall-clock day closes, reconnect semantics).
+func (c *ScenarioConfig) isLive() bool {
+	return c.Source == SourceRISLive || c.Source == SourceBGP
+}
+
+// DefaultLiveMaxAttrs is the interner cap applied to live-source
+// scenarios when MaxAttrs is unset: a real feed's distinct-attrs
+// population grows without bound over months, so continuous operation
+// needs a plateau by default.
+const DefaultLiveMaxAttrs = 1 << 20
 
 // specFor maps a scale name to its scenario spec.
 func specFor(scale string) (scenario.Spec, error) {
@@ -359,10 +451,11 @@ func (s State) String() string {
 // goroutine's controls. All methods are safe for concurrent use.
 type Scenario struct {
 	cfg ScenarioConfig
-	// srcCfg is the effective replay source (always synth or mrt): cfg
-	// itself unless this scenario was restored from a checkpoint.
+	// srcCfg is the effective source (never "checkpoint"): cfg itself
+	// unless this scenario was restored from a checkpoint.
 	srcCfg ScenarioConfig
-	// resume positions the replay mid-archive for restored scenarios.
+	// resume positions the replay mid-archive for restored scenarios
+	// (finite sources only; a restored live scenario reconnects instead).
 	resume *stream.ReplayPosition
 	eng    *stream.Engine
 	hub    *Hub
@@ -396,9 +489,23 @@ func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any)) (*Sc
 		ring = DefaultEventRing
 	}
 	hub := NewHub(ring, lim.MaxSubscribers)
+	// The effective source decides liveness: a checkpoint of a live
+	// scenario restores as a live scenario.
+	eff := &cfg
+	if cfg.Source == SourceCheckpoint {
+		eff = &cfg.Checkpoint.Config
+	}
+	maxAttrs := cfg.MaxAttrs
+	switch {
+	case maxAttrs == 0 && eff.isLive():
+		maxAttrs = DefaultLiveMaxAttrs
+	case maxAttrs < 0:
+		maxAttrs = 0 // engine convention: 0 = unbounded
+	}
 	engCfg := stream.Config{
-		Shards:       cfg.Shards,
-		HistoryLimit: cfg.History,
+		Shards:           cfg.Shards,
+		HistoryLimit:     cfg.History,
+		MaxDistinctAttrs: maxAttrs,
 		// The daemon bounds memory: the global event log is off; event
 		// consumers subscribe through the hub instead.
 		DisableEventLog: true,
@@ -423,7 +530,11 @@ func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any)) (*Sc
 		s.eng = eng
 		s.srcCfg = ck.Config
 		s.srcCfg.Checkpoint = nil
-		s.resume = &stream.ReplayPosition{Records: ck.Engine.Records, DaysClosed: ck.DaysClosed}
+		if !s.srcCfg.isLive() {
+			// Live feeds cannot be seeked: the restored engine keeps its
+			// state and the run reconnects instead of resuming a cursor.
+			s.resume = &stream.ReplayPosition{Records: ck.Engine.Records, DaysClosed: ck.DaysClosed}
+		}
 		s.totalDays.Store(int64(ck.TotalDays))
 		s.closedDays.Store(int64(ck.DaysClosed))
 		// The engine now holds the live state; keeping the decoded image
@@ -736,8 +847,12 @@ func (s *Scenario) run() {
 
 // replay opens the effective source (the checkpointed scenario's source
 // when restoring) and feeds it through the engine, resuming mid-archive
-// when a checkpoint position is set.
+// when a checkpoint position is set. Live sources run continuously
+// instead of replaying a calendar.
 func (s *Scenario) replay() error {
+	if s.srcCfg.isLive() {
+		return s.runLive()
+	}
 	var src io.ReadCloser
 	var cal stream.Calendar
 	switch s.srcCfg.Source {
@@ -814,6 +929,51 @@ func (s *Scenario) replay() error {
 	return s.eng.Replay(src, cal, opts)
 }
 
+// runLive connects the configured live source and drains it through the
+// engine until shutdown. Delivery gaps — transport loss on the RIS
+// client, session drops on the BGP speaker — surface as SSE gap events
+// on the scenario's hub.
+func (s *Scenario) runLive() error {
+	// -1 is the "endless calendar" sentinel: the status JSON renders it
+	// so dashboards can tell a live feed from a source not yet opened,
+	// and the auto-checkpoint loop's not-yet-open guard (== 0) admits
+	// live scenarios.
+	s.totalDays.Store(-1)
+	var src source.Source
+	switch s.srcCfg.Source {
+	case SourceRISLive:
+		c, err := rislive.Dial(rislive.Config{
+			URL:      s.srcCfg.URL,
+			Interner: s.eng.Interner(),
+			OnGap:    s.hub.PublishGap,
+		})
+		if err != nil {
+			return err
+		}
+		src = c
+	case SourceBGP:
+		sp, err := bgpd.Listen(bgpd.Config{
+			Addr:     s.srcCfg.Listen,
+			LocalAS:  bgp.ASN(s.srcCfg.LocalAS),
+			BGPID:    [4]byte{192, 0, 2, 1},
+			Interner: s.eng.Interner(),
+			OnGap:    s.hub.PublishGap,
+		})
+		if err != nil {
+			return err
+		}
+		src = sp
+	default:
+		return fmt.Errorf("unknown live source %q", s.srcCfg.Source)
+	}
+	// Run closes the source itself on Stop; this covers error exits.
+	defer src.Close()
+	return s.eng.Run(src, &stream.RunOptions{
+		Stop:       s.stop,
+		OnDayClose: func(int) { s.closedDays.Add(1) },
+	})
+}
+
 // Status is a scenario lifecycle snapshot (the list/detail endpoints'
 // payload, minus the engine stats the detail view adds).
 type Status struct {
@@ -821,13 +981,18 @@ type Status struct {
 	Source     string
 	Scale      string
 	Path       string
+	URL        string
+	Listen     string
 	State      State
 	Error      string
 	Shards     int
 	DaysPerSec float64
-	TotalDays  int // 0 until the source is open
+	TotalDays  int // 0 until the source is open; -1 = endless (live feed)
 	ClosedDays int
 	Events     HubStats
+	// Feed is the live source's connection state (nil unless a live run
+	// is in flight).
+	Feed *source.Status
 }
 
 // Status snapshots the scenario.
@@ -840,12 +1005,15 @@ func (s *Scenario) Status() Status {
 		Source:     s.cfg.Source,
 		Scale:      s.cfg.Scale,
 		Path:       s.cfg.Path,
+		URL:        s.srcCfg.URL,
+		Listen:     s.srcCfg.Listen,
 		State:      state,
 		Shards:     s.cfg.Shards,
 		DaysPerSec: s.cfg.DaysPerSec,
 		TotalDays:  int(s.totalDays.Load()),
 		ClosedDays: int(s.closedDays.Load()),
 		Events:     s.hub.Stats(),
+		Feed:       s.eng.SourceStatus(),
 	}
 	if err != nil {
 		st.Error = err.Error()

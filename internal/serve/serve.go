@@ -3,11 +3,13 @@
 // replays behind a scenario registry, each with its own lifecycle
 // (create → start → pause/resume → done, deletable at any point), its own
 // isolated conflict state, and its own SSE event hub. Scenarios are
-// sourced either from a synthesized archive (the scenario package builds
-// it and the replay streams it through an io.Pipe, so the full-scale
-// archive never materializes) or from a real MRT BGP4MP file on disk
+// sourced from a synthesized archive (the scenario package builds it and
+// the replay streams it through an io.Pipe, so the full-scale archive
+// never materializes), from a real MRT BGP4MP file on disk
 // (internal/collector opens it, the calendar is derived from the file's
-// own timestamps). The HTTP router prefixes every engine query path with
+// own timestamps), or from a live feed (internal/source: a RIS Live-style
+// websocket client or a passive BGP speaker) running continuously with
+// wall-clock day closes. The HTTP router prefixes every engine query path with
 // /scenarios/{id}/ — delegating to internal/stream's handler unchanged —
 // and adds the lifecycle POST endpoints plus the /events SSE stream the
 // hub feeds. cmd/moasd is a thin main around NewRegistry + NewHandler.
@@ -211,10 +213,14 @@ func (r *Registry) Delete(id string) bool {
 	return true
 }
 
-// Close shuts every scenario down — aborting replays, closing hubs,
-// stopping auto-checkpoint loops — without touching on-disk checkpoints.
-// It is the graceful half of process shutdown; Recover at the next boot
-// is the other half. The registry is empty but reusable afterwards.
+// Close shuts every scenario down — aborting replays and live runs
+// (live sources close their transports: the BGP speaker sends
+// NOTIFICATION cease, the RIS client a websocket close), closing hubs,
+// stopping auto-checkpoint loops. With durability on, each scenario is
+// checkpointed one final time before its shutdown, so a graceful stop
+// loses nothing the auto-checkpoint interval would have: Recover at the
+// next boot resumes from this exact state. It is the graceful half of
+// process shutdown. The registry is empty but reusable afterwards.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	scs := make([]*Scenario, 0, len(r.scenarios))
@@ -224,6 +230,19 @@ func (r *Registry) Close() {
 	}
 	r.mu.Unlock()
 	for _, s := range scs {
+		// The final checkpoint must land before shutdown: a stopped run
+		// leaves the scenario in a state Checkpoint refuses.
+		if r.Durability.enabled() {
+			if ck, err := s.AutoCheckpoint(); err != nil {
+				r.logf("scenario %s: final checkpoint: %v", s.ID(), err)
+			} else if ck != nil {
+				if path, err := r.storeFor(s.ID()).write(ck); err != nil {
+					r.logf("scenario %s: final checkpoint write: %v", s.ID(), err)
+				} else {
+					r.logf("scenario %s: final checkpoint -> %s", s.ID(), path)
+				}
+			}
+		}
 		s.shutdown()
 	}
 }

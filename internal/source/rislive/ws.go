@@ -1,0 +1,281 @@
+package rislive
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// A from-scratch RFC 6455 websocket endpoint, client and server halves,
+// covering exactly what a RIS Live-style JSON feed needs: the HTTP/1.1
+// upgrade handshake, text/ping/pong/close frames, fragmented messages,
+// and client-side masking. Stdlib only — the repo takes no websocket
+// dependency for one framed-JSON stream.
+
+// Websocket opcodes (RFC 6455 §5.2).
+const (
+	opContinuation = 0x0
+	opText         = 0x1
+	opBinary       = 0x2
+	opClose        = 0x8
+	opPing         = 0x9
+	opPong         = 0xA
+)
+
+// wsGUID is the fixed handshake GUID from RFC 6455 §1.3.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// maxWsPayload bounds one message (after reassembly): a RIS JSON
+// message is a few KB; anything near this is a broken or hostile peer.
+const maxWsPayload = 1 << 20
+
+// wsConn is an upgraded websocket connection.
+type wsConn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	client bool // client frames are masked, server frames are not
+	buf    []byte
+}
+
+// wsAccept computes the Sec-WebSocket-Accept value for a key.
+func wsAccept(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// wsDial dials wsURL ("ws://host:port/path") and runs the client
+// handshake.
+func wsDial(wsURL string, timeout time.Duration) (*wsConn, error) {
+	u, err := url.Parse(wsURL)
+	if err != nil {
+		return nil, fmt.Errorf("rislive: %w", err)
+	}
+	if u.Scheme != "ws" {
+		return nil, fmt.Errorf("rislive: unsupported scheme %q (stdlib client speaks ws:// only)", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host += ":80"
+	}
+	conn, err := net.DialTimeout("tcp", host, timeout)
+	if err != nil {
+		return nil, err
+	}
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n",
+		path, u.Host, key)
+	if _, err := io.WriteString(conn, req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rislive: handshake: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		conn.Close()
+		return nil, fmt.Errorf("rislive: handshake: status %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != wsAccept(key) {
+		conn.Close()
+		return nil, fmt.Errorf("rislive: handshake: bad Sec-WebSocket-Accept %q", got)
+	}
+	conn.SetDeadline(time.Time{})
+	return &wsConn{conn: conn, br: br, client: true}, nil
+}
+
+// wsUpgrade runs the server half of the handshake on a raw accepted
+// connection: parse the GET, validate the upgrade headers, answer 101.
+func wsUpgrade(conn net.Conn) (*wsConn, *http.Request, error) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	req, err := http.ReadRequest(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !strings.EqualFold(req.Header.Get("Upgrade"), "websocket") {
+		io.WriteString(conn, "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
+		return nil, nil, fmt.Errorf("rislive: not a websocket upgrade")
+	}
+	key := req.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		io.WriteString(conn, "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
+		return nil, nil, fmt.Errorf("rislive: missing Sec-WebSocket-Key")
+	}
+	resp := fmt.Sprintf("HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Accept: %s\r\n\r\n", wsAccept(key))
+	if _, err := io.WriteString(conn, resp); err != nil {
+		return nil, nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return &wsConn{conn: conn, br: br, client: false}, req, nil
+}
+
+// readMessage reads one complete message, reassembling fragments and
+// answering pings transparently. It returns the opcode of the initial
+// frame (opText/opBinary/opClose) and the payload, valid until the next
+// call.
+func (c *wsConn) readMessage() (byte, []byte, error) {
+	c.buf = c.buf[:0]
+	msgOp := byte(0)
+	for {
+		fin, op, payload, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch op {
+		case opPing:
+			if err := c.writeFrame(opPong, payload); err != nil {
+				return 0, nil, err
+			}
+			continue
+		case opPong:
+			continue
+		case opClose:
+			// Echo the close per the protocol, then report it upward.
+			c.writeFrame(opClose, payload)
+			return opClose, nil, io.EOF
+		case opContinuation:
+			if msgOp == 0 {
+				return 0, nil, fmt.Errorf("rislive: continuation without start")
+			}
+		case opText, opBinary:
+			if msgOp != 0 {
+				return 0, nil, fmt.Errorf("rislive: nested message start")
+			}
+			msgOp = op
+		default:
+			return 0, nil, fmt.Errorf("rislive: opcode %d", op)
+		}
+		if len(c.buf)+len(payload) > maxWsPayload {
+			return 0, nil, fmt.Errorf("rislive: message exceeds %d bytes", maxWsPayload)
+		}
+		c.buf = append(c.buf, payload...)
+		if fin {
+			return msgOp, c.buf, nil
+		}
+	}
+}
+
+// readFrame reads one raw frame. The payload aliases an internal
+// scratch that the next readFrame overwrites.
+func (c *wsConn) readFrame() (fin bool, op byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(c.br, hdr[:]); err != nil {
+		return false, 0, nil, err
+	}
+	fin = hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return false, 0, nil, fmt.Errorf("rislive: reserved frame bits set")
+	}
+	op = hdr[0] & 0x0F
+	masked := hdr[1]&0x80 != 0
+	n := uint64(hdr[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		n = uint64(ext[0])<<8 | uint64(ext[1])
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		n = 0
+		for _, b := range ext {
+			n = n<<8 | uint64(b)
+		}
+	}
+	if n > maxWsPayload {
+		return false, 0, nil, fmt.Errorf("rislive: frame of %d bytes", n)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	p := make([]byte, n)
+	if _, err = io.ReadFull(c.br, p); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range p {
+			p[i] ^= mask[i%4]
+		}
+	}
+	return fin, op, p, nil
+}
+
+// writeFrame writes one unfragmented frame, masking when c is the
+// client side as RFC 6455 §5.3 requires.
+func (c *wsConn) writeFrame(op byte, payload []byte) error {
+	var hdr [14]byte
+	hdr[0] = 0x80 | op
+	i := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = byte(len(payload))
+	case len(payload) < 1<<16:
+		hdr[1] = 126
+		hdr[2], hdr[3] = byte(len(payload)>>8), byte(len(payload))
+		i = 4
+	default:
+		hdr[1] = 127
+		for j := 0; j < 8; j++ {
+			hdr[2+j] = byte(uint64(len(payload)) >> (56 - 8*j))
+		}
+		i = 10
+	}
+	out := payload
+	if c.client {
+		hdr[1] |= 0x80
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return err
+		}
+		copy(hdr[i:], mask[:])
+		i += 4
+		out = make([]byte, len(payload))
+		for j := range payload {
+			out[j] = payload[j] ^ mask[j%4]
+		}
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if _, err := c.conn.Write(hdr[:i]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(out)
+	return err
+}
+
+// writeText sends one text message.
+func (c *wsConn) writeText(s []byte) error { return c.writeFrame(opText, s) }
+
+// close sends a close frame (best effort) and drops the connection.
+func (c *wsConn) close() error {
+	c.writeFrame(opClose, nil)
+	return c.conn.Close()
+}

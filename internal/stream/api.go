@@ -7,6 +7,7 @@ import (
 
 	"moas/internal/bgp"
 	"moas/internal/core"
+	"moas/internal/source"
 )
 
 // API wire types. Prefixes render as CIDR strings and classes by their
@@ -58,11 +59,16 @@ type statsJSON struct {
 	Ops             uint64         `json:"ops"`
 	LastClosedDay   int            `json:"last_closed_day"`
 	DistinctAttrs   int            `json:"distinct_attrs"`
+	InternerEpochs  int            `json:"interner_epochs"`
+	InternerBytes   int64          `json:"interner_bytes"`
+	RouteNodes      int            `json:"route_nodes"`
+	KernelStates    int            `json:"kernel_states"`
 	ActiveConflicts int            `json:"active_conflicts"`
 	TotalConflicts  int            `json:"total_conflicts"`
 	Events          int            `json:"events"`
 	ByClass         map[string]int `json:"active_by_class"`
 	Replaying       bool           `json:"replaying"`
+	Source          *source.Status `json:"source,omitempty"`
 	Lifecycle       lifecycleJSON  `json:"lifecycle"`
 }
 
@@ -186,10 +192,11 @@ func NewAPI(e *Engine) http.Handler {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, struct {
-			Status        string `json:"status"`
-			LastClosedDay int    `json:"last_closed_day"`
-			Replaying     bool   `json:"replaying"`
-		}{"ok", int(e.lastClosed.Load()), !e.closed.Load()})
+			Status        string         `json:"status"`
+			LastClosedDay int            `json:"last_closed_day"`
+			Replaying     bool           `json:"replaying"`
+			Source        *source.Status `json:"source,omitempty"`
+		}{"ok", int(e.lastClosed.Load()), !e.closed.Load(), e.SourceStatus()})
 	})
 
 	return mux
@@ -203,11 +210,16 @@ func statsToJSON(e *Engine) statsJSON {
 		Ops:             st.Ops,
 		LastClosedDay:   st.LastClosedDay,
 		DistinctAttrs:   st.DistinctAttrs,
+		InternerEpochs:  st.InternerEpochs,
+		InternerBytes:   st.InternerBytes,
+		RouteNodes:      st.RouteNodes,
+		KernelStates:    st.KernelStates,
 		ActiveConflicts: st.ActiveConflicts,
 		TotalConflicts:  st.TotalConflicts,
 		Events:          st.Events,
 		ByClass:         make(map[string]int),
 		Replaying:       !e.closed.Load(),
+		Source:          st.Source,
 		Lifecycle: lifecycleJSON{
 			Spans:      st.Lifecycle.Spans,
 			Open:       st.Lifecycle.Open,

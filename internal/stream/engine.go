@@ -10,6 +10,7 @@ import (
 	"moas/internal/bgp"
 	"moas/internal/core"
 	"moas/internal/kernel"
+	"moas/internal/source"
 )
 
 // Config parameterizes an Engine.
@@ -25,6 +26,13 @@ type Config struct {
 	QueueDepth int
 	// HistoryLimit caps lifecycle events retained per prefix (0 = all).
 	HistoryLimit int
+	// MaxDistinctAttrs caps the attrs interner's table: when the number of
+	// distinct interned attribute blocks reaches the cap, the interner
+	// drops its table and arenas and starts a fresh epoch, so a
+	// long-running live feed's canonicalization memory plateaus instead of
+	// growing with every attrs block ever seen. 0 = unbounded (the replay
+	// default: an archive's distinct-attrs population is finite).
+	MaxDistinctAttrs int
 	// DisableEventLog drops the global per-shard event record that backs
 	// Events(). Long-running daemons set it so memory stays bounded by the
 	// live table plus HistoryLimit; duration stats are unaffected (spans
@@ -67,6 +75,11 @@ type Engine struct {
 	recs       atomic.Uint64 // MRT records fully consumed by Replay (checkpoint cursor)
 	lastClosed atomic.Int64  // last day-close dispatched; -1 before any
 
+	// src holds the live source a Run loop is currently draining (a
+	// srcBox so the stored type is always identical); Stats and the
+	// health endpoint read its Status through here.
+	src atomic.Value
+
 	// Pause gate. paused is non-nil while a pause is requested and is
 	// closed (then nilled) by Resume; a replay parks on it between records.
 	// parked flips true once the replay has actually settled and blocked.
@@ -94,6 +107,9 @@ func New(cfg Config) *Engine {
 		// recycled slice is always waiting once the pipeline warms up.
 		opFree:   make(chan []op, cfg.Shards*(cfg.QueueDepth+2)),
 		interner: bgp.NewAttrsInterner(false),
+	}
+	if cfg.MaxDistinctAttrs > 0 {
+		e.interner.SetCap(cfg.MaxDistinctAttrs)
 	}
 	e.lastClosed.Store(-1)
 	for i := 0; i < cfg.Shards; i++ {
@@ -258,6 +274,15 @@ func (e *Engine) DistinctAttrs() int {
 	return e.interner.Len()
 }
 
+// Interner exposes the engine's attrs interner for sources that decode
+// on the feed goroutine (Run's puller): sharing it is what makes a
+// JSON-derived or wire-decoded attrs block land on the same canonical
+// pointer a file replay produces. The interner is single-goroutine; only
+// the one goroutine feeding the engine may intern through it.
+func (e *Engine) Interner() *bgp.AttrsInterner {
+	return e.interner
+}
+
 // Close flushes remaining work, stops the workers and waits for them to
 // drain. The engine stays queryable; it only stops accepting updates.
 func (e *Engine) Close() {
@@ -399,10 +424,17 @@ type Stats struct {
 	Ops             uint64 // route-level operations dispatched
 	LastClosedDay   int    // -1 before the first day close
 	DistinctAttrs   int    // attrs blocks interned by the replay decode stage
+	InternerEpochs  int    // cap-triggered interner rebuilds (0 = never capped)
+	InternerBytes   int64  // approximate retained interner memory
+	RouteNodes      int    // per-peer route entries retained across all shards
+	KernelStates    int    // kernel state objects retained across all shards
 	ActiveConflicts int
 	TotalConflicts  int                  // distinct prefixes ever in conflict
 	Events          int                  // lifecycle events emitted
 	ByClass         [core.NumClasses]int // active conflicts per class
+	// Source is the live source's connection state when a Run loop is
+	// draining one; nil for replay-fed or idle engines.
+	Source *source.Status
 	// Lifecycle summarizes activation-span durations derived from the
 	// event log (conflict-start/-end pairs), as of the last closed day.
 	Lifecycle analysis.LifecycleStats
@@ -411,17 +443,22 @@ type Stats struct {
 // Stats snapshots the engine.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Shards:        len(e.shards),
-		Messages:      e.msgs.Load(),
-		Ops:           e.ops.Load(),
-		LastClosedDay: int(e.lastClosed.Load()),
-		DistinctAttrs: e.DistinctAttrs(),
+		Shards:         len(e.shards),
+		Messages:       e.msgs.Load(),
+		Ops:            e.ops.Load(),
+		LastClosedDay:  int(e.lastClosed.Load()),
+		DistinctAttrs:  e.DistinctAttrs(),
+		InternerEpochs: e.interner.Epochs(),
+		InternerBytes:  e.interner.Bytes(),
+		Source:         e.SourceStatus(),
 	}
 	for _, s := range e.shards {
 		s.mu.RLock()
 		st.ActiveConflicts += s.k.ActiveCount()
 		st.TotalConflicts += s.k.Registry().Len()
 		st.Events += s.k.EventCount()
+		st.RouteNodes += len(s.nodes)
+		st.KernelStates += s.k.ArenaStates()
 		s.k.WalkActive(func(_ bgp.Prefix, v kernel.View) bool {
 			st.ByClass[v.Class]++
 			return true

@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"io"
+	"time"
+
+	"moas/internal/source"
+)
+
+// RunOptions tunes a live source run.
+type RunOptions struct {
+	// OnDayClose, when non-nil, runs on the run goroutine after each
+	// observation day closes — serve's auto-checkpoint pacing hook, same
+	// contract as ReplayOptions.OnDayClose.
+	OnDayClose func(day int)
+	// Stop, when non-nil, ends the run once closed: Run closes the source
+	// (the run owns its transport) and returns ErrReplayStopped.
+	Stop <-chan struct{}
+	// Now supplies wall-clock seconds for idle day closes; nil uses the
+	// system clock. Tests inject a fake clock here.
+	Now func() uint32
+	// Tick is how often the run checks the wall clock while the feed is
+	// quiet (0 = 1s). A day whose updates have stopped still closes when
+	// the clock crosses midnight, so conflict durations keep extending
+	// through silence exactly as the paper's daily snapshots do.
+	Tick time.Duration
+	// CloseFinalDay closes the day in flight when the source ends on its
+	// own (io.EOF). Live transports never legitimately EOF — only Close
+	// does that — so this matters to file-backed sources and tests.
+	CloseFinalDay bool
+}
+
+// Run drains a live source into the engine until the source ends or
+// opts.Stop closes. It is the continuous-operation sibling of Replay:
+// updates dispatch as they arrive, observation days are absolute UTC
+// days (timestamp / 86400) and close when either a record's timestamp
+// or the wall clock crosses into a later day. Pause/Resume work exactly
+// as with Replay: the run parks between records with every shard
+// settled. The record cursor (Records) advances by the source's own
+// sequence numbers, so a checkpoint taken mid-run records how far into
+// the feed the engine got.
+//
+// The source's Next runs on a dedicated puller goroutine — the single
+// goroutine its interner contract requires — while this goroutine runs
+// the gate, day-close and dispatch logic. On Stop, Run closes the
+// source to unblock the puller; a stopped live run is done with its
+// transport.
+func (e *Engine) Run(src source.Source, opts *RunOptions) error {
+	var o RunOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Now == nil {
+		o.Now = func() uint32 { return uint32(time.Now().Unix()) }
+	}
+	if o.Tick <= 0 {
+		o.Tick = time.Second
+	}
+
+	e.src.Store(srcBox{src})
+	defer e.src.Store(srcBox{})
+
+	// Double-buffered handoff: the puller fills one record while this
+	// goroutine dispatches the other. The channel is unbuffered, so the
+	// puller cannot reuse a record until the dispatch of the previous one
+	// has finished (ApplyUpdate copies everything it keeps into ops).
+	type pulled struct {
+		rec *source.Record
+		err error
+	}
+	recCh := make(chan pulled)
+	pullerDone := make(chan struct{})
+	go func() {
+		defer close(pullerDone)
+		var bufs [2]source.Record
+		for i := 0; ; i ^= 1 {
+			rec := &bufs[i]
+			err := src.Next(rec)
+			recCh <- pulled{rec, err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	// The puller owns the source until it exits; unblock it via the
+	// source's Close before returning mid-feed.
+	stopAndDrain := func() {
+		src.Close()
+		for {
+			select {
+			case <-pullerDone:
+				return
+			case <-recCh:
+			}
+		}
+	}
+
+	base := e.recs.Load()
+	curDay := -1
+	closeThrough := func(day int) error {
+		for curDay < day {
+			e.CloseDay(curDay)
+			if o.OnDayClose != nil {
+				o.OnDayClose(curDay)
+			}
+			curDay++
+			if err := e.gate(o.Stop); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ticker := time.NewTicker(o.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-o.Stop:
+			stopAndDrain()
+			return ErrReplayStopped
+		case <-ticker.C:
+			// The gate is where a pause parks; checking it on the tick
+			// bounds how long a pause request waits on a quiet feed.
+			if err := e.gate(o.Stop); err != nil {
+				stopAndDrain()
+				return err
+			}
+			if curDay >= 0 {
+				if err := closeThrough(int(o.Now() / 86400)); err != nil {
+					stopAndDrain()
+					return err
+				}
+			}
+		case p := <-recCh:
+			if p.err != nil {
+				<-pullerDone
+				if p.err == io.EOF {
+					if o.CloseFinalDay && curDay >= 0 {
+						e.CloseDay(curDay)
+						if o.OnDayClose != nil {
+							o.OnDayClose(curDay)
+						}
+					}
+					return nil
+				}
+				return p.err
+			}
+			if err := e.gate(o.Stop); err != nil {
+				stopAndDrain()
+				return err
+			}
+			day := int(p.rec.TS / 86400)
+			if curDay < 0 {
+				curDay = day
+			}
+			if err := closeThrough(day); err != nil {
+				stopAndDrain()
+				return err
+			}
+			// A record timestamped before the current day (clock skew on a
+			// live feed) still applies — to the day in flight, since closed
+			// days are immutable.
+			e.ApplyUpdate(curDay, PeerKey{IP: p.rec.PeerIP, AS: p.rec.PeerAS}, &p.rec.Upd)
+			// Live rates are human-scale: flush the op batch per record so
+			// queries see each update as it lands, instead of after a
+			// replay-sized batch fills.
+			for i := range e.shards {
+				e.flushShard(i)
+			}
+			e.recs.Store(base + p.rec.Seq)
+		}
+	}
+}
+
+// srcBox wraps a source for the engine's atomic src slot: atomic.Value
+// requires a consistent concrete type, and the box also lets Run clear
+// the slot by storing an empty box.
+type srcBox struct{ s source.Source }
+
+// SourceStatus returns the connection state of the live source a Run
+// loop is currently draining, or nil when the engine is replay-fed or
+// idle. Safe from any goroutine.
+func (e *Engine) SourceStatus() *source.Status {
+	if b, ok := e.src.Load().(srcBox); ok && b.s != nil {
+		st := b.s.Status()
+		return &st
+	}
+	return nil
+}

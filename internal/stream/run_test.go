@@ -1,0 +1,192 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"moas/internal/bgp"
+	"moas/internal/mrt"
+	"moas/internal/source"
+)
+
+// runArchive builds a two-day BGP4MP archive with a MOAS conflict on day
+// d0 that survives into day d0+1: two peers originate 10.0.0.0/8 from
+// different ASes.
+func runArchive(t *testing.T, d0 uint32) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	upd := func(ts uint32, peerAS bgp.ASN, peerIP byte, u *bgp.Update) {
+		m := &mrt.BGP4MPMessage{PeerAS: peerAS, LocalAS: 65000, Family: bgp.FamilyIPv4}
+		m.PeerIP[3] = peerIP
+		m.Data = u.AppendWire(nil)
+		if err := w.WriteBGP4MPMessage(ts, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attrsFrom := func(origin bgp.ASN) *bgp.Attrs {
+		return &bgp.Attrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Path{{Type: bgp.SegSequence, ASes: []bgp.ASN{65001, origin}}},
+			NextHop: [4]byte{192, 0, 2, 1},
+		}
+	}
+	p := bgp.MustParsePrefix("10.0.0.0/8")
+	day0 := d0 * 86400
+	upd(day0+10, 65001, 1, &bgp.Update{Attrs: attrsFrom(70), NLRI: []bgp.Prefix{p}})
+	upd(day0+20, 65002, 2, &bgp.Update{Attrs: attrsFrom(71), NLRI: []bgp.Prefix{p}})
+	upd(day0+86400+30, 65002, 2, &bgp.Update{Withdrawn: []bgp.Prefix{p}})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunFileSourceMatchesDirectFeed: draining a file source through Run
+// produces the same registry as feeding the identical updates directly,
+// with observation days as absolute UTC days.
+func TestRunFileSourceMatchesDirectFeed(t *testing.T) {
+	const d0 = 12000
+	archive := runArchive(t, d0)
+
+	e := New(Config{Shards: 2})
+	src := source.NewFileReader(bytes.NewReader(archive), "mem", e.Interner())
+	if err := e.Run(src, &RunOptions{CloseFinalDay: true, Now: func() uint32 { return 0 }}); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	want := New(Config{Shards: 1})
+	attrs := func(origin bgp.ASN) *bgp.Attrs {
+		return &bgp.Attrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Path{{Type: bgp.SegSequence, ASes: []bgp.ASN{65001, origin}}},
+			NextHop: [4]byte{192, 0, 2, 1},
+		}
+	}
+	p := bgp.MustParsePrefix("10.0.0.0/8")
+	pk := func(b byte, as bgp.ASN) PeerKey {
+		var k PeerKey
+		k.IP[3] = b
+		k.AS = as
+		return k
+	}
+	want.ApplyUpdate(d0, pk(1, 65001), &bgp.Update{Attrs: attrs(70), NLRI: []bgp.Prefix{p}})
+	want.ApplyUpdate(d0, pk(2, 65002), &bgp.Update{Attrs: attrs(71), NLRI: []bgp.Prefix{p}})
+	want.CloseDay(d0)
+	want.ApplyUpdate(d0+1, pk(2, 65002), &bgp.Update{Withdrawn: []bgp.Prefix{p}})
+	want.CloseDay(d0 + 1)
+	want.Close()
+
+	diffRegistries(t, want.Registry(), e.Registry())
+	if got := e.Records(); got != 3 {
+		t.Fatalf("Records()=%d, want 3 (the source's delivered-update cursor)", got)
+	}
+	if st := e.Stats(); st.Source != nil {
+		t.Fatalf("Stats.Source=%+v after Run returned, want nil", st.Source)
+	}
+	if st := want.Stats(); st.RouteNodes == 0 || st.KernelStates == 0 {
+		t.Fatalf("memory accounting empty: %+v", st)
+	}
+}
+
+// chanSource is a scriptable source: records are pushed on a channel and
+// Next blocks until one arrives or the source closes.
+type chanSource struct {
+	ch     chan source.Record
+	done   chan struct{}
+	closed atomic.Bool
+	once   sync.Once
+}
+
+func newChanSource() *chanSource {
+	return &chanSource{ch: make(chan source.Record), done: make(chan struct{})}
+}
+
+func (s *chanSource) Next(rec *source.Record) error {
+	select {
+	case r := <-s.ch:
+		*rec = r
+		return nil
+	case <-s.done:
+		return io.EOF
+	}
+}
+
+func (s *chanSource) Status() source.Status {
+	return source.Status{Kind: "chan", Connected: !s.closed.Load()}
+}
+
+func (s *chanSource) Close() error {
+	s.closed.Store(true)
+	s.once.Do(func() { close(s.done) })
+	return nil
+}
+
+// TestRunWallClockDayClose: on a quiet feed, the day in flight closes
+// when the wall clock crosses midnight — continuous operation does not
+// wait for the next update to extend conflict durations.
+func TestRunWallClockDayClose(t *testing.T) {
+	const d0 = 13000
+	var clk atomic.Uint32
+	clk.Store(d0*86400 + 100)
+
+	src := newChanSource()
+	e := New(Config{Shards: 1})
+	defer e.Close()
+	runDone := make(chan error, 1)
+	stop := make(chan struct{})
+	go func() { runDone <- e.Run(src, &RunOptions{Stop: stop, Now: clk.Load, Tick: time.Millisecond}) }()
+
+	p := bgp.MustParsePrefix("10.0.0.0/8")
+	attrs := &bgp.Attrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  bgp.Path{{Type: bgp.SegSequence, ASes: []bgp.ASN{65001}}},
+		NextHop: [4]byte{192, 0, 2, 1},
+	}
+	var rec source.Record
+	rec.Seq, rec.TS, rec.PeerAS = 1, d0*86400+100, 65001
+	rec.Upd = bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{p}}
+	src.ch <- rec
+
+	// Nothing closed yet: the update's day is still open.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Messages != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("update never ingested")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := e.Stats().LastClosedDay; got != -1 {
+		t.Fatalf("LastClosedDay=%d before midnight, want -1", got)
+	}
+	if st := e.SourceStatus(); st == nil || st.Kind != "chan" {
+		t.Fatalf("SourceStatus=%+v mid-run", st)
+	}
+
+	clk.Store((d0 + 1) * 86400)
+	for e.Stats().LastClosedDay != d0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("LastClosedDay=%d after midnight, want %d", e.Stats().LastClosedDay, d0)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stop ends the run and closes the source.
+	close(stop)
+	select {
+	case err := <-runDone:
+		if err != ErrReplayStopped {
+			t.Fatalf("Run: %v, want ErrReplayStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return on Stop")
+	}
+	if !src.closed.Load() {
+		t.Fatal("Stop did not close the source")
+	}
+}
