@@ -4,7 +4,7 @@ GO ?= go
 BENCH_COUNT ?= 5
 BENCH_TIME ?= 1s
 
-.PHONY: build test race bench benchall fuzz-smoke vet fmt docscheck ci
+.PHONY: build test race bench benchall fuzz-smoke soak vet fmt docscheck ci
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ race:
 # (Redirect-then-cat, not tee: a pipe would let a failing benchmark run
 # exit 0 through tee and upload a garbage artifact.)
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkStreamReplay|BenchmarkDecodeUpdate|BenchmarkShardReassess|BenchmarkCheckpointEncode' \
+	$(GO) test -run XXX -bench 'BenchmarkStreamReplay|BenchmarkSynthReplay|BenchmarkDecodeUpdate|BenchmarkShardReassess|BenchmarkCheckpointEncode' \
 		-benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) ./internal/stream \
 		> BENCH_stream.json || { cat BENCH_stream.json; exit 1; }
 	@cat BENCH_stream.json
@@ -42,6 +42,12 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME) ./internal/kernel
 	$(GO) test -run XXX -fuzz FuzzCheckpointRestore -fuzztime $(FUZZTIME) ./internal/stream
 	$(GO) test -run XXX -fuzz FuzzBGPSessionMessages -fuzztime $(FUZZTIME) ./internal/source/bgpd
+	$(GO) test -run XXX -fuzz FuzzTruthLogDecode -fuzztime $(FUZZTIME) ./internal/synth
+
+# soak runs the months-of-days synth flap-storm leak check under the race
+# detector (the short version runs in every `go test ./...`).
+soak:
+	MOAS_SOAK=1 $(GO) test -race -run TestSynthFlapStormSoak -v ./internal/stream
 
 vet:
 	$(GO) vet ./...

@@ -5,10 +5,19 @@
 // Usage:
 //
 //	moasgen -out DIR [-scale small|full] [-days N] [-from YYYY-MM-DD]
+//	moasgen -out DIR -synth [-seed N] [-days N] [-synth-prefixes N]
+//	        [-synth-ases N] [-vantages N] [-churn N] [-patterns MIX]
 //
 // One file per observed day is written as DIR/rib.YYYYMMDD.mrt. Writing a
 // day materializes the complete multi-peer table, so generating many
 // full-scale days takes a while; -days bounds the count.
+//
+// With -synth, the scenario pipeline is bypassed: a single BGP4MP UPDATE
+// archive is streamed to DIR/synth.mrt at internet scale without ever
+// materializing the table, alongside DIR/synth.truth — the generator's
+// ground-truth episode log (MTRU binary codec, internal/synth) that the
+// differential oracle checks engines against. -patterns takes a mix like
+// "anycast:8,leak:8,hijack:4,flap:4".
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"moas"
 	"moas/internal/collector"
 	"moas/internal/scenario"
+	"moas/internal/synth"
 )
 
 func main() {
@@ -31,11 +41,32 @@ func main() {
 	days := flag.Int("days", 7, "number of observed days to write")
 	from := flag.String("from", "", "first date to write (YYYY-MM-DD; default: scenario start)")
 	compress := flag.Bool("gzip", false, "gzip each archive (as the NLANR collection did)")
+	doSynth := flag.Bool("synth", false, "generate a synth UPDATE stream with ground truth instead of TABLE_DUMP days")
+	seed := flag.Int64("seed", 1, "synth: deterministic workload seed")
+	synthPrefixes := flag.Int("synth-prefixes", 1<<20, "synth: background table size in /24 prefixes")
+	synthASes := flag.Int("synth-ases", 60000, "synth: origin-AS pool (clamped to the 2-octet wire ceiling)")
+	vantages := flag.Int("vantages", 4, "synth: number of vantage peers")
+	churn := flag.Int("churn", 0, "synth: background churn updates per day (0 = prefixes/64)")
+	patterns := flag.String("patterns", "anycast:8,leak:8,hijack:4,flap:4", "synth: episode pattern mix")
 	flag.Parse()
 
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "moasgen: -out is required")
 		os.Exit(2)
+	}
+	if *doSynth {
+		if err := runSynth(*out, synth.Config{
+			Seed:        *seed,
+			Days:        *days,
+			Prefixes:    *synthPrefixes,
+			ASes:        *synthASes,
+			Vantages:    *vantages,
+			ChurnPerDay: *churn,
+		}, *patterns, *compress); err != nil {
+			fmt.Fprintf(os.Stderr, "moasgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var spec moas.Spec
 	switch *scale {
@@ -114,4 +145,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, "moasgen: no observed days in range")
 		os.Exit(1)
 	}
+}
+
+// runSynth streams one synthetic UPDATE archive plus its ground-truth
+// episode log into dir. The generator is a Reader, so the archive is
+// copied straight to disk in fixed-size chunks — a million-prefix table
+// never exists in memory.
+func runSynth(dir string, cfg synth.Config, mix string, compress bool) error {
+	pats, err := synth.ParseMix(mix, 0)
+	if err != nil {
+		return err
+	}
+	cfg.Patterns = pats
+	gen, err := synth.NewStream(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	name := filepath.Join(dir, "synth.mrt")
+	if compress {
+		name += ".gz"
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if compress {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	n, err := io.Copy(w, gen)
+	if err == nil && gz != nil {
+		err = gz.Close()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", name, err)
+	}
+	fmt.Printf("wrote %s (%d bytes of updates)\n", name, n)
+
+	truthName := filepath.Join(dir, "synth.truth")
+	tf, err := os.Create(truthName)
+	if err != nil {
+		return err
+	}
+	truth := gen.Truth()
+	err = synth.WriteTruthLog(tf, truth)
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", truthName, err)
+	}
+	c := gen.Config()
+	fmt.Printf("wrote %s (%d episodes)\n", truthName, len(truth))
+	fmt.Printf("synth seed=%d days=%d prefixes=%d ases=%d vantages=%d churn/day=%d\n",
+		c.Seed, c.Days, c.Prefixes, c.ASes, c.Vantages, c.ChurnPerDay)
+	return nil
 }

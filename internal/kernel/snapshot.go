@@ -252,6 +252,15 @@ func Merge(parts []*Snapshot) *Snapshot {
 	}
 	sort.Slice(out.Prefixes, func(i, j int) bool { return out.Prefixes[i].Prefix < out.Prefixes[j].Prefix })
 	sort.Slice(out.Conflicts, func(i, j int) bool { return out.Conflicts[i].Prefix < out.Conflicts[j].Prefix })
+	// Span order is semantically irrelevant but shard-partition dependent;
+	// sorting makes the merged snapshot — and so checkpoint bytes —
+	// canonical across shard counts.
+	sort.Slice(out.ClosedSpans, func(i, j int) bool {
+		if out.ClosedSpans[i].Start != out.ClosedSpans[j].Start {
+			return out.ClosedSpans[i].Start < out.ClosedSpans[j].Start
+		}
+		return out.ClosedSpans[i].End < out.ClosedSpans[j].End
+	})
 	sort.Slice(out.Log, func(i, j int) bool {
 		a, b := &out.Log[i], &out.Log[j]
 		if a.Day != b.Day {

@@ -19,6 +19,7 @@ import (
 	"moas/internal/source/bgpd"
 	"moas/internal/source/rislive"
 	"moas/internal/stream"
+	"moas/internal/synth"
 )
 
 // Scenario source kinds.
@@ -55,8 +56,9 @@ type ScenarioConfig struct {
 	// Source is "synth" (default), "mrt", "rislive", "bgp" or
 	// "checkpoint".
 	Source string `json:"source,omitempty"`
-	// Scale selects the synthesized scenario: "small" (two months) or
-	// "full" (the paper's 1279 days). Synth only; default "small".
+	// Scale selects the synthesized scenario: "small" (two months),
+	// "full" (the paper's 1279 days) or "stress" (the internet-scale
+	// internal/synth update stream). Synth only; default "small".
 	Scale string `json:"scale,omitempty"`
 	// Path is the MRT BGP4MP file to replay. MRT only; must exist.
 	Path string `json:"path,omitempty"`
@@ -161,8 +163,10 @@ func (c *ScenarioConfig) normalize() error {
 		if c.Scale == "" {
 			c.Scale = "small"
 		}
-		if _, err := specFor(c.Scale); err != nil {
-			return err
+		if c.Scale != ScaleStress {
+			if _, err := specFor(c.Scale); err != nil {
+				return err
+			}
 		}
 		if c.Path != "" {
 			return errors.New(`"path" is only valid with source "mrt"`)
@@ -275,8 +279,10 @@ func (c *ScenarioConfig) normalizeCheckpoint() error {
 	inner := &ck.Config
 	switch inner.Source {
 	case SourceSynth:
-		if _, err := specFor(inner.Scale); err != nil {
-			return fmt.Errorf("checkpoint config: %w", err)
+		if inner.Scale != ScaleStress {
+			if _, err := specFor(inner.Scale); err != nil {
+				return fmt.Errorf("checkpoint config: %w", err)
+			}
 		}
 	case SourceMRT:
 		// The file must still be reachable to resume mid-archive.
@@ -400,7 +406,33 @@ func (c *ScenarioConfig) isLive() bool {
 // needs a plateau by default.
 const DefaultLiveMaxAttrs = 1 << 20
 
-// specFor maps a scale name to its scenario spec.
+// ScaleStress is the synth scale that bypasses the scenario pipeline:
+// the internal/synth generator streams an internet-scale UPDATE archive
+// (~1M background prefixes, the full 2-octet origin pool, mixed episode
+// patterns) straight into the engine. It is the served entry point for
+// the standing stress workload — the table never materializes.
+const ScaleStress = "stress"
+
+// stressConfig is the fixed workload behind ScaleStress. Seeded, so two
+// stress scenarios replay identical bytes.
+func stressConfig() synth.Config {
+	return synth.Config{
+		Seed:     1,
+		Days:     6,
+		Prefixes: 1 << 20,
+		ASes:     60000,
+		Vantages: 2,
+		Patterns: []synth.Pattern{
+			synth.Anycast(256),
+			synth.RouteLeak(256),
+			synth.GradualHijack(128),
+			synth.FlapStorm(128, 256, 2),
+		},
+	}
+}
+
+// specFor maps a scale name to its scenario spec (ScaleStress has no
+// spec; callers branch before building one).
 func specFor(scale string) (scenario.Spec, error) {
 	switch scale {
 	case "small":
@@ -408,7 +440,7 @@ func specFor(scale string) (scenario.Spec, error) {
 	case "full":
 		return scenario.DefaultSpec(), nil
 	}
-	return scenario.Spec{}, fmt.Errorf("unknown scale %q (want small or full)", scale)
+	return scenario.Spec{}, fmt.Errorf("unknown scale %q (want small, full or stress)", scale)
 }
 
 // State is a scenario's lifecycle position.
@@ -857,6 +889,21 @@ func (s *Scenario) replay() error {
 	var cal stream.Calendar
 	switch s.srcCfg.Source {
 	case SourceSynth:
+		if s.srcCfg.Scale == ScaleStress {
+			// The generator is the source: synth streams MRT bytes on
+			// demand, so even the million-prefix table is never held.
+			gen, err := synth.NewStream(stressConfig())
+			if err != nil {
+				return fmt.Errorf("build stress stream: %w", err)
+			}
+			days := gen.Days()
+			c := stream.Calendar{Days: make([]int, days), Times: make([]uint32, days)}
+			for d := 0; d < days; d++ {
+				c.Days[d], c.Times[d] = d, uint32(d)*86400
+			}
+			src, cal = io.NopCloser(gen), c
+			break
+		}
 		spec, err := specFor(s.srcCfg.Scale)
 		if err != nil {
 			return err

@@ -16,6 +16,7 @@ import (
 
 	"moas/internal/collector"
 	"moas/internal/scenario"
+	"moas/internal/stream"
 )
 
 // The small scenario is built once per test binary; tests that need an
@@ -423,5 +424,26 @@ func TestScenarioConfigValidation(t *testing.T) {
 	mrt := ScenarioConfig{Source: SourceMRT, Path: "/data/rrc00.updates.mrt.gz"}
 	if got := mrt.defaultID(); got != "rrc00.updates" {
 		t.Fatalf("mrt defaultID = %q", got)
+	}
+
+	// The stress scale has no scenario spec but is a valid synth scale:
+	// it streams the internal/synth workload straight into the engine.
+	stress := ScenarioConfig{Source: SourceSynth, Scale: ScaleStress}
+	if err := stress.normalize(); err != nil {
+		t.Fatalf("stress scale rejected: %v", err)
+	}
+	if stress.defaultID() != "stress" {
+		t.Fatalf("stress defaultID = %q", stress.defaultID())
+	}
+	if _, err := specFor(ScaleStress); err == nil {
+		t.Fatal("specFor(stress) returned a spec; stress must bypass the scenario pipeline")
+	}
+	restored := ScenarioConfig{Source: SourceCheckpoint, Checkpoint: &ScenarioCheckpoint{
+		Version: ScenarioCheckpointVersion,
+		Config:  ScenarioConfig{Source: SourceSynth, Scale: ScaleStress},
+		Engine:  &stream.Checkpoint{},
+	}}
+	if err := restored.normalize(); err != nil {
+		t.Fatalf("stress checkpoint config rejected: %v", err)
 	}
 }

@@ -1,0 +1,90 @@
+package rislive
+
+import (
+	"testing"
+	"time"
+
+	"moas/internal/source"
+)
+
+// TestClientGapAcrossDoubleKill covers gap accounting when the transport
+// dies twice in quick succession — the second kill landing on a fresh
+// connection that never delivered a message, i.e. inside the first
+// outage's backoff window. lastSrv must carry across both reconnects
+// untouched, so the single gap event on the next delivered message
+// reports the exact total missed across BOTH windows: no double count,
+// no lost remainder, and no spurious unknown-gap from the fresh flag the
+// second reconnect re-arms.
+func TestClientGapAcrossDoubleKill(t *testing.T) {
+	gaps := make(chan source.Gap, 4)
+	f, c := newPair(t, Config{OnGap: func(g source.Gap) { gaps <- g }})
+
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			f.Send(Msg{Timestamp: 100, Peer: "192.0.2.9", PeerASN: 65001, Withdrawals: []string{"10.0.0.0/8"}})
+		}
+	}
+	var rec source.Record
+	send(2) // server seq 1, 2: delivered
+	for i := 0; i < 2; i++ {
+		if err := c.Next(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WaitSubscribed(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outage one. The pending Next reconnects; the sends while no
+	// subscriber is attached are lost but still consume server sequence
+	// numbers, exactly like RIS Live messages published mid-outage.
+	f.Kill()
+	send(2) // server seq 3, 4: lost
+	type res struct {
+		rec source.Record
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		var r source.Record
+		err := c.Next(&r)
+		done <- res{r, err}
+	}()
+	if err := f.WaitSubscribed(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outage two, before the fresh connection delivers anything: the
+	// client is still inside the first outage's accounting window.
+	f.Kill()
+	send(2) // server seq 5, 6: lost
+	if err := f.WaitSubscribed(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	send(1) // server seq 7: delivered — triggers the gap arithmetic
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.rec.Seq != 3 {
+		t.Fatalf("post-reconnect record Seq=%d, want 3", r.rec.Seq)
+	}
+
+	select {
+	case g := <-gaps:
+		if !g.Known || g.Missed != 4 {
+			t.Fatalf("gap %+v, want Known=true Missed=4 (both outage windows, counted once)", g)
+		}
+	default:
+		t.Fatal("no gap emitted across the double kill")
+	}
+	select {
+	case g := <-gaps:
+		t.Fatalf("second gap event %+v — missed messages double-counted", g)
+	default:
+	}
+	st := c.Status()
+	if st.Reconnects != 2 || st.Gaps != 1 || !st.Connected {
+		t.Fatalf("Status: %+v, want Reconnects=2 Gaps=1 Connected=true", st)
+	}
+}

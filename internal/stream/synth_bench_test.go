@@ -1,0 +1,97 @@
+// BenchmarkSynthReplay is the realistic-table stress benchmark the
+// scenario-diversity roadmap item calls for: a synth-generated archive
+// at one million background prefixes and the full 2-octet origin-AS
+// pool, replayed end to end. It lives in package stream_test because
+// internal/synth depends on nothing and the engine must not depend on
+// its own stress generator.
+package stream_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"moas/internal/stream"
+	"moas/internal/synth"
+)
+
+// synthBenchArchive generates the benchmark corpus once per process:
+// ~1M prefixes, the maximum 16-bit origin pool, two vantages, four days
+// with background churn and a mixed episode load.
+var synthBenchArchive []byte
+
+func benchArchive(b *testing.B) []byte {
+	if synthBenchArchive != nil {
+		return synthBenchArchive
+	}
+	gen, err := synth.NewStream(synth.Config{
+		Seed:     1,
+		Days:     4,
+		Prefixes: 1 << 20,
+		ASes:     75000, // clamps to the wire ceiling of 60000
+		Vantages: 2,
+		Patterns: []synth.Pattern{
+			synth.Anycast(256),
+			synth.RouteLeak(256),
+			synth.GradualHijack(256),
+			synth.FlapStorm(128, 256, 2),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, gen); err != nil {
+		b.Fatal(err)
+	}
+	synthBenchArchive = buf.Bytes()
+	return synthBenchArchive
+}
+
+// BenchmarkSynthReplay reports the same trajectory metrics as
+// BenchmarkStreamReplay (updates/s, allocs/update, distinct-attrs) on
+// the internet-scale corpus, at 1 shard and GOMAXPROCS shards.
+func BenchmarkSynthReplay(b *testing.B) {
+	archive := benchArchive(b)
+	days := 4
+	cal := stream.Calendar{Days: make([]int, days), Times: make([]uint32, days)}
+	for d := 0; d < days; d++ {
+		cal.Days[d], cal.Times[d] = d, uint32(d)*86400
+	}
+
+	shardCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(archive)))
+			b.ReportAllocs()
+			var msgs uint64
+			var distinct int
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := stream.New(stream.Config{Shards: shards})
+				if err := e.Replay(bytes.NewReader(archive), cal, nil); err != nil {
+					b.Fatal(err)
+				}
+				e.Close()
+				msgs = e.Stats().Messages
+				distinct = e.DistinctAttrs()
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&m1)
+			if total := msgs * uint64(b.N); total > 0 {
+				b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(total), "allocs/update")
+			}
+			b.ReportMetric(float64(distinct), "distinct-attrs")
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(msgs)*float64(b.N)/sec, "updates/s")
+			}
+		})
+	}
+}

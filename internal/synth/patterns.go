@@ -1,0 +1,501 @@
+package synth
+
+import (
+	"fmt"
+
+	"moas/internal/bgp"
+	"moas/internal/core"
+	"moas/internal/rib"
+	"moas/internal/scenario"
+)
+
+// Pattern is an episode generator plugin: plan allocates prefixes and
+// records ground truth, emit appends each day's updates. The methods are
+// unexported — patterns live in this package so truth and wire stay in
+// lockstep — but values are constructed via the exported factories
+// (Anycast, RouteLeak, GradualHijack, FlapStorm, FromStorm). A Pattern
+// value may be reused across sequentially-created Streams: plan resets
+// its state.
+type Pattern interface {
+	// Name tags the pattern's truth episodes.
+	Name() string
+	plan(c *Config, pl *planner)
+	emit(c *Config, day int, em *emitter)
+}
+
+// planner hands out pattern prefixes and accumulates ground truth while
+// patterns plan.
+type planner struct {
+	cfg   *Config
+	next  uint32
+	truth []Episode
+	err   error
+}
+
+// pattern /24s fit between patternBase and the top of IPv4 space.
+const maxPatternPrefixes = (0xFFFFFFFF - patternBase) >> 8
+
+func (pl *planner) allocPrefix() bgp.Prefix {
+	if pl.next >= maxPatternPrefixes {
+		if pl.err == nil {
+			pl.err = fmt.Errorf("synth: pattern prefix space exhausted (%d episodes)", pl.next)
+		}
+		return bgp.Prefix{}
+	}
+	p := patternPrefix(pl.next)
+	pl.next++
+	return p
+}
+
+func (pl *planner) episode(ep Episode) { pl.truth = append(pl.truth, ep) }
+
+// ---------------------------------------------------------------------
+// Anycast fleets: the same prefix originated by k distinct ASes from
+// every vantage, announced near day 0 and never withdrawn — the
+// long-lived, operationally-legitimate MOAS of "Live Long and Prosper".
+// Per-vantage transits differ, so the class is DistinctPaths.
+
+type anycastEp struct {
+	prefix  bgp.Prefix
+	start   int
+	tbase   uint64
+	origins []bgp.ASN // vantage v originates origins[v%len]
+}
+
+type anycast struct {
+	n   int
+	eps []anycastEp
+}
+
+// Anycast returns a pattern injecting n anycast-fleet episodes.
+func Anycast(n int) Pattern { return &anycast{n: n} }
+
+func (a *anycast) Name() string { return "anycast" }
+
+func (a *anycast) plan(c *Config, pl *planner) {
+	a.eps = a.eps[:0]
+	for i := 0; i < a.n; i++ {
+		h := c.hash(tagAnycast, uint64(i))
+		k := 2 + int(h%2)
+		if k > c.Vantages {
+			k = c.Vantages
+		}
+		start := int((h >> 8) % 2)
+		origins := make([]bgp.ASN, k)
+		for j := range origins {
+			// Consecutive pool slots: distinct for k <= ASes (>= 16).
+			origins[j] = c.originAS((h >> 16) + uint64(j))
+		}
+		ep := anycastEp{prefix: pl.allocPrefix(), start: start, tbase: h >> 32, origins: origins}
+		a.eps = append(a.eps, ep)
+		pl.episode(Episode{
+			Prefix:     ep.prefix,
+			Origins:    sortedASNs(origins),
+			Class:      core.ClassDistinctPaths,
+			Start:      start,
+			End:        c.Days - 1,
+			Open:       true,
+			Persistent: true,
+			Pattern:    a.Name(),
+		})
+	}
+}
+
+func (a *anycast) emit(c *Config, day int, em *emitter) {
+	for _, ep := range a.eps {
+		if day != ep.start {
+			continue
+		}
+		for v := 0; v < c.Vantages; v++ {
+			// Distinct transit per vantage (consecutive pool slots) keeps
+			// penultimate hops apart: DistinctPaths, never SplitView.
+			path := em.path3(vantageAS(v), transitAS(ep.tbase+uint64(v)), ep.origins[v%len(ep.origins)])
+			em.Announce(v, path, em.onePrefix(ep.prefix))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Route leaks: a second origin appears behind the same transit the
+// legitimate origin uses — shared penultimate hop, so SplitView — for a
+// few days, then withdraws. Transient.
+
+type leakEp struct {
+	prefix        bgp.Prefix
+	owner, leaker bgp.ASN
+	shared        bgp.ASN // common penultimate transit on both paths
+	start, end    int
+}
+
+type routeLeak struct {
+	n   int
+	eps []leakEp
+}
+
+// RouteLeak returns a pattern injecting n transient route-leak episodes.
+func RouteLeak(n int) Pattern { return &routeLeak{n: n} }
+
+func (rl *routeLeak) Name() string { return "leak" }
+
+func (rl *routeLeak) plan(c *Config, pl *planner) {
+	rl.eps = rl.eps[:0]
+	for i := 0; i < rl.n; i++ {
+		h := c.hash(tagLeak, uint64(i))
+		dur := 2 + int((h>>24)%3)
+		if dur > c.Days-3 {
+			dur = c.Days - 3
+		}
+		if dur < 1 {
+			dur = 1
+		}
+		span := c.Days - 1 - dur // latest possible start day
+		start := 1 + int((h>>32)%uint64(span))
+		ep := leakEp{
+			prefix: pl.allocPrefix(),
+			owner:  c.originAS(h),
+			leaker: c.originAS(h + 1),
+			shared: transitAS(h >> 16),
+			start:  start,
+			end:    start + dur - 1,
+		}
+		rl.eps = append(rl.eps, ep)
+		pl.episode(Episode{
+			Prefix:  ep.prefix,
+			Origins: sortedASNs([]bgp.ASN{ep.owner, ep.leaker}),
+			Class:   core.ClassSplitView,
+			Start:   ep.start,
+			End:     ep.end,
+			Pattern: rl.Name(),
+		})
+	}
+}
+
+func (rl *routeLeak) emit(c *Config, day int, em *emitter) {
+	for _, ep := range rl.eps {
+		switch {
+		case day == 0:
+			// Legitimate origin from the even vantages, via the shared transit.
+			for v := 0; v < c.Vantages; v += 2 {
+				em.Announce(v, em.path3(vantageAS(v), ep.shared, ep.owner), em.onePrefix(ep.prefix))
+			}
+		case day == ep.start:
+			// The leak: odd vantages see a second origin behind the same
+			// penultimate AS.
+			for v := 1; v < c.Vantages; v += 2 {
+				em.Announce(v, em.path3(vantageAS(v), ep.shared, ep.leaker), em.onePrefix(ep.prefix))
+			}
+		case day == ep.end+1:
+			for v := 1; v < c.Vantages; v += 2 {
+				em.Withdraw(v, em.onePrefix(ep.prefix))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Gradual hijacks: forged announcements whose path embeds the victim AS
+// as a fake transit hop (OrigTranAS), ramping across the run — episode
+// i's onset day grows with i, modeling an attacker widening a hijack
+// prefix by prefix. Transient.
+
+type hijackEp struct {
+	prefix          bgp.Prefix
+	owner, hijacker bgp.ASN
+	transit         bgp.ASN
+	start, end      int
+}
+
+type gradualHijack struct {
+	n   int
+	eps []hijackEp
+}
+
+// GradualHijack returns a pattern injecting n hijack episodes with
+// onset days ramping across the run.
+func GradualHijack(n int) Pattern { return &gradualHijack{n: n} }
+
+func (g *gradualHijack) Name() string { return "hijack" }
+
+func (g *gradualHijack) plan(c *Config, pl *planner) {
+	g.eps = g.eps[:0]
+	for i := 0; i < g.n; i++ {
+		h := c.hash(tagHijack, uint64(i))
+		dur := 1 + int((h>>24)%2)
+		if dur > c.Days-3 {
+			dur = c.Days - 3
+		}
+		if dur < 1 {
+			dur = 1
+		}
+		span := c.Days - 1 - dur
+		start := 1 + i*span/g.n // the ramp: later episodes start later
+		if start > span {
+			start = span
+		}
+		ep := hijackEp{
+			prefix:   pl.allocPrefix(),
+			owner:    c.originAS(h),
+			hijacker: c.originAS(h + 1),
+			transit:  transitAS(h >> 16),
+			start:    start,
+			end:      start + dur - 1,
+		}
+		g.eps = append(g.eps, ep)
+		pl.episode(Episode{
+			Prefix:  ep.prefix,
+			Origins: sortedASNs([]bgp.ASN{ep.owner, ep.hijacker}),
+			Class:   core.ClassOrigTranAS,
+			Start:   ep.start,
+			End:     ep.end,
+			Pattern: g.Name(),
+		})
+	}
+}
+
+func (g *gradualHijack) emit(c *Config, day int, em *emitter) {
+	for _, ep := range g.eps {
+		switch {
+		case day == 0:
+			for v := 0; v < c.Vantages; v += 2 {
+				em.Announce(v, em.path3(vantageAS(v), ep.transit, ep.owner), em.onePrefix(ep.prefix))
+			}
+		case day == ep.start:
+			// The forged path routes "through" the victim: owner appears as
+			// a transit hop ahead of the hijacker origin — OrigTranAS.
+			for v := 1; v < c.Vantages; v += 2 {
+				em.Announce(v, em.path3(vantageAS(v), ep.owner, ep.hijacker), em.onePrefix(ep.prefix))
+			}
+		case day == ep.end+1:
+			for v := 1; v < c.Vantages; v += 2 {
+				em.Withdraw(v, em.onePrefix(ep.prefix))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Flap storms: a second origin that appears and disappears on alternate
+// days, producing a run of one-day transient episodes per prefix, plus
+// single-origin churn prefixes cycled hard within each day (withdraw /
+// re-announce with alternating attrs variants) to exercise route-node
+// recycling and interner pressure without touching ground truth.
+
+type flapEp struct {
+	prefix          bgp.Prefix
+	steady, flapper bgp.ASN
+	steadyT         bgp.ASN
+	flapT, flapT2   bgp.ASN // alternate per activation: interner variety
+	end             int     // last day the flapper may be up
+}
+
+type churnEp struct {
+	prefix bgp.Prefix
+	origin bgp.ASN
+	t1, t2 bgp.ASN
+}
+
+type flapStorm struct {
+	conflicts, churn, cycles int
+	eps                      []flapEp
+	churnEps                 []churnEp
+}
+
+// FlapStorm returns a pattern with `conflicts` flapping-MOAS prefixes
+// (a one-day episode every other day) and `churnPrefixes` single-origin
+// prefixes cycled cyclesPerDay times per day without ever conflicting.
+func FlapStorm(conflicts, churnPrefixes, cyclesPerDay int) Pattern {
+	if cyclesPerDay < 1 {
+		cyclesPerDay = 1
+	}
+	return &flapStorm{conflicts: conflicts, churn: churnPrefixes, cycles: cyclesPerDay}
+}
+
+func (f *flapStorm) Name() string { return "flap" }
+
+func (f *flapStorm) plan(c *Config, pl *planner) {
+	f.eps = f.eps[:0]
+	f.churnEps = f.churnEps[:0]
+	end := c.Days - 2
+	for i := 0; i < f.conflicts; i++ {
+		h := c.hash(tagFlap, uint64(i))
+		ep := flapEp{
+			prefix:  pl.allocPrefix(),
+			steady:  c.originAS(h),
+			flapper: c.originAS(h + 1),
+			steadyT: transitAS(h >> 16),
+			flapT:   transitAS((h >> 16) + 1),
+			flapT2:  transitAS((h >> 16) + 2),
+			end:     end,
+		}
+		f.eps = append(f.eps, ep)
+		// One ground-truth episode per up-day: odd days 1, 3, ... <= end.
+		for d := 1; d <= end; d += 2 {
+			pl.episode(Episode{
+				Prefix:  ep.prefix,
+				Origins: sortedASNs([]bgp.ASN{ep.steady, ep.flapper}),
+				Class:   core.ClassDistinctPaths,
+				Start:   d,
+				End:     d,
+				Pattern: f.Name(),
+			})
+		}
+	}
+	for j := 0; j < f.churn; j++ {
+		h := c.hash(tagFlap, uint64(f.conflicts), uint64(j))
+		f.churnEps = append(f.churnEps, churnEp{
+			prefix: pl.allocPrefix(),
+			origin: c.originAS(h),
+			t1:     transitAS(h >> 16),
+			t2:     transitAS((h >> 16) + 1),
+		})
+	}
+}
+
+func (f *flapStorm) emit(c *Config, day int, em *emitter) {
+	for _, ep := range f.eps {
+		up := day >= 1 && day <= ep.end && (day-1)%2 == 0
+		down := day >= 2 && day <= ep.end+1 && (day-1)%2 == 1
+		switch {
+		case day == 0:
+			em.Announce(0, em.path3(vantageAS(0), ep.steadyT, ep.steady), em.onePrefix(ep.prefix))
+		case up:
+			// Intra-day attrs churn on the flap route: alternate transit
+			// variants with a constant origin, so the class and origin set
+			// never move while upsert-replace and the interner get exercised.
+			for cyc := 0; cyc <= f.cycles; cyc++ {
+				t := ep.flapT
+				if (int((day-1)/2)+cyc)%2 == 1 {
+					t = ep.flapT2
+				}
+				em.Announce(1, em.path3(vantageAS(1), t, ep.flapper), em.onePrefix(ep.prefix))
+			}
+		case down:
+			em.Withdraw(1, em.onePrefix(ep.prefix))
+		}
+	}
+	for _, ce := range f.churnEps {
+		if day == 0 {
+			em.Announce(0, em.path3(vantageAS(0), ce.t1, ce.origin), em.onePrefix(ce.prefix))
+			continue
+		}
+		for cyc := 0; cyc < f.cycles; cyc++ {
+			em.Withdraw(0, em.onePrefix(ce.prefix))
+			t := ce.t1
+			if (day+cyc)%2 == 1 {
+				t = ce.t2
+			}
+			em.Announce(0, em.path3(vantageAS(0), t, ce.origin), em.onePrefix(ce.prefix))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// FromStorm adapts a scenario.Storm spec: on storm day i (synth day
+// 1+i), DayCounts[i] victim prefixes are each originated for one day by
+// Attacker with Via as the forged first hop — the 2001 paper's
+// misconfiguration-storm shape. Because Attacker/Via are caller-chosen
+// ASNs that may collide with any pool, each episode's class is computed
+// from its actual route set with core.ClassifyRoutes at plan time
+// rather than asserted.
+
+type stormEp struct {
+	prefix        bgp.Prefix
+	owner         bgp.ASN
+	ownerT        bgp.ASN
+	attacker, via bgp.ASN
+	day           int
+	class         core.Class
+}
+
+type storm struct {
+	spec scenario.Storm
+	eps  []stormEp
+}
+
+// FromStorm reuses a scenario.Storm spec as a synth pattern.
+func FromStorm(spec scenario.Storm) Pattern { return &storm{spec: spec} }
+
+func (s *storm) Name() string { return "storm" }
+
+// asn16 clamps a caller-chosen ASN onto the 2-octet wire.
+func asn16(x uint32) bgp.ASN {
+	v := x & 0xFFFF
+	if v == 0 {
+		v = 64999
+	}
+	return bgp.ASN(v)
+}
+
+func (s *storm) plan(c *Config, pl *planner) {
+	s.eps = s.eps[:0]
+	attacker, via := asn16(s.spec.Attacker), asn16(s.spec.Via)
+	for i, count := range s.spec.DayCounts {
+		day := 1 + i
+		if day > c.Days-2 {
+			day = c.Days - 2 // fold overflow days onto the last usable one
+		}
+		for j := 0; j < count; j++ {
+			h := c.hash(tagStorm, uint64(i), uint64(j))
+			owner := c.originAS(h)
+			if owner == attacker {
+				owner = c.originAS(h + 1)
+			}
+			ep := stormEp{
+				prefix:   pl.allocPrefix(),
+				owner:    owner,
+				ownerT:   transitAS(h >> 16),
+				attacker: attacker,
+				via:      via,
+				day:      day,
+			}
+			ep.class = s.classify(c, ep)
+			s.eps = append(s.eps, ep)
+			pl.episode(Episode{
+				Prefix:  ep.prefix,
+				Origins: sortedASNs([]bgp.ASN{ep.owner, ep.attacker}),
+				Class:   ep.class,
+				Start:   ep.day,
+				End:     ep.day,
+				Pattern: s.Name(),
+			})
+		}
+	}
+}
+
+// classify runs the production classifier over the episode's planned
+// route set — exactly the routes the table will hold on the storm day.
+func (s *storm) classify(c *Config, ep stormEp) core.Class {
+	routes := make([]rib.PeerRoute, 0, c.Vantages)
+	for v := 0; v < c.Vantages; v++ {
+		var path bgp.Path
+		if v%2 == 0 {
+			path = bgp.Seq(vantageAS(v), ep.ownerT, ep.owner)
+		} else {
+			path = bgp.Seq(vantageAS(v), ep.via, ep.attacker)
+		}
+		routes = append(routes, rib.PeerRoute{
+			PeerAS: vantageAS(v),
+			Route:  bgp.Route{Prefix: ep.prefix, Attrs: &bgp.Attrs{ASPath: path}},
+		})
+	}
+	return core.ClassifyRoutes(routes)
+}
+
+func (s *storm) emit(c *Config, day int, em *emitter) {
+	for _, ep := range s.eps {
+		switch {
+		case day == 0:
+			for v := 0; v < c.Vantages; v += 2 {
+				em.Announce(v, em.path3(vantageAS(v), ep.ownerT, ep.owner), em.onePrefix(ep.prefix))
+			}
+		case day == ep.day:
+			for v := 1; v < c.Vantages; v += 2 {
+				em.Announce(v, em.path3(vantageAS(v), ep.via, ep.attacker), em.onePrefix(ep.prefix))
+			}
+		case day == ep.day+1:
+			for v := 1; v < c.Vantages; v += 2 {
+				em.Withdraw(v, em.onePrefix(ep.prefix))
+			}
+		}
+	}
+}

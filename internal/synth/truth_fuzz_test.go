@@ -1,0 +1,39 @@
+package synth
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTruthLogDecode holds the truth-log codec to the repo's codec
+// contract: arbitrary bytes never panic, and anything that decodes
+// re-encodes to a byte-identical log that decodes to the same episodes.
+func FuzzTruthLogDecode(f *testing.F) {
+	s, err := NewStream(testConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(AppendTruthLog(nil, s.Truth()))
+	f.Add(AppendTruthLog(nil, nil))
+	f.Add([]byte(truthMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eps, err := DecodeTruthLog(data)
+		if err != nil {
+			return
+		}
+		blob := AppendTruthLog(nil, eps)
+		back, err := DecodeTruthLog(blob)
+		if err != nil {
+			t.Fatalf("re-encoded log failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, eps) {
+			t.Fatal("decode(encode(decode(data))) != decode(data)")
+		}
+		if !bytes.Equal(AppendTruthLog(nil, back), blob) {
+			t.Fatal("encode not deterministic")
+		}
+	})
+}
