@@ -3,8 +3,13 @@ GO ?= go
 # to keep the trajectory recording cheap).
 BENCH_COUNT ?= 5
 BENCH_TIME ?= 1s
+# Explicit GOMAXPROCS for benchmarks: throughput numbers from boxes with
+# different core counts are not comparable, so the recording pins the
+# cpu count and stamps it into the artifact as a benchfmt config line
+# (bench-trend in CI refuses to benchstat across differing counts).
+BENCH_CPU ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: build test race bench benchall fuzz-smoke soak vet fmt docscheck ci
+.PHONY: build test race bench benchall profile fuzz-smoke soak vet fmt docscheck ci
 
 build:
 	$(GO) build ./...
@@ -26,13 +31,27 @@ race:
 # (Redirect-then-cat, not tee: a pipe would let a failing benchmark run
 # exit 0 through tee and upload a garbage artifact.)
 bench:
+	@echo "nproc: $(BENCH_CPU)" > BENCH_stream.json
 	$(GO) test -run XXX -bench 'BenchmarkStreamReplay|BenchmarkSynthReplay|BenchmarkDecodeUpdate|BenchmarkShardReassess|BenchmarkCheckpointEncode' \
-		-benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) ./internal/stream \
-		> BENCH_stream.json || { cat BENCH_stream.json; exit 1; }
+		-benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) -cpu $(BENCH_CPU) ./internal/stream \
+		>> BENCH_stream.json || { cat BENCH_stream.json; exit 1; }
 	@cat BENCH_stream.json
 
 benchall:
 	$(GO) test -bench . -run XXX -benchmem ./...
+
+# profile replays the internet-scale synth corpus (BenchmarkSynthReplay,
+# the PR 7 differential-oracle generator at 1M prefixes) under the CPU
+# profiler and prints the top-10 cumulative functions — the quickest
+# answer to "where does replay time actually go". cpu.pprof and the test
+# binary stay on disk for interactive `go tool pprof stream.test
+# cpu.pprof`; PROFILE.txt is the text summary CI appends to the job
+# summary.
+PROFILE_TIME ?= 1x
+profile:
+	$(GO) test -run XXX -bench 'BenchmarkSynthReplay' -benchtime $(PROFILE_TIME) \
+		-cpu $(BENCH_CPU) -cpuprofile cpu.pprof -o stream.test ./internal/stream
+	$(GO) tool pprof -top -nodecount=10 -cum stream.test cpu.pprof | tee PROFILE.txt
 
 # fuzz-smoke briefly live-fuzzes the snapshot/checkpoint restore surface
 # on top of the committed seed corpus (testdata/fuzz). go test -fuzz
@@ -43,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzCheckpointRestore -fuzztime $(FUZZTIME) ./internal/stream
 	$(GO) test -run XXX -fuzz FuzzBGPSessionMessages -fuzztime $(FUZZTIME) ./internal/source/bgpd
 	$(GO) test -run XXX -fuzz FuzzTruthLogDecode -fuzztime $(FUZZTIME) ./internal/synth
+	$(GO) test -run XXX -fuzz FuzzInternConcurrent -fuzztime $(FUZZTIME) ./internal/bgp
 
 # soak runs the months-of-days synth flap-storm leak check under the race
 # detector (the short version runs in every `go test ./...`).

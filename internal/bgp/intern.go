@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"bytes"
+	"sync"
 	"sync/atomic"
 )
 
@@ -42,21 +43,56 @@ import (
 // Interned Attrs values are shared and must be treated as immutable by
 // every holder.
 //
-// Intern is single-goroutine (one interner per decode stream); Len is
-// safe to call concurrently with Intern, which is what lets an engine's
-// stats endpoint report the distinct-block count mid-replay.
+// Intern is safe for concurrent use: the table is striped by hash into
+// independently locked buckets, each with its own chain table, scratch
+// decode value and arenas, so parallel decode workers interning disjoint
+// blocks rarely contend and workers interning the same block serialize
+// only on that block's stripe. The one-canonical-pointer-per-wire-block
+// invariant holds across goroutines within an epoch: a block's stripe is
+// a pure function of its bytes, and that stripe's mutex makes each
+// insert a read-check-commit critical section. Cap-triggered epoch
+// rebuilds take a writer lock that excludes every in-flight Intern, so
+// an epoch flip is globally atomic; under concurrency the cap is
+// enforced to within the number of simultaneously committing workers
+// (each checks the cap before its own commit).
 type AttrsInterner struct {
 	asn4 bool
-	// cap bounds the distinct blocks held per epoch; 0 = unbounded.
-	cap int
+	// capN bounds the distinct blocks held per epoch; 0 = unbounded.
+	capN   atomic.Int64
+	n      atomic.Int64 // distinct blocks in the current epoch
+	epochs atomic.Int64 // rebuilds performed (0 until the first cap hit)
+	bytes  atomic.Int64 // approximate arena bytes committed this epoch
+
+	// epochMu coordinates cap rebuilds with in-flight interning: Intern
+	// holds the read side while it probes and commits into a stripe, the
+	// rebuild takes the write side and resets every stripe at once. Lock
+	// order is epochMu before stripe.mu, always.
+	epochMu sync.RWMutex
+	stripes [internStripes]internStripe
+}
+
+// internStripes is the lock-striping factor: a power of two at or above
+// the decode-worker counts the replay pipeline runs (GOMAXPROCS), so two
+// workers interning different blocks rarely share a mutex. Higher counts
+// buy little — the hit-path critical section is a single hash probe —
+// and cost per-stripe arena and table overhead on every engine.
+const internStripes = 16
+
+// internStripe is one independently locked slice of the table. Each
+// stripe owns a full copy of the interner's machinery — chain map, entry
+// table, scratch decode value and arenas — so stripes never share
+// mutable state and a stripe's mutex is the only synchronization a
+// probe or commit needs (beyond the epoch read lock).
+type internStripe struct {
+	mu sync.Mutex
 	// m maps an FNV-1a hash of the wire bytes to the head of a chain of
 	// entries (collisions resolved by byte comparison). Indexing entries
 	// by position keeps the table pointer-free and the probe alloc-free.
+	// Created lazily on the stripe's first commit (probing a nil map is
+	// a miss), so constructing an interner allocates nothing per stripe
+	// and stripes an archive never hashes into stay empty.
 	m       map[uint64]int32
 	entries []internEntry
-	n       atomic.Int64 // distinct blocks in the current epoch
-	epochs  atomic.Int64 // rebuilds performed (0 until the first cap hit)
-	bytes   atomic.Int64 // approximate arena bytes committed this epoch
 
 	scratch Attrs // reusable decode target for misses
 
@@ -83,7 +119,7 @@ type internEntry struct {
 // AS wire encoding (see DecodeAttrsEx); an interner is bound to one
 // encoding because the same bytes decode differently under the other.
 func NewAttrsInterner(asn4 bool) *AttrsInterner {
-	return &AttrsInterner{asn4: asn4, m: make(map[uint64]int32, 256)}
+	return &AttrsInterner{asn4: asn4}
 }
 
 // ASN4 reports the AS wire encoding the interner decodes with. Sources
@@ -95,13 +131,13 @@ func (in *AttrsInterner) ASN4() bool { return in.asn4 }
 // SetCap bounds the distinct blocks held per epoch: once Intern has
 // committed n blocks, the next miss drops the whole table and arenas and
 // starts a fresh epoch (see the type comment for why that is sound and
-// what it bounds). n <= 0 removes the cap. Call from the interning
-// goroutine; the live daemon sets it once at engine construction.
+// what it bounds). n <= 0 removes the cap. Safe to call concurrently
+// with Intern; the live daemon sets it once at engine construction.
 func (in *AttrsInterner) SetCap(n int) {
 	if n < 0 {
 		n = 0
 	}
-	in.cap = n
+	in.capN.Store(int64(n))
 }
 
 // Epochs returns the number of cap-triggered rebuilds so far. Safe to
@@ -122,18 +158,30 @@ const (
 	internEntryBytes   = 48 // one table entry + map slot
 )
 
-// rebuild starts a fresh epoch: the table and arenas are released to the
-// GC (kept alive only by still-referenced blocks) and interning restarts
-// empty. The scratch decode value survives — it holds no committed state.
-func (in *AttrsInterner) rebuild() {
-	in.m = make(map[uint64]int32, 256)
-	in.entries = nil
-	in.attrsArena = nil
-	in.aggArena = nil
-	in.segArena = nil
-	in.asnArena = nil
-	in.u32Arena = nil
-	in.keyArena = nil
+// rebuildAtCap starts a fresh epoch: under the epoch writer lock (which
+// excludes every in-flight Intern) each stripe's table and arenas are
+// released to the GC (kept alive only by still-referenced blocks) and
+// interning restarts empty. The cap is re-checked under the lock so
+// that when several workers hit it together only the first rebuilds —
+// the rest see the already-reset table and retry into the new epoch.
+func (in *AttrsInterner) rebuildAtCap() {
+	in.epochMu.Lock()
+	defer in.epochMu.Unlock()
+	c := in.capN.Load()
+	if c <= 0 || in.n.Load() < c {
+		return
+	}
+	for i := range in.stripes {
+		s := &in.stripes[i]
+		s.m = nil
+		s.entries = nil
+		s.attrsArena = nil
+		s.aggArena = nil
+		s.segArena = nil
+		s.asnArena = nil
+		s.u32Arena = nil
+		s.keyArena = nil
+	}
 	in.n.Store(0)
 	in.bytes.Store(0)
 	in.epochs.Add(1)
@@ -142,46 +190,78 @@ func (in *AttrsInterner) rebuild() {
 // Intern returns the canonical *Attrs for the attribute block wire,
 // decoding and caching it on first sight. A hit performs zero
 // allocations; a miss amortizes to near zero through the arenas. The
-// returned value is shared: callers must not mutate it.
+// returned value is shared: callers must not mutate it. Safe for
+// concurrent use (see the type comment).
 func (in *AttrsInterner) Intern(wire []byte) (*Attrs, error) {
 	h := hashBytes(wire)
-	head, ok := in.m[h]
-	if ok {
-		for i := head; i >= 0; i = in.entries[i].next {
-			if bytes.Equal(in.entries[i].wire, wire) {
-				return in.entries[i].attrs, nil
+	// The top hash bits pick the stripe; the chain map consumes the rest.
+	s := &in.stripes[(h>>57)&(internStripes-1)]
+	for {
+		in.epochMu.RLock()
+		s.mu.Lock()
+		head, ok := s.m[h]
+		if ok {
+			for i := head; i >= 0; i = s.entries[i].next {
+				if bytes.Equal(s.entries[i].wire, wire) {
+					a := s.entries[i].attrs
+					s.mu.Unlock()
+					in.epochMu.RUnlock()
+					return a, nil
+				}
 			}
+		} else {
+			head = -1
 		}
-	} else {
-		head = -1
+		if err := s.scratch.decodeAttrsEx(wire, in.asn4, true); err != nil {
+			s.mu.Unlock()
+			in.epochMu.RUnlock()
+			return nil, err
+		}
+		if c := in.capN.Load(); c > 0 && in.n.Load() >= c {
+			// Cap hit: this commit must land in a fresh epoch. Release
+			// both locks (the rebuild needs the epoch writer side), flip
+			// the epoch, and retry from the top — the re-probe misses in
+			// the empty table and the re-decode is the rare-path cost of
+			// keeping the hit path lock-cheap.
+			s.mu.Unlock()
+			in.epochMu.RUnlock()
+			in.rebuildAtCap()
+			continue
+		}
+		a := s.commit(wire, h, head)
+		sz := internAttrsBytes + internEntryBytes + len(wire)
+		for _, seg := range a.ASPath {
+			sz += internSegmentBytes + 4*len(seg.ASes)
+		}
+		sz += 4 * len(a.Communities)
+		in.n.Add(1)
+		in.bytes.Add(int64(sz))
+		s.mu.Unlock()
+		in.epochMu.RUnlock()
+		return a, nil
 	}
-	if err := in.scratch.decodeAttrsEx(wire, in.asn4, true); err != nil {
-		return nil, err
+}
+
+// commit copies the stripe's scratch decode into the stripe arenas and
+// links the new entry. Caller holds s.mu (and the epoch read lock).
+func (s *internStripe) commit(wire []byte, h uint64, head int32) *Attrs {
+	if s.m == nil {
+		// First commit into this stripe (or this epoch): size for the
+		// typical per-stripe share of a feed's distinct blocks so the
+		// table reaches steady state without growth re-allocations.
+		s.m = make(map[uint64]int32, 256)
+		s.entries = make([]internEntry, 0, 256)
 	}
-	if in.cap > 0 && int(in.n.Load()) >= in.cap {
-		// Cap hit: start a fresh epoch before committing this block, so
-		// the commit below lands in the new table. head from the old
-		// table is stale now.
-		in.rebuild()
-		head = -1
+	a := s.allocAttrs()
+	*a = s.scratch
+	a.ASPath = s.copyPath(s.scratch.ASPath)
+	a.Communities = s.copyU32(s.scratch.Communities)
+	if s.scratch.Aggregator != nil {
+		a.Aggregator = s.allocAgg(*s.scratch.Aggregator)
 	}
-	a := in.allocAttrs()
-	*a = in.scratch
-	a.ASPath = in.copyPath(in.scratch.ASPath)
-	a.Communities = in.copyU32(in.scratch.Communities)
-	if in.scratch.Aggregator != nil {
-		a.Aggregator = in.allocAgg(*in.scratch.Aggregator)
-	}
-	in.entries = append(in.entries, internEntry{wire: in.copyKey(wire), attrs: a, next: head})
-	in.m[h] = int32(len(in.entries) - 1)
-	in.n.Add(1)
-	sz := internAttrsBytes + internEntryBytes + len(wire)
-	for _, s := range a.ASPath {
-		sz += internSegmentBytes + 4*len(s.ASes)
-	}
-	sz += 4 * len(a.Communities)
-	in.bytes.Add(int64(sz))
-	return a, nil
+	s.entries = append(s.entries, internEntry{wire: s.copyKey(wire), attrs: a, next: head})
+	s.m[h] = int32(len(s.entries) - 1)
+	return a
 }
 
 // Len returns the number of distinct attribute blocks held in the
@@ -200,71 +280,71 @@ func hashBytes(b []byte) uint64 {
 	return h
 }
 
-func (in *AttrsInterner) allocAttrs() *Attrs {
-	if len(in.attrsArena) == cap(in.attrsArena) {
-		in.attrsArena = make([]Attrs, 0, 512)
+func (s *internStripe) allocAttrs() *Attrs {
+	if len(s.attrsArena) == cap(s.attrsArena) {
+		s.attrsArena = make([]Attrs, 0, 512)
 	}
-	in.attrsArena = append(in.attrsArena, Attrs{})
-	return &in.attrsArena[len(in.attrsArena)-1]
+	s.attrsArena = append(s.attrsArena, Attrs{})
+	return &s.attrsArena[len(s.attrsArena)-1]
 }
 
-func (in *AttrsInterner) allocAgg(v Aggregator) *Aggregator {
-	if len(in.aggArena) == cap(in.aggArena) {
-		in.aggArena = make([]Aggregator, 0, 64)
+func (s *internStripe) allocAgg(v Aggregator) *Aggregator {
+	if len(s.aggArena) == cap(s.aggArena) {
+		s.aggArena = make([]Aggregator, 0, 64)
 	}
-	in.aggArena = append(in.aggArena, v)
-	return &in.aggArena[len(in.aggArena)-1]
+	s.aggArena = append(s.aggArena, v)
+	return &s.aggArena[len(s.aggArena)-1]
 }
 
 // copyPath deep-copies p into the segment and ASN arenas. The segments of
 // one path are contiguous, so the Path itself is an arena sub-slice too.
-func (in *AttrsInterner) copyPath(p Path) Path {
+func (s *internStripe) copyPath(p Path) Path {
 	if p == nil {
 		return nil
 	}
-	if len(in.segArena)+len(p) > cap(in.segArena) {
-		in.segArena = make([]Segment, 0, max(512, len(p)))
+	if len(s.segArena)+len(p) > cap(s.segArena) {
+		s.segArena = make([]Segment, 0, max(512, len(p)))
 	}
-	off := len(in.segArena)
-	for _, s := range p {
-		in.segArena = append(in.segArena, Segment{Type: s.Type, ASes: in.copyASNs(s.ASes)})
+	off := len(s.segArena)
+	for _, seg := range p {
+		s.segArena = append(s.segArena, Segment{Type: seg.Type, ASes: s.copyASNs(seg.ASes)})
 	}
-	end := len(in.segArena)
-	return Path(in.segArena[off:end:end])
+	end := len(s.segArena)
+	return Path(s.segArena[off:end:end])
 }
 
-func (in *AttrsInterner) copyASNs(v []ASN) []ASN {
+func (s *internStripe) copyASNs(v []ASN) []ASN {
 	if v == nil {
 		return nil
 	}
-	if len(in.asnArena)+len(v) > cap(in.asnArena) {
-		in.asnArena = make([]ASN, 0, max(4096, len(v)))
+	if len(s.asnArena)+len(v) > cap(s.asnArena) {
+		s.asnArena = make([]ASN, 0, max(4096, len(v)))
 	}
-	off := len(in.asnArena)
-	in.asnArena = append(in.asnArena, v...)
-	end := len(in.asnArena)
-	return in.asnArena[off:end:end]
+	off := len(s.asnArena)
+	s.asnArena = append(s.asnArena, v...)
+	end := len(s.asnArena)
+	return s.asnArena[off:end:end]
 }
 
-func (in *AttrsInterner) copyU32(v []uint32) []uint32 {
+func (s *internStripe) copyU32(v []uint32) []uint32 {
 	if v == nil {
 		return nil
 	}
-	if len(in.u32Arena)+len(v) > cap(in.u32Arena) {
-		in.u32Arena = make([]uint32, 0, max(1024, len(v)))
+	if len(s.u32Arena)+len(v) > cap(s.u32Arena) {
+		s.u32Arena = make([]uint32, 0, max(1024, len(v)))
 	}
-	off := len(in.u32Arena)
-	in.u32Arena = append(in.u32Arena, v...)
-	end := len(in.u32Arena)
-	return in.u32Arena[off:end:end]
+	off := len(s.u32Arena)
+	s.u32Arena = append(s.u32Arena, v...)
+	end := len(s.u32Arena)
+	return s.u32Arena[off:end:end]
 }
 
-func (in *AttrsInterner) copyKey(b []byte) []byte {
-	if len(in.keyArena)+len(b) > cap(in.keyArena) {
-		in.keyArena = make([]byte, 0, max(1<<16, len(b)))
+func (s *internStripe) copyKey(b []byte) []byte {
+	if len(s.keyArena)+len(b) > cap(s.keyArena) {
+		s.keyArena = make([]byte, 0, max(1<<16, len(b)))
 	}
-	off := len(in.keyArena)
-	in.keyArena = append(in.keyArena, b...)
-	end := len(in.keyArena)
-	return in.keyArena[off:end:end]
+	off := len(s.keyArena)
+	s.keyArena = append(s.keyArena, b...)
+	end := len(s.keyArena)
+	return s.keyArena[off:end:end]
 }

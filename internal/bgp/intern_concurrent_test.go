@@ -1,0 +1,295 @@
+package bgp
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestInternConcurrentPointerCanonical is the striped interner's core
+// soundness claim under -race: N goroutines interning an overlapping set
+// of wire blocks concurrently must all receive the same canonical
+// pointer per distinct block — the invariant the shards' pointer-equality
+// fast path depends on. No cap is set, so no epoch flip can excuse a
+// pointer change.
+func TestInternConcurrentPointerCanonical(t *testing.T) {
+	const goroutines = 8
+	const blocks = 512
+	const rounds = 4
+
+	in := NewAttrsInterner(false)
+	wires := make([][]byte, blocks)
+	direct := make([]*Attrs, blocks)
+	for i := range wires {
+		wires[i] = wireFor(t, ASN(1000+i))
+		direct[i] = new(Attrs)
+		if err := direct[i].DecodeAttrs(wires[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([][]*Attrs, goroutines)
+	errs := make([]error, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ptrs := make([]*Attrs, blocks)
+			<-start
+			for r := 0; r < rounds; r++ {
+				// Each goroutine walks the block set from a different
+				// offset so first-intern races land on every block.
+				for k := 0; k < blocks; k++ {
+					i := (k + g*blocks/goroutines) % blocks
+					a, err := in.Intern(wires[i])
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if ptrs[i] == nil {
+						ptrs[i] = a
+					} else if ptrs[i] != a {
+						errs[g] = errNonCanonical(i)
+						return
+					}
+				}
+			}
+			got[g] = ptrs
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for i := 0; i < blocks; i++ {
+		p := got[0][i]
+		for g := 1; g < goroutines; g++ {
+			if got[g][i] != p {
+				t.Fatalf("block %d: goroutine %d saw a different pointer than goroutine 0", i, g)
+			}
+		}
+		if !p.Equal(direct[i]) {
+			t.Fatalf("block %d: interned attrs differ from direct decode", i)
+		}
+	}
+	if in.Len() != blocks {
+		t.Fatalf("Len = %d after %d distinct blocks, want %d", in.Len(), blocks, blocks)
+	}
+	if in.Epochs() != 0 {
+		t.Fatalf("Epochs = %d with no cap set, want 0", in.Epochs())
+	}
+}
+
+type errNonCanonical int
+
+func (e errNonCanonical) Error() string { return "non-canonical pointer for block" }
+
+// TestInternConcurrentEpochRollover hammers a capped interner from N
+// goroutines with far more distinct blocks than the cap, forcing many
+// epoch rebuilds while peers are mid-Intern. Decoded values must stay
+// correct, the table must stay bounded near the cap, and once the storm
+// quiesces the canonical-pointer invariant must hold again.
+func TestInternConcurrentEpochRollover(t *testing.T) {
+	const goroutines = 8
+	const capN = 32
+	const perG = 2000
+
+	in := NewAttrsInterner(false)
+	in.SetCap(capN)
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			want := new(Attrs)
+			for i := 0; i < perG; i++ {
+				// Overlapping ranges: goroutines fight over the same
+				// blocks while the cap churns epochs beneath them.
+				as := ASN(1000 + (g*perG/2+i)%(capN*8))
+				w := wireFor(t, as)
+				a, err := in.Intern(w)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if err := want.DecodeAttrs(w); err != nil {
+					errs[g] = err
+					return
+				}
+				if !a.Equal(want) {
+					errs[g] = errNonCanonical(i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+
+	if in.Epochs() == 0 {
+		t.Fatal("no epoch rollover under a cap smaller than the block population")
+	}
+	// The cap is enforced to within the number of concurrently committing
+	// workers (each checks before its own commit).
+	if n := in.Len(); n > capN+goroutines {
+		t.Fatalf("Len = %d, want <= cap %d + %d committers", n, capN, goroutines)
+	}
+	// Quiesced: interning the same wire twice lands on one pointer again.
+	w := wireFor(t, 99)
+	a1, err := in.Intern(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := in.Intern(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("post-storm double intern returned two pointers")
+	}
+}
+
+// TestInternConcurrentSetCap flips the cap on and off while goroutines
+// intern, exercising SetCap's coordination with in-flight workers (the
+// race is between capN loads, commit counting and the rebuild's writer
+// lock).
+func TestInternConcurrentSetCap(t *testing.T) {
+	const goroutines = 4
+	in := NewAttrsInterner(false)
+
+	errs := make([]error, goroutines)
+	stop := make(chan struct{})
+	flipperDone := make(chan struct{})
+	go func() {
+		defer close(flipperDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				in.SetCap(16)
+			case 1:
+				in.SetCap(64)
+			default:
+				in.SetCap(0)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				if _, err := in.Intern(wireFor(t, ASN(1000+i%512))); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-flipperDone
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// FuzzInternConcurrent fuzzes the concurrent interner with
+// attacker-shaped wire bytes: several goroutines intern the same
+// fuzz-derived block set (plus well-formed neighbors) under an arbitrary
+// cap. Decode errors must be stable across goroutines, successful
+// interns must match a direct decode, and with no cap set the canonical
+// pointer must be unique per block.
+func FuzzInternConcurrent(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add(wireFor(f, 65001), uint8(0))
+	f.Add(wireFor(f, 65002), uint8(4))
+	long := &Attrs{
+		Origin:      OriginEGP,
+		ASPath:      Path{{Type: SegSet, ASes: []ASN{1, 2, 3}}, {Type: SegSequence, ASes: []ASN{64500, 65010}}},
+		NextHop:     [4]byte{192, 0, 2, 1},
+		Communities: []uint32{0x00010002, 0xFFFF0000},
+	}
+	f.Add(long.AppendWire(nil), uint8(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, capN uint8) {
+		const goroutines = 4
+		in := NewAttrsInterner(false)
+		if capN > 0 {
+			in.SetCap(int(capN))
+		}
+		// The block set: the raw fuzz bytes, a truncation, and two
+		// well-formed blocks to guarantee valid traffic alongside.
+		blocks := [][]byte{data, wireFor(t, 64496), wireFor(t, 64497)}
+		if len(data) > 2 {
+			blocks = append(blocks, data[:len(data)/2])
+		}
+
+		type res struct {
+			ptrs []*Attrs
+			errs []bool
+		}
+		results := make([]res, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				r := res{ptrs: make([]*Attrs, len(blocks)), errs: make([]bool, len(blocks))}
+				for round := 0; round < 8; round++ {
+					for i, w := range blocks {
+						a, err := in.Intern(w)
+						if err != nil {
+							r.errs[i] = true
+							continue
+						}
+						r.ptrs[i] = a
+					}
+				}
+				results[g] = r
+			}(g)
+		}
+		wg.Wait()
+
+		want := new(Attrs)
+		for i, w := range blocks {
+			wantErr := want.DecodeAttrs(w) != nil
+			for g := 0; g < goroutines; g++ {
+				if results[g].errs[i] != wantErr {
+					t.Fatalf("block %d: goroutine %d error=%v, direct decode error=%v",
+						i, g, results[g].errs[i], wantErr)
+				}
+				if !wantErr && !results[g].ptrs[i].Equal(want) {
+					t.Fatalf("block %d: interned attrs differ from direct decode", i)
+				}
+			}
+			if capN == 0 && !wantErr {
+				// No epochs possible: every goroutine saw one pointer.
+				p := results[0].ptrs[i]
+				for g := 1; g < goroutines; g++ {
+					if results[g].ptrs[i] != p {
+						t.Fatalf("block %d: canonical pointer diverged across goroutines", i)
+					}
+				}
+			}
+		}
+	})
+}

@@ -76,6 +76,10 @@ type ScenarioConfig struct {
 	MaxAttrs int `json:"max_attrs,omitempty"`
 	// Shards is the engine's worker count (0 = GOMAXPROCS).
 	Shards int `json:"shards,omitempty"`
+	// DecodeWorkers is the replay's parallel MRT decode worker count
+	// (0 = GOMAXPROCS). Replay sources only; live sources decode on
+	// their feed goroutine and ignore it.
+	DecodeWorkers int `json:"decode_workers,omitempty"`
 	// DaysPerSec paces the replay in observed days per second (0 = as
 	// fast as possible).
 	DaysPerSec float64 `json:"days_per_sec,omitempty"`
@@ -236,6 +240,12 @@ func (c *ScenarioConfig) normalize() error {
 	if c.Shards > MaxShards {
 		return fmt.Errorf("shards must be <= %d", MaxShards)
 	}
+	if c.DecodeWorkers < 0 {
+		return errors.New("decode_workers must be >= 0")
+	}
+	if c.DecodeWorkers > MaxDecodeWorkers {
+		return fmt.Errorf("decode_workers must be <= %d", MaxDecodeWorkers)
+	}
 	if c.History > MaxHistory {
 		return fmt.Errorf("history must be <= %d", MaxHistory)
 	}
@@ -257,9 +267,10 @@ func (c *ScenarioConfig) normalize() error {
 // are far above any sensible setting, small enough that one create
 // cannot exhaust the process).
 const (
-	MaxShards      = 1024
-	MaxHistory     = 1 << 20
-	MaxEventBuffer = 1 << 20
+	MaxShards        = 1024
+	MaxDecodeWorkers = 256
+	MaxHistory       = 1 << 20
+	MaxEventBuffer   = 1 << 20
 )
 
 // normalizeCheckpoint validates a source-"checkpoint" config and inherits
@@ -311,6 +322,9 @@ func (c *ScenarioConfig) normalizeCheckpoint() error {
 	}
 	if c.Shards == 0 {
 		c.Shards = inner.Shards
+	}
+	if c.DecodeWorkers == 0 {
+		c.DecodeWorkers = inner.DecodeWorkers
 	}
 	if c.DaysPerSec == 0 {
 		c.DaysPerSec = inner.DaysPerSec
@@ -536,6 +550,7 @@ func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any)) (*Sc
 	}
 	engCfg := stream.Config{
 		Shards:           cfg.Shards,
+		DecodeWorkers:    cfg.DecodeWorkers,
 		HistoryLimit:     cfg.History,
 		MaxDistinctAttrs: maxAttrs,
 		// The daemon bounds memory: the global event log is off; event
@@ -1024,19 +1039,20 @@ func (s *Scenario) runLive() error {
 // Status is a scenario lifecycle snapshot (the list/detail endpoints'
 // payload, minus the engine stats the detail view adds).
 type Status struct {
-	ID         string
-	Source     string
-	Scale      string
-	Path       string
-	URL        string
-	Listen     string
-	State      State
-	Error      string
-	Shards     int
-	DaysPerSec float64
-	TotalDays  int // 0 until the source is open; -1 = endless (live feed)
-	ClosedDays int
-	Events     HubStats
+	ID            string
+	Source        string
+	Scale         string
+	Path          string
+	URL           string
+	Listen        string
+	State         State
+	Error         string
+	Shards        int
+	DecodeWorkers int
+	DaysPerSec    float64
+	TotalDays     int // 0 until the source is open; -1 = endless (live feed)
+	ClosedDays    int
+	Events        HubStats
 	// Feed is the live source's connection state (nil unless a live run
 	// is in flight).
 	Feed *source.Status
@@ -1048,19 +1064,20 @@ func (s *Scenario) Status() Status {
 	state, err := s.state, s.err
 	s.mu.Unlock()
 	st := Status{
-		ID:         s.cfg.ID,
-		Source:     s.cfg.Source,
-		Scale:      s.cfg.Scale,
-		Path:       s.cfg.Path,
-		URL:        s.srcCfg.URL,
-		Listen:     s.srcCfg.Listen,
-		State:      state,
-		Shards:     s.cfg.Shards,
-		DaysPerSec: s.cfg.DaysPerSec,
-		TotalDays:  int(s.totalDays.Load()),
-		ClosedDays: int(s.closedDays.Load()),
-		Events:     s.hub.Stats(),
-		Feed:       s.eng.SourceStatus(),
+		ID:            s.cfg.ID,
+		Source:        s.cfg.Source,
+		Scale:         s.cfg.Scale,
+		Path:          s.cfg.Path,
+		URL:           s.srcCfg.URL,
+		Listen:        s.srcCfg.Listen,
+		State:         state,
+		Shards:        s.cfg.Shards,
+		DecodeWorkers: s.cfg.DecodeWorkers,
+		DaysPerSec:    s.cfg.DaysPerSec,
+		TotalDays:     int(s.totalDays.Load()),
+		ClosedDays:    int(s.closedDays.Load()),
+		Events:        s.hub.Stats(),
+		Feed:          s.eng.SourceStatus(),
 	}
 	if err != nil {
 		st.Error = err.Error()

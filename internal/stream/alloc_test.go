@@ -56,55 +56,88 @@ func allocGateArchive(t testing.TB) []byte {
 // buffers and kernel state are warm, running the full decode+dispatch
 // path over the archive — MRT read, BGP4MP borrow-decode, UPDATE decode
 // through the interner, per-op shard routing — must perform exactly zero
-// allocations per pass, hence 0 allocs/update. Shard flush/apply is kept
-// out of the measured function (worker timing would make the measurement
+// allocations per pass, hence 0 allocs/update. Both decode paths are
+// gated: the serial (workers=1) reader-decoder and the parallel path's
+// frame-then-decode pair, the per-worker work one pipeline worker
+// performs on a warm batch. Shard flush/apply is kept out of the
+// measured function (worker timing would make the measurement
 // nondeterministic); its steady state is pinned at 0 allocs/op separately
 // by BenchmarkShardReassess and the pool-recycling test below.
 func TestSteadyStateDecodeDispatchZeroAlloc(t *testing.T) {
 	archive := allocGateArchive(t)
-	// BatchSize beyond the archive's op count: ops accumulate in pend and
-	// are reset between passes, so no flush lands mid-measurement.
-	e := New(Config{Shards: 4, BatchSize: 1 << 20})
-	defer e.Close()
 
-	br := bytes.NewReader(archive)
-	mr := mrt.NewReader(br)
-	d := &decoder{mr: mr, in: e.interner}
-	b := newDecBatch()
-	pass := func() {
-		br.Reset(archive)
-		mr.Reset(br)
-		for {
-			terminal := d.fill(b)
-			for i := range b.recs {
-				rec := &b.recs[i]
-				if rec.err != nil {
-					t.Fatal(rec.err)
-				}
-				if rec.hasUpd {
-					e.ApplyUpdate(0, rec.peer, &rec.upd)
-				}
+	dispatch := func(t *testing.T, e *Engine, b *decBatch) {
+		for i := range b.recs {
+			rec := &b.recs[i]
+			if rec.err != nil {
+				t.Fatal(rec.err)
 			}
-			if terminal {
-				return
+			if rec.hasUpd {
+				e.ApplyUpdate(0, rec.peer, &rec.upd)
 			}
 		}
 	}
-	drain := func() {
+	drain := func(e *Engine) {
 		for i := range e.pend {
 			e.pend[i] = e.pend[i][:0]
 		}
 	}
+	gate := func(t *testing.T, e *Engine, pass func()) {
+		t.Helper()
+		// Warm: interner misses, slot and pend capacity growth.
+		pass()
+		drain(e)
+		if e.DistinctAttrs() == 0 {
+			t.Fatal("gate archive interned no attrs — not exercising the decode path")
+		}
+		if avg := testing.AllocsPerRun(10, func() { pass(); drain(e) }); avg != 0 {
+			t.Fatalf("steady-state decode+dispatch: %.2f allocs per pass, want 0", avg)
+		}
+	}
 
-	// Warm: interner misses, slot and pend capacity growth.
-	pass()
-	drain()
-	if e.DistinctAttrs() == 0 {
-		t.Fatal("gate archive interned no attrs — not exercising the decode path")
-	}
-	if avg := testing.AllocsPerRun(10, func() { pass(); drain() }); avg != 0 {
-		t.Fatalf("steady-state decode+dispatch: %.2f allocs per pass, want 0", avg)
-	}
+	t.Run("serial", func(t *testing.T) {
+		// BatchSize beyond the archive's op count: ops accumulate in pend
+		// and are reset between passes, so no flush lands mid-measurement.
+		e := New(Config{Shards: 4, BatchSize: 1 << 20})
+		defer e.Close()
+		br := bytes.NewReader(archive)
+		mr := mrt.NewReader(br)
+		d := &decoder{mr: mr, recDecoder: recDecoder{in: e.interner}}
+		b := newDecBatch()
+		gate(t, e, func() {
+			br.Reset(archive)
+			mr.Reset(br)
+			for {
+				terminal := d.fill(b)
+				dispatch(t, e, b)
+				if terminal {
+					return
+				}
+			}
+		})
+	})
+
+	t.Run("worker", func(t *testing.T) {
+		e := New(Config{Shards: 4, BatchSize: 1 << 20})
+		defer e.Close()
+		br := bytes.NewReader(archive)
+		fr := mrt.NewFramer(br)
+		f := &framer{fr: fr}
+		w := &decodeWorker{recDecoder{in: e.interner}}
+		b := newDecBatch()
+		gate(t, e, func() {
+			br.Reset(archive)
+			fr.Reset(br)
+			for {
+				terminal := f.fill(b)
+				w.decode(b)
+				dispatch(t, e, b)
+				if terminal {
+					return
+				}
+			}
+		})
+	})
 }
 
 // TestFlushShardRecyclesBatches closes the dispatch loop the alloc gate

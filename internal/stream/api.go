@@ -70,6 +70,17 @@ type statsJSON struct {
 	Replaying       bool           `json:"replaying"`
 	Source          *source.Status `json:"source,omitempty"`
 	Lifecycle       lifecycleJSON  `json:"lifecycle"`
+	Decode          *decodeJSON    `json:"decode,omitempty"`
+}
+
+// decodeJSON mirrors DecodeStats; omitted until the engine's first
+// Replay publishes a decode stage.
+type decodeJSON struct {
+	Workers       int     `json:"workers"`
+	Frames        uint64  `json:"frames"`
+	FramesPerSec  float64 `json:"frames_per_sec"`
+	RingOccupancy int     `json:"ring_occupancy"`
+	ReorderBuffer int     `json:"reorder_buffer"`
 }
 
 type lifecycleJSON struct {
@@ -227,6 +238,15 @@ func statsToJSON(e *Engine) statsJSON {
 			MedianDays: st.Lifecycle.MedianDays,
 			MaxDays:    st.Lifecycle.MaxDays,
 		},
+	}
+	if st.Decode.Workers > 0 {
+		out.Decode = &decodeJSON{
+			Workers:       st.Decode.Workers,
+			Frames:        st.Decode.Frames,
+			FramesPerSec:  st.Decode.FramesPerSec,
+			RingOccupancy: st.Decode.RingOccupancy,
+			ReorderBuffer: st.Decode.ReorderBuffer,
+		}
 	}
 	for cl, n := range st.ByClass {
 		if n > 0 {

@@ -11,8 +11,31 @@ import (
 	"moas/internal/bgp"
 )
 
-// BenchmarkStreamReplay measures full-archive replay throughput at 1, 4
-// and GOMAXPROCS shards. The custom updates/s metric is the trajectory
+// benchCounts dedupes a candidate list of shard/worker counts in place
+// of the old hardcoded {1, 4, GOMAXPROCS} — on a single-core box that
+// list emitted shards=1 twice, polluting BENCH_stream.json with #01
+// duplicate rows that confused benchstat.
+func benchCounts(vals ...int) []int {
+	var out []int
+	for _, v := range vals {
+		dup := false
+		for _, o := range out {
+			if o == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BenchmarkStreamReplay measures full-archive replay throughput across
+// shard counts and decode-worker counts (workers=1 is the serial decode
+// path, workers=GOMAXPROCS the parallel pipeline; on a single-core box
+// only workers=1 runs). The custom updates/s metric is the trajectory
 // number future PRs track (b.SetBytes additionally reports archive MB/s);
 // allocs/update is the zero-alloc-ingest claim at replay granularity
 // (whole-replay allocations — engine construction, interner misses,
@@ -23,34 +46,36 @@ func BenchmarkStreamReplay(b *testing.B) {
 	sc, archive, _ := fixtures(b)
 	cal := ScenarioCalendar(sc)
 
-	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0)} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			b.SetBytes(int64(len(archive)))
-			b.ReportAllocs()
-			var msgs uint64
-			var distinct int
-			var m0, m1 runtime.MemStats
-			runtime.ReadMemStats(&m0)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				e := New(Config{Shards: shards})
-				if err := e.Replay(bytes.NewReader(archive), cal, nil); err != nil {
-					b.Fatal(err)
+	for _, shards := range benchCounts(1, 4, runtime.GOMAXPROCS(0)) {
+		for _, workers := range benchCounts(1, runtime.GOMAXPROCS(0)) {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				b.SetBytes(int64(len(archive)))
+				b.ReportAllocs()
+				var msgs uint64
+				var distinct int
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e := New(Config{Shards: shards, DecodeWorkers: workers})
+					if err := e.Replay(bytes.NewReader(archive), cal, nil); err != nil {
+						b.Fatal(err)
+					}
+					e.Close()
+					msgs = e.Stats().Messages
+					distinct = e.DistinctAttrs()
 				}
-				e.Close()
-				msgs = e.Stats().Messages
-				distinct = e.DistinctAttrs()
-			}
-			b.StopTimer()
-			runtime.ReadMemStats(&m1)
-			if total := msgs * uint64(b.N); total > 0 {
-				b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(total), "allocs/update")
-			}
-			b.ReportMetric(float64(distinct), "distinct-attrs")
-			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(float64(msgs)*float64(b.N)/sec, "updates/s")
-			}
-		})
+				b.StopTimer()
+				runtime.ReadMemStats(&m1)
+				if total := msgs * uint64(b.N); total > 0 {
+					b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(total), "allocs/update")
+				}
+				b.ReportMetric(float64(distinct), "distinct-attrs")
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(msgs)*float64(b.N)/sec, "updates/s")
+				}
+			})
+		}
 	}
 }
 

@@ -2,6 +2,8 @@ package stream
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"moas/internal/bgp"
 	"moas/internal/mrt"
@@ -9,17 +11,31 @@ import (
 
 // The replay decode stage. Replay used to read, decode and dispatch every
 // record on one goroutine, which capped throughput at the serial decode
-// rate no matter how many shards the engine ran. The decoder below runs
-// on its own goroutine, streaming MRT records into reusable batches of
-// pre-decoded records that the apply loop (Replay proper) consumes: the
-// decode stage and the shard workers overlap, and the apply goroutine is
-// left with hashing and channel sends only.
+// rate no matter how many shards the engine ran. The decode stage now
+// runs as a three-stage pipeline feeding the apply loop (Replay proper):
 //
-// Batches travel a two-channel ring (free -> fill -> out -> drain ->
-// free), so the steady state recycles the same few batches — and their
-// record slots' Withdrawn/NLRI backing arrays — forever: zero allocations
-// per record. Everything the engine retains from a batch is copied out by
-// value (prefixes, peer keys) or canonical-by-construction (interned
+//	framing ──► decode workers ──► reorder ──► apply loop
+//	 (1 goroutine)   (N goroutines)   (1 goroutine)
+//
+// Stage 1 walks the archive's MRT framing only — length-prefixed header
+// reads, no body decode — accumulating raw frames into sequence-stamped,
+// arena-backed batches. Stage 2 is N workers (Config.DecodeWorkers, 0 =
+// GOMAXPROCS) decoding those frames into the batches' record slots in
+// parallel, interning attribute blocks through the engine's concurrent
+// AttrsInterner. Stage 3 buffers finished batches until their sequence
+// number is next, restoring exact archive order, so the apply loop sees
+// the same records in the same order as the serial decoder did — error
+// ordering, resume-skip, the record cursor and day-close semantics are
+// byte-for-byte identical at any worker count. With one worker the
+// pipeline collapses to the original single decode goroutine (no framing
+// or reorder stages at all), so workers=1 is exactly the old path.
+//
+// Batches travel a channel ring (free -> fill -> [decode -> reorder] ->
+// out -> drain -> free), so the steady state recycles the same few
+// batches — their frame arenas and their record slots' Withdrawn/NLRI
+// backing arrays — forever: zero allocations per record, per worker.
+// Everything the engine retains from a batch is copied out by value
+// (prefixes, peer keys) or canonical-by-construction (interned
 // *bgp.Attrs), so recycling a drained batch is safe.
 
 const (
@@ -27,11 +43,25 @@ const (
 	// amortize channel handoffs without letting the decode stage run far
 	// ahead of a paused or stopping apply loop.
 	decBatchLen = 256
-	// decRingDepth is the number of batches in flight; it bounds decode
-	// read-ahead (and the memory parked in the ring) at
-	// decRingDepth*decBatchLen records.
+	// decBatchBufCap ends a frame batch early once its body arena holds
+	// this many bytes, so a run of giant records cannot park megabytes in
+	// every ring slot.
+	decBatchBufCap = 1 << 19
+	// decRingDepth is the number of batches in flight at one decode
+	// worker; it bounds decode read-ahead (and the memory parked in the
+	// ring) at decRingDepth*decBatchLen records. With N workers the ring
+	// deepens to 2N+2 so every stage can hold work without starving the
+	// others.
 	decRingDepth = 4
 )
+
+// ringDepthFor sizes the batch ring for a worker count.
+func ringDepthFor(workers int) int {
+	if workers <= 1 {
+		return decRingDepth
+	}
+	return 2*workers + 2
+}
 
 // decRec is one pre-decoded MRT record, in archive order.
 type decRec struct {
@@ -54,9 +84,17 @@ type decRec struct {
 	err error
 }
 
-// decBatch is the ring element: a run of records plus, on the final batch
-// of a stream, the terminal error (io.EOF for a clean end).
+// decBatch is the ring element. In the parallel pipeline one value
+// carries a batch through every stage: the framing goroutine fills
+// seq/hdrs/offs/buf (raw frames in one arena), a decode worker turns
+// those frames into recs, and the reorder stage releases batches to the
+// apply loop in seq order. The serial path uses only recs. The final
+// batch of a stream carries the terminal error (io.EOF for a clean end).
 type decBatch struct {
+	seq  uint64       // archive-order batch sequence, stamped by the framer
+	hdrs []mrt.Header // frame headers, in order
+	offs []int        // frame i's body is buf[offs[i-1]:offs[i]] (offs[-1] = 0)
+	buf  []byte       // frame body arena, recycled with the batch
 	recs []decRec
 	err  error
 }
@@ -65,7 +103,8 @@ type decBatch struct {
 // pre-carved from two shared arrays (full-capacity sub-slices, so a long
 // update that outgrows its slot reallocates privately without bleeding
 // into a neighbor). Pre-carving replaces ~2 first-use allocations per
-// slot per replay with 3 per batch.
+// slot per replay with 3 per batch. The frame arenas (hdrs/offs/buf)
+// start empty and warm up on the first trip around the ring.
 func newDecBatch() *decBatch {
 	const nlriCap, wdCap = 24, 8
 	recs := make([]decRec, decBatchLen)
@@ -79,9 +118,10 @@ func newDecBatch() *decBatch {
 }
 
 // slot returns the next record slot, reusing the slot's previous backing
-// arrays from earlier trips around the ring. Callers (fill) never ask for
-// more than cap(b.recs) slots, so this is a reslice, never a grow — a
-// grow would silently lose the pre-carved backing newDecBatch set up.
+// arrays from earlier trips around the ring. Callers (fill, decode)
+// never ask for more than cap(b.recs) slots, so this is a reslice, never
+// a grow — a grow would silently lose the pre-carved backing newDecBatch
+// set up.
 func (b *decBatch) slot() *decRec {
 	b.recs = b.recs[:len(b.recs)+1]
 	r := &b.recs[len(b.recs)-1]
@@ -89,12 +129,58 @@ func (b *decBatch) slot() *decRec {
 	return r
 }
 
-// decoder is the decode stage's state: the MRT reader, the engine's
-// attribute interner, and a reusable BGP4MP scratch message.
-type decoder struct {
-	mr  *mrt.Reader
+// recDecoder turns one raw BGP4MP record into a decRec slot — the
+// per-record work shared by the serial decoder and the parallel decode
+// workers. Each holder owns its scratch message privately; the interner
+// is the engine's shared concurrent one.
+type recDecoder struct {
 	in  *bgp.AttrsInterner
 	msg mrt.BGP4MPMessage
+}
+
+// decodeRec fills r from a framed record. It returns false when the
+// stream must stop at this record: r.err carries the record-level
+// failure and the batch ends here, exactly as the serial loop stopped.
+func (d *recDecoder) decodeRec(r *decRec, h mrt.Header, body []byte) bool {
+	if h.Type != mrt.TypeBGP4MP || h.Subtype != mrt.SubtypeMessage {
+		r.skip = true
+		return true
+	}
+	r.ts = h.Timestamp
+	if err := d.msg.DecodeBGP4MPMessageBorrow(body); err != nil {
+		r.err = err
+		return false
+	}
+	r.peer = PeerKey{IP: d.msg.PeerIP, AS: d.msg.PeerAS}
+	msgType, mbody, err := bgp.MessageBody(d.msg.Data)
+	if err != nil {
+		r.err = fmt.Errorf("stream: embedded message: %w", err)
+		return false
+	}
+	if msgType != bgp.MsgUpdate {
+		// Validate the rare non-update kinds the way the serial loop's
+		// full decode did, so malformed archives fail identically.
+		if _, _, err := bgp.DecodeMessage(d.msg.Data); err != nil {
+			r.err = fmt.Errorf("stream: embedded message: %w", err)
+			return false
+		}
+		return true
+	}
+	if err := bgp.DecodeUpdateBodyInto(&r.upd, mbody, d.in); err != nil {
+		r.err = fmt.Errorf("stream: embedded message: %w", err)
+		return false
+	}
+	r.hasUpd = true
+	return true
+}
+
+// decoder is the serial (workers=1) decode stage: one goroutine reading,
+// decoding and batching records — the original pipeline, kept verbatim
+// as the single-core path so one-worker replays regress by nothing.
+type decoder struct {
+	mr *mrt.Reader
+	recDecoder
+	frames *atomic.Uint64 // engine frame counter, nil in tests
 }
 
 // fill decodes up to cap(b.recs) records into b. It returns true when the
@@ -109,45 +195,21 @@ func (d *decoder) fill(b *decBatch) bool {
 			b.err = err
 			return true
 		}
-		r := b.slot()
-		if rec.Type != mrt.TypeBGP4MP || rec.Subtype != mrt.SubtypeMessage {
-			r.skip = true
-			continue
+		if d.frames != nil {
+			d.frames.Add(1)
 		}
-		r.ts = rec.Timestamp
-		if err := d.msg.DecodeBGP4MPMessageBorrow(rec.Body); err != nil {
-			r.err = err
+		if !d.decodeRec(b.slot(), rec.Header, rec.Body) {
 			return true
 		}
-		r.peer = PeerKey{IP: d.msg.PeerIP, AS: d.msg.PeerAS}
-		msgType, body, err := bgp.MessageBody(d.msg.Data)
-		if err != nil {
-			r.err = fmt.Errorf("stream: embedded message: %w", err)
-			return true
-		}
-		if msgType != bgp.MsgUpdate {
-			// Validate the rare non-update kinds the way the serial loop's
-			// full decode did, so malformed archives fail identically.
-			if _, _, err := bgp.DecodeMessage(d.msg.Data); err != nil {
-				r.err = fmt.Errorf("stream: embedded message: %w", err)
-				return true
-			}
-			continue
-		}
-		if err := bgp.DecodeUpdateBodyInto(&r.upd, body, d.in); err != nil {
-			r.err = fmt.Errorf("stream: embedded message: %w", err)
-			return true
-		}
-		r.hasUpd = true
 	}
 	return false
 }
 
-// run is the decode goroutine body: skip the resume cursor, then stream
-// batches through the ring until the archive ends, a decode error occurs,
-// or the apply loop signals it is done (done closes). Every exit path
-// either delivers a terminal batch or was ordered to quit, so the apply
-// loop never waits on a dead decoder.
+// run is the serial decode goroutine body: skip the resume cursor, then
+// stream batches through the ring until the archive ends, a decode error
+// occurs, or the apply loop signals it is done (done closes). Every exit
+// path either delivers a terminal batch or was ordered to quit, so the
+// apply loop never waits on a dead decoder.
 func (d *decoder) run(skip uint64, free, out chan *decBatch, done <-chan struct{}) {
 	send := func(b *decBatch) bool {
 		select {
@@ -196,4 +258,192 @@ func (d *decoder) run(skip uint64, free, out chan *decBatch, done <-chan struct{
 			return
 		}
 	}
+}
+
+// framer is stage 1 of the parallel pipeline: a single goroutine walking
+// the archive's MRT framing — headers and body bytes, no decode — into
+// sequence-stamped frame batches. It is the only stage that touches the
+// reader, so archive order is defined entirely by the seq stamps it
+// issues.
+type framer struct {
+	fr     *mrt.Framer
+	seq    uint64
+	frames *atomic.Uint64 // engine frame counter, nil in tests
+}
+
+// fill frames records into b until the batch is full (by record count or
+// arena bytes) or the stream ends. Terminal semantics mirror
+// decoder.fill: true with b.err set (io.EOF for a clean end).
+func (f *framer) fill(b *decBatch) bool {
+	b.err = nil
+	b.hdrs = b.hdrs[:0]
+	b.offs = b.offs[:0]
+	b.buf = b.buf[:0]
+	b.recs = b.recs[:0]
+	for len(b.hdrs) < decBatchLen && len(b.buf) < decBatchBufCap {
+		h, buf, err := f.fr.NextInto(b.buf)
+		if err != nil {
+			b.err = err
+			return true
+		}
+		b.buf = buf
+		b.hdrs = append(b.hdrs, h)
+		b.offs = append(b.offs, len(buf))
+		if f.frames != nil {
+			f.frames.Add(1)
+		}
+	}
+	return false
+}
+
+// run is the framing goroutine body. Every batch — frame batches, skip
+// heartbeats and terminal error batches alike — flows through the work
+// channel with a seq stamp, so the reorder stage releases them to the
+// apply loop in exactly the order the framer read the archive.
+func (f *framer) run(skip uint64, free, work chan *decBatch, done <-chan struct{}) {
+	send := func(b *decBatch) bool {
+		select {
+		case work <- b:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	take := func() *decBatch {
+		select {
+		case b := <-free:
+			return b
+		case <-done:
+			return nil
+		}
+	}
+	// emitEmpty sends a frameless batch: a skip heartbeat (err nil) or
+	// the resume-skip terminal error.
+	emitEmpty := func(err error) bool {
+		b := take()
+		if b == nil {
+			return false
+		}
+		b.hdrs, b.offs, b.buf, b.recs = b.hdrs[:0], b.offs[:0], b.buf[:0], b.recs[:0]
+		b.seq, b.err = f.seq, err
+		f.seq++
+		return send(b)
+	}
+	for n := uint64(0); n < skip; n++ {
+		// Surface periodically during a deep skip — same contract as the
+		// serial decoder: an empty batch lets the apply loop run its gate
+		// mid-skip. Skip discards bodies without copying them.
+		if n%4096 == 0 && n > 0 {
+			if !emitEmpty(nil) {
+				return
+			}
+		}
+		if _, err := f.fr.Skip(); err != nil {
+			emitEmpty(fmt.Errorf("stream: resume skip at record %d: %w", n, err))
+			return
+		}
+	}
+	for {
+		b := take()
+		if b == nil {
+			return
+		}
+		b.seq = f.seq
+		f.seq++
+		terminal := f.fill(b)
+		if !send(b) || terminal {
+			return
+		}
+	}
+}
+
+// decodeWorker is stage 2: one of N goroutines turning raw frame batches
+// into decoded record batches, in parallel and out of order. Workers
+// share nothing but the channels and the engine's concurrent interner.
+type decodeWorker struct {
+	recDecoder
+}
+
+// decode fills b.recs from b's frames. A record-level decode failure
+// ends the batch at that record with r.err set — the apply loop, not the
+// worker, decides what to do with it (run the day closes its timestamp
+// implies, then fail), so error ordering is position-exact.
+func (w *decodeWorker) decode(b *decBatch) {
+	b.recs = b.recs[:0]
+	off := 0
+	for i := range b.hdrs {
+		body := b.buf[off:b.offs[i]]
+		off = b.offs[i]
+		if !w.decodeRec(b.slot(), b.hdrs[i], body) {
+			return
+		}
+	}
+}
+
+// run is the decode worker body: drain frame batches until done closes.
+// Workers do not exit on terminal batches — later frames may still be in
+// flight with other workers, and the apply loop ends the pipeline by
+// closing done once it has consumed the terminal batch.
+func (w *decodeWorker) run(work, decoded chan *decBatch, done <-chan struct{}) {
+	for {
+		var b *decBatch
+		select {
+		case b = <-work:
+		case <-done:
+			return
+		}
+		w.decode(b)
+		select {
+		case decoded <- b:
+		case <-done:
+			return
+		}
+	}
+}
+
+// reorderRun is stage 3: buffer decoded batches until the next archive
+// sequence number arrives, then release them in order. The pending map
+// holds at most the ring depth of batches (workers finishing out of
+// order), so the buffer is bounded by construction; depth reports its
+// occupancy for /stats.
+func reorderRun(decoded, out chan *decBatch, done <-chan struct{}, depth *atomic.Int64) {
+	next := uint64(0)
+	pending := make(map[uint64]*decBatch, 8)
+	for {
+		var b *decBatch
+		select {
+		case b = <-decoded:
+		case <-done:
+			return
+		}
+		pending[b.seq] = b
+		depth.Store(int64(len(pending)))
+		for {
+			nb, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			depth.Store(int64(len(pending)))
+			select {
+			case out <- nb:
+			case <-done:
+				return
+			}
+			next++
+		}
+	}
+}
+
+// decStage is the decode pipeline's observability handle, published on
+// the engine for the duration of a replay (and left in place afterwards
+// so a finished replay's stats remain inspectable). All fields are
+// written once at replay start except end.
+type decStage struct {
+	workers int
+	ring    int
+	free    chan *decBatch // ring occupancy = ring - len(free)
+	start   time.Time
+	frames0 uint64       // engine frame counter at replay start
+	end     atomic.Int64 // unix nanos at replay return; 0 while running
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"moas/internal/analysis"
 	"moas/internal/bgp"
@@ -24,6 +25,14 @@ type Config struct {
 	// QueueDepth is each shard's channel depth in batches (0 = 8); full
 	// queues exert backpressure on the ingest goroutine.
 	QueueDepth int
+	// DecodeWorkers is the number of parallel MRT decode workers a Replay
+	// runs (0 = GOMAXPROCS). With one worker the decode stage is the
+	// original serial goroutine; with more, a framing goroutine fans raw
+	// record batches out to the workers and a reorder stage restores
+	// archive order, so results are identical at any setting — only
+	// throughput changes. Live sources (Run) decode on their own
+	// goroutine and ignore this.
+	DecodeWorkers int
 	// HistoryLimit caps lifecycle events retained per prefix (0 = all).
 	HistoryLimit int
 	// MaxDistinctAttrs caps the attrs interner's table: when the number of
@@ -74,6 +83,13 @@ type Engine struct {
 	ops        atomic.Uint64
 	recs       atomic.Uint64 // MRT records fully consumed by Replay (checkpoint cursor)
 	lastClosed atomic.Int64  // last day-close dispatched; -1 before any
+
+	// Decode-stage observability: frames counts MRT records framed (read
+	// ahead of the cursor), reorderDepth gauges the reorder buffer, and
+	// dec points at the current/last replay's stage handle (see decStage).
+	frames       atomic.Uint64
+	reorderDepth atomic.Int64
+	dec          atomic.Pointer[decStage]
 
 	// src holds the live source a Run loop is currently draining (a
 	// srcBox so the stored type is always identical); Stats and the
@@ -277,8 +293,8 @@ func (e *Engine) DistinctAttrs() int {
 // Interner exposes the engine's attrs interner for sources that decode
 // on the feed goroutine (Run's puller): sharing it is what makes a
 // JSON-derived or wire-decoded attrs block land on the same canonical
-// pointer a file replay produces. The interner is single-goroutine; only
-// the one goroutine feeding the engine may intern through it.
+// pointer a file replay produces. The interner is safe for concurrent
+// use (Replay's decode workers intern through it in parallel).
 func (e *Engine) Interner() *bgp.AttrsInterner {
 	return e.interner
 }
@@ -438,6 +454,21 @@ type Stats struct {
 	// Lifecycle summarizes activation-span durations derived from the
 	// event log (conflict-start/-end pairs), as of the last closed day.
 	Lifecycle analysis.LifecycleStats
+	// Decode describes the replay decode pipeline; zero-valued until the
+	// engine's first Replay.
+	Decode DecodeStats
+}
+
+// DecodeStats is the replay decode pipeline's observability view: where
+// the next bottleneck is hiding. RingOccupancy near the ring size with a
+// deep ReorderBuffer means decode is outrunning apply; occupancy near
+// zero means the framer (archive I/O) is the limit.
+type DecodeStats struct {
+	Workers       int     // decode workers of the current/last replay
+	Frames        uint64  // MRT records framed (read-ahead of the cursor)
+	FramesPerSec  float64 // framing rate over the current/last replay
+	RingOccupancy int     // batches somewhere between framing and apply
+	ReorderBuffer int     // batches parked waiting for their sequence turn
 }
 
 // Stats snapshots the engine.
@@ -466,6 +497,30 @@ func (e *Engine) Stats() Stats {
 		s.mu.RUnlock()
 	}
 	st.Lifecycle = analysis.Lifecycle(e.Spans(), st.LastClosedDay)
+	st.Decode = e.decodeStats()
+	return st
+}
+
+// decodeStats snapshots the decode pipeline from the stage handle the
+// current (or last finished) Replay published.
+func (e *Engine) decodeStats() DecodeStats {
+	ds := e.dec.Load()
+	if ds == nil {
+		return DecodeStats{}
+	}
+	st := DecodeStats{
+		Workers:       ds.workers,
+		Frames:        e.frames.Load(),
+		RingOccupancy: ds.ring - len(ds.free),
+		ReorderBuffer: int(e.reorderDepth.Load()),
+	}
+	end := time.Now()
+	if ns := ds.end.Load(); ns != 0 {
+		end = time.Unix(0, ns)
+	}
+	if sec := end.Sub(ds.start).Seconds(); sec > 0 {
+		st.FramesPerSec = float64(st.Frames-ds.frames0) / sec
+	}
 	return st
 }
 

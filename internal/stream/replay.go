@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"moas/internal/mrt"
 	"moas/internal/scenario"
@@ -98,14 +101,16 @@ func (e *Engine) gate(stop <-chan struct{}) error {
 // collector consumer must. Replay does not Close the engine — callers may
 // keep feeding or querying afterwards.
 //
-// Internally Replay is a two-stage pipeline: a decode goroutine streams
-// records into reusable pre-decoded batches (see decode.go) while this
-// goroutine — the apply stage — runs the gate, day-close and dispatch
-// logic over them in archive order. Pause/stop semantics and the record
-// cursor are untouched by the split: the cursor counts only applied
-// records, day closes fire at the same record boundaries, and a parked
-// replay serves the same settled view (decode read-ahead is bounded by
-// the ring and simply discarded if the replay is abandoned).
+// Internally Replay is a parallel pipeline: a framing goroutine splits
+// the archive into raw record batches, Config.DecodeWorkers goroutines
+// decode them concurrently, and a reorder stage restores archive order
+// (see decode.go; one worker collapses to a single decode goroutine)
+// while this goroutine — the apply stage — runs the gate, day-close and
+// dispatch logic over them in archive order. Pause/stop semantics and
+// the record cursor are untouched by the split: the cursor counts only
+// applied records, day closes fire at the same record boundaries, and a
+// parked replay serves the same settled view (decode read-ahead is
+// bounded by the ring and simply discarded if the replay is abandoned).
 func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 	if len(cal.Days) == 0 {
 		return errors.New("stream: empty calendar")
@@ -138,23 +143,61 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 		e.recs.Store(opts.Resume.Records)
 	}
 
-	free := make(chan *decBatch, decRingDepth)
-	out := make(chan *decBatch, decRingDepth)
-	for i := 0; i < decRingDepth; i++ {
+	workers := e.cfg.DecodeWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ring := ringDepthFor(workers)
+	free := make(chan *decBatch, ring)
+	out := make(chan *decBatch, ring)
+	for i := 0; i < ring; i++ {
 		free <- newDecBatch()
 	}
 	done := make(chan struct{})
-	decDone := make(chan struct{})
-	go func() {
-		defer close(decDone)
-		d := &decoder{mr: mrt.NewReader(r), in: e.interner}
-		d.run(skip, free, out, done)
-	}()
-	// The decoder owns r until it exits; Replay must not return while it
-	// might still read (callers close the file right after).
+	var stages sync.WaitGroup
+
+	// Publish the decode stage for Stats; stamp its end when Replay
+	// returns (registered before the shutdown defer, so it runs after).
+	stage := &decStage{workers: workers, ring: ring, free: free, start: time.Now(), frames0: e.frames.Load()}
+	e.reorderDepth.Store(0)
+	e.dec.Store(stage)
+	defer func() { stage.end.Store(time.Now().UnixNano()) }()
+
+	if workers == 1 {
+		stages.Add(1)
+		go func() {
+			defer stages.Done()
+			d := &decoder{mr: mrt.NewReader(r), recDecoder: recDecoder{in: e.interner}, frames: &e.frames}
+			d.run(skip, free, out, done)
+		}()
+	} else {
+		work := make(chan *decBatch, ring)
+		decoded := make(chan *decBatch, ring)
+		stages.Add(1)
+		go func() {
+			defer stages.Done()
+			f := &framer{fr: mrt.NewFramer(r), frames: &e.frames}
+			f.run(skip, free, work, done)
+		}()
+		for i := 0; i < workers; i++ {
+			stages.Add(1)
+			go func() {
+				defer stages.Done()
+				w := &decodeWorker{recDecoder{in: e.interner}}
+				w.run(work, decoded, done)
+			}()
+		}
+		stages.Add(1)
+		go func() {
+			defer stages.Done()
+			reorderRun(decoded, out, done, &e.reorderDepth)
+		}()
+	}
+	// The decode stages own r until they exit; Replay must not return
+	// while they might still read (callers close the file right after).
 	defer func() {
 		close(done)
-		<-decDone
+		stages.Wait()
 	}()
 
 	for {

@@ -50,9 +50,31 @@ func benchArchive(b *testing.B) []byte {
 	return synthBenchArchive
 }
 
+// dedupeCounts removes duplicates from a candidate shard/worker list so
+// single-core boxes (where GOMAXPROCS collapses onto 1) don't emit the
+// same sub-benchmark twice with a #01 suffix.
+func dedupeCounts(vals ...int) []int {
+	var out []int
+	for _, v := range vals {
+		dup := false
+		for _, o := range out {
+			if o == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // BenchmarkSynthReplay reports the same trajectory metrics as
 // BenchmarkStreamReplay (updates/s, allocs/update, distinct-attrs) on
-// the internet-scale corpus, at 1 shard and GOMAXPROCS shards.
+// the internet-scale corpus, across 1 and GOMAXPROCS shards and 1 and
+// GOMAXPROCS decode workers. The shards=N/workers=N cell is the
+// headline number: full parallel pipeline on an internet-scale table.
 func BenchmarkSynthReplay(b *testing.B) {
 	archive := benchArchive(b)
 	days := 4
@@ -61,37 +83,35 @@ func BenchmarkSynthReplay(b *testing.B) {
 		cal.Days[d], cal.Times[d] = d, uint32(d)*86400
 	}
 
-	shardCounts := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		shardCounts = append(shardCounts, n)
-	}
-	for _, shards := range shardCounts {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			b.SetBytes(int64(len(archive)))
-			b.ReportAllocs()
-			var msgs uint64
-			var distinct int
-			var m0, m1 runtime.MemStats
-			runtime.ReadMemStats(&m0)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				e := stream.New(stream.Config{Shards: shards})
-				if err := e.Replay(bytes.NewReader(archive), cal, nil); err != nil {
-					b.Fatal(err)
+	for _, shards := range dedupeCounts(1, runtime.GOMAXPROCS(0)) {
+		for _, workers := range dedupeCounts(1, runtime.GOMAXPROCS(0)) {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				b.SetBytes(int64(len(archive)))
+				b.ReportAllocs()
+				var msgs uint64
+				var distinct int
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e := stream.New(stream.Config{Shards: shards, DecodeWorkers: workers})
+					if err := e.Replay(bytes.NewReader(archive), cal, nil); err != nil {
+						b.Fatal(err)
+					}
+					e.Close()
+					msgs = e.Stats().Messages
+					distinct = e.DistinctAttrs()
 				}
-				e.Close()
-				msgs = e.Stats().Messages
-				distinct = e.DistinctAttrs()
-			}
-			b.StopTimer()
-			runtime.ReadMemStats(&m1)
-			if total := msgs * uint64(b.N); total > 0 {
-				b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(total), "allocs/update")
-			}
-			b.ReportMetric(float64(distinct), "distinct-attrs")
-			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(float64(msgs)*float64(b.N)/sec, "updates/s")
-			}
-		})
+				b.StopTimer()
+				runtime.ReadMemStats(&m1)
+				if total := msgs * uint64(b.N); total > 0 {
+					b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(total), "allocs/update")
+				}
+				b.ReportMetric(float64(distinct), "distinct-attrs")
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(msgs)*float64(b.N)/sec, "updates/s")
+				}
+			})
+		}
 	}
 }
