@@ -21,13 +21,16 @@ race:
 	$(GO) test -race ./...
 
 # bench records the streaming perf trajectory: the replay throughput
-# (with allocs/update and distinct-attrs), the update-decode old-vs-Into
-# comparison, the shard-reassess hot path and the checkpoint codecs
-# (JSON vs binary v1 vs binary v2 — ns/op plus encoded size via the
-# bytes metric), in the standard Go benchmark text format benchstat
-# consumes, written to BENCH_stream.json. Compare two recordings with:
-# benchstat old.json BENCH_stream.json (CI's bench-trend job does this
-# against the previous run automatically).
+# (with allocs/update and distinct-attrs, and the episode-log-enabled
+# variant), the update-decode old-vs-Into comparison, the shard-reassess
+# hot path and the checkpoint codecs (JSON vs binary v1 vs binary v2 —
+# ns/op plus encoded size via the bytes metric), in the standard Go
+# benchmark text format benchstat consumes, written to BENCH_stream.json.
+# Compare two recordings with: benchstat old.json BENCH_stream.json
+# (CI's bench-trend job does this against the previous run
+# automatically). benchsummary then distills the recording into
+# BENCH_summary.json — a schema'd JSON sidecar (updates/s,
+# allocs/update, nproc, shards, workers) trend tooling parses directly.
 # (Redirect-then-cat, not tee: a pipe would let a failing benchmark run
 # exit 0 through tee and upload a garbage artifact.)
 bench:
@@ -36,6 +39,8 @@ bench:
 		-benchmem -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) -cpu $(BENCH_CPU) ./internal/stream \
 		>> BENCH_stream.json || { cat BENCH_stream.json; exit 1; }
 	@cat BENCH_stream.json
+	$(GO) run ./cmd/benchsummary -in BENCH_stream.json -out BENCH_summary.json
+	@cat BENCH_summary.json
 
 benchall:
 	$(GO) test -bench . -run XXX -benchmem ./...
@@ -62,6 +67,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzCheckpointRestore -fuzztime $(FUZZTIME) ./internal/stream
 	$(GO) test -run XXX -fuzz FuzzBGPSessionMessages -fuzztime $(FUZZTIME) ./internal/source/bgpd
 	$(GO) test -run XXX -fuzz FuzzTruthLogDecode -fuzztime $(FUZZTIME) ./internal/synth
+	$(GO) test -run XXX -fuzz FuzzEpisodeLogDecode -fuzztime $(FUZZTIME) ./internal/epilog
 	$(GO) test -run XXX -fuzz FuzzInternConcurrent -fuzztime $(FUZZTIME) ./internal/bgp
 
 # soak runs the months-of-days synth flap-storm leak check under the race

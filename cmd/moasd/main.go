@@ -57,6 +57,7 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "root directory for periodic per-scenario auto-checkpoints; scanned at boot to recover scenarios after a crash (empty = durability off)")
 		ckptInt   = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "auto-checkpoint period per scenario")
 		ckptKeep  = flag.Int("checkpoint-keep", serve.DefaultCheckpointKeep, "checkpoint files retained per scenario (rotation depth)")
+		epiDir    = flag.String("episode-log-dir", "", "root directory for per-scenario append-only episode logs, the durable store behind GET /scenarios/{id}/episodes; recovered at boot alongside checkpoints (empty = episode history off)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side listener (e.g. localhost:6060); empty disables it. Keep it off public interfaces — profiles expose internals and the endpoint has no auth")
 	)
 	flag.Parse()
@@ -81,6 +82,9 @@ func main() {
 		EventRing:      *ringSize,
 	}
 	reg.Durability = serve.Durability{Dir: *ckptDir, Interval: *ckptInt, Keep: *ckptKeep}
+	// Before Recover: recovered scenarios reopen their episode logs and
+	// keep appending where the previous process stopped.
+	reg.EpisodeDir = *epiDir
 
 	// Crash recovery happens before the boot flags, so a restarted daemon
 	// resumes exactly where the auto-checkpoints left it — and a boot

@@ -1,0 +1,839 @@
+// Package epilog persists conflict episodes in an append-only,
+// crash-safe log so "what happened over months" outlives the kernel's
+// in-RAM registry. The log is a directory of segment files, each a
+// `MEPL` container (magic + uvarint version, then length-prefixed
+// records over internal/binenc — the same framing discipline as the
+// MSNP/MCKP/MTRU codecs). Writers append lifecycle-shaped records: an
+// open record (re)states a still-running activation after each
+// lifecycle event, a closed record seals it; every record carries the
+// kernel's per-prefix event Seq. Reads fold the records: closed records
+// deduplicate by (prefix, seq) — kill/recover re-emission is
+// byte-identical, so duplicates collapse — and at most one open episode
+// survives per prefix, the max-seq open record, live only while its seq
+// exceeds every closed seq for that prefix. The fold is
+// order-insensitive, which is what makes crash-duplicated appends and
+// interrupted compactions harmless.
+//
+// Durability model: appends go straight to the active segment file with
+// no user-space buffering, so a killed process loses nothing that
+// reached the page cache; fsync happens only on rotation and Close. A
+// machine crash can tear the active segment's tail — OpenDir repairs it
+// by truncating at the last whole record — and anything torn away is
+// re-emitted (identically) by the checkpoint-resume path and folded
+// back in by seq dedup.
+package epilog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"moas/internal/bgp"
+	"moas/internal/binenc"
+	"moas/internal/core"
+)
+
+// Episode is one conflict activation as recorded in the log. Closed
+// episodes span [Start, End] observation days inclusive; open episodes
+// carry the day of their latest lifecycle event in End and are rendered
+// against a caller-supplied as-of day at query time.
+type Episode struct {
+	Prefix  bgp.Prefix
+	Origins []bgp.ASN // conflicting origin set, strictly ascending
+	Class   core.Class
+	Seq     uint64 // per-prefix kernel event ordinal of the reporting event
+	Start   int    // first day the activation held >= 2 origins
+	End     int    // last active day (closed) / latest event day (open)
+	Open    bool
+}
+
+// Duration returns the episode's length in days, inclusive of both ends.
+func (e *Episode) Duration() int { return e.End - e.Start + 1 }
+
+// Segment container: magic, uvarint version, then one length-prefixed
+// frame per record. Record payload: flags byte, prefix, uvarint seq,
+// origin count + ascending origin uvarints, class byte, start and end
+// uvarints.
+const (
+	magic   = "MEPL"
+	version = 1
+
+	recOpen = 1 << 0 // flags: episode still open as of the record
+)
+
+// headerLen is the encoded size of the segment header (magic plus the
+// single-byte uvarint the current version encodes to).
+const headerLen = len(magic) + 1
+
+// PersistentDays is the duration at which Summary counts an episode as
+// long-lived/operational (anycast, multi-homing) rather than transient —
+// the persistence split of "Live Long and Prosper".
+const PersistentDays = 30
+
+// Defaults for Options fields left zero.
+const (
+	DefaultRotateBytes  = 4 << 20
+	DefaultCompactEvery = 8
+)
+
+var (
+	// ErrNotOpen reports an operation on a Log before OpenDir.
+	ErrNotOpen = errors.New("epilog: log not open")
+	// ErrClosed reports an operation on a closed Log.
+	ErrClosed = errors.New("epilog: log closed")
+
+	errVersion = errors.New("epilog: unsupported segment version")
+)
+
+// Options parameterizes a Log.
+type Options struct {
+	// RotateBytes seals the active segment and starts a fresh one once
+	// it reaches this many bytes. 0 means DefaultRotateBytes; negative
+	// disables rotation (one ever-growing segment).
+	RotateBytes int
+	// CompactEvery triggers a compaction pass whenever a rotation
+	// leaves at least this many sealed segments. 0 means
+	// DefaultCompactEvery; negative disables auto-compaction (Compact
+	// can still be called explicitly).
+	CompactEvery int
+}
+
+// Log is the append-only episode log over one directory. All methods
+// are safe for concurrent use. A Log is constructed unopened (New) so
+// producers can hold the pointer before the directory is committed;
+// every operation but OpenDir fails with ErrNotOpen until then.
+type Log struct {
+	mu   sync.Mutex
+	opts Options
+	dir  string
+	f    *os.File // active segment; nil before OpenDir / after Close
+	seq  uint64   // active segment sequence
+	size int64    // active segment bytes
+	seal []uint64 // sealed segment sequences, ascending
+	err  error    // first append/rotate I/O failure, sticky
+
+	closed bool
+
+	payload []byte // record scratch, reused across appends
+	frame   []byte // framed scratch, reused across appends
+
+	appended    uint64
+	truncated   int64 // torn-tail bytes dropped by OpenDir
+	compactions int
+	compactErr  error // last auto-compaction failure, informational
+}
+
+// New returns an unopened Log; call OpenDir to bind it to a directory.
+func New(opts Options) *Log {
+	if opts.RotateBytes == 0 {
+		opts.RotateBytes = DefaultRotateBytes
+	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = DefaultCompactEvery
+	}
+	return &Log{opts: opts}
+}
+
+// Open is New followed by OpenDir.
+func Open(dir string, opts Options) (*Log, error) {
+	l := New(opts)
+	if err := l.OpenDir(dir); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("seg-%010d.mepl", seq) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".mepl") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[4:len(name)-5], 10, 64)
+	return n, err == nil && segName(n) == name
+}
+
+func (l *Log) path(seq uint64) string { return filepath.Join(l.dir, segName(seq)) }
+
+func appendHeader(dst []byte) []byte {
+	dst = append(dst, magic...)
+	return binary.AppendUvarint(dst, version)
+}
+
+// OpenDir binds the Log to dir, creating it if needed, and recovers
+// from any crash the directory witnessed: interrupted-compaction temp
+// files (`.tmp-*`) are deleted, and a torn tail on the newest segment —
+// a machine crash mid-write — is truncated at the last whole record.
+func (l *Log) OpenDir(dir string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f != nil {
+		return fmt.Errorf("epilog: already open on %s", l.dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var seqs []uint64
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			// Crash-stranded compaction temp; its content was never
+			// reachable, so deleting it is always safe.
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+			continue
+		}
+		if seq, ok := parseSegName(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	l.dir = dir
+	if len(seqs) == 0 {
+		return l.startSegmentLocked(1)
+	}
+	newest := seqs[len(seqs)-1]
+	l.seal = seqs[:len(seqs)-1]
+	return l.reopenSegmentLocked(newest)
+}
+
+// startSegmentLocked creates segment seq with a fresh header and makes
+// it the active segment.
+func (l *Log) startSegmentLocked(seq uint64) error {
+	f, err := os.OpenFile(l.path(seq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(appendHeader(nil)); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.seq, l.size = f, seq, int64(headerLen)
+	return nil
+}
+
+// reopenSegmentLocked makes an existing segment the active one,
+// repairing a torn tail first.
+func (l *Log) reopenSegmentLocked(seq uint64) error {
+	path := l.path(seq)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) >= len(magic) && string(b[:len(magic)]) != magic {
+		// A full, wrong magic is not tear damage — refuse to "repair"
+		// a file that was never ours.
+		return fmt.Errorf("epilog: %s: bad segment magic", path)
+	}
+	good, derr := decodeSegment(b, nil)
+	if derr != nil && errors.Is(derr, errVersion) {
+		return fmt.Errorf("epilog: %s: %w", path, derr)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if derr != nil || good < len(b) {
+		// Torn tail (or trailing garbage): keep the whole records, drop
+		// the rest. A tail shorter than the header means the segment
+		// itself was torn at creation — restart it from scratch.
+		l.truncated += int64(len(b) - good)
+		if good < headerLen {
+			good = 0
+		}
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return err
+		}
+		if good == 0 {
+			if _, err := f.Write(appendHeader(nil)); err != nil {
+				f.Close()
+				return err
+			}
+			good = headerLen
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.seq, l.size = f, seq, int64(good)
+	return nil
+}
+
+// appendRecordPayload encodes one record payload (the bytes inside the
+// length-prefixed frame).
+func appendRecordPayload(dst []byte, ep *Episode) []byte {
+	var flags byte
+	if ep.Open {
+		flags |= recOpen
+	}
+	dst = append(dst, flags)
+	dst = binenc.AppendPrefix(dst, ep.Prefix)
+	dst = binary.AppendUvarint(dst, ep.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(ep.Origins)))
+	for _, o := range ep.Origins {
+		dst = binary.AppendUvarint(dst, uint64(o))
+	}
+	dst = append(dst, byte(ep.Class))
+	dst = binary.AppendUvarint(dst, uint64(ep.Start))
+	return binary.AppendUvarint(dst, uint64(ep.End))
+}
+
+// validate rejects episodes the decoder would refuse to read back.
+func validate(ep *Episode) error {
+	if ep.Seq == 0 {
+		return fmt.Errorf("epilog: episode %s: seq 0", ep.Prefix)
+	}
+	if len(ep.Origins) < 2 {
+		return fmt.Errorf("epilog: episode %s: %d origins (conflict needs >= 2)", ep.Prefix, len(ep.Origins))
+	}
+	for i := 1; i < len(ep.Origins); i++ {
+		if ep.Origins[i] <= ep.Origins[i-1] {
+			return fmt.Errorf("epilog: episode %s: origins not strictly ascending", ep.Prefix)
+		}
+	}
+	if int(ep.Class) >= core.NumClasses {
+		return fmt.Errorf("epilog: episode %s: class %d out of range", ep.Prefix, ep.Class)
+	}
+	if ep.Start < 0 || ep.End < ep.Start {
+		return fmt.Errorf("epilog: episode %s: span [%d,%d]", ep.Prefix, ep.Start, ep.End)
+	}
+	return nil
+}
+
+// decodeSegment walks one whole segment image, invoking fn (which may
+// be nil) for every record. The Episode passed to fn — including its
+// Origins backing — is reused; copy before retaining. It returns the
+// byte offset just past the last whole record (the torn-tail truncation
+// point) along with the first decode error, nil when the image parses
+// completely.
+func decodeSegment(b []byte, fn func(*Episode) error) (int, error) {
+	r := binenc.NewReader(b)
+	if string(r.Bytes(len(magic))) != magic {
+		if err := r.Err(); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("epilog: bad segment magic")
+	}
+	if v := r.Uvarint(); r.Err() == nil && v != version {
+		return 0, fmt.Errorf("%w %d", errVersion, v)
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	good := len(b) - r.Len()
+	var ep Episode
+	origins := make([]bgp.ASN, 0, 8)
+	for r.Len() > 0 {
+		fr := r.Frame()
+		if err := r.Err(); err != nil {
+			return good, err
+		}
+		flags := fr.Byte()
+		if fr.Err() == nil && flags&^recOpen != 0 {
+			return good, fmt.Errorf("%w: record flags %#x", binenc.ErrCorrupt, flags)
+		}
+		ep = Episode{Open: flags&recOpen != 0}
+		ep.Prefix = fr.Prefix()
+		ep.Seq = fr.Uvarint()
+		no := fr.Count(1)
+		origins = origins[:0]
+		prev := int64(-1)
+		for j := 0; j < no; j++ {
+			v := fr.Uvarint()
+			if fr.Err() != nil {
+				break
+			}
+			if v > 0xFFFFFFFF || int64(v) <= prev {
+				return good, fmt.Errorf("%w: origins not strictly ascending 32-bit", binenc.ErrCorrupt)
+			}
+			prev = int64(v)
+			origins = append(origins, bgp.ASN(v))
+		}
+		ep.Origins = origins
+		ep.Class = core.Class(fr.Byte())
+		ep.Start = int(fr.Uvarint())
+		ep.End = int(fr.Uvarint())
+		if err := fr.Err(); err != nil {
+			return good, err
+		}
+		if fr.Len() != 0 {
+			return good, fmt.Errorf("%w: %d trailing record bytes", binenc.ErrCorrupt, fr.Len())
+		}
+		if err := validate(&ep); err != nil {
+			return good, fmt.Errorf("%w: %v", binenc.ErrCorrupt, err)
+		}
+		if fn != nil {
+			if err := fn(&ep); err != nil {
+				return good, err
+			}
+		}
+		good = len(b) - r.Len()
+	}
+	return good, nil
+}
+
+// Append writes one episode record. The episode (and its Origins) is
+// fully encoded before return, so callers may reuse the backing slice.
+// I/O failures latch: once an append fails the Log refuses further
+// writes with the same error, so a producer cannot silently continue
+// onto a log with a hole in it.
+func (l *Log) Append(ep Episode) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return ErrNotOpen
+	}
+	if err := validate(&ep); err != nil {
+		return err
+	}
+	l.payload = appendRecordPayload(l.payload[:0], &ep)
+	l.frame = binenc.AppendFrame(l.frame[:0], l.payload)
+	if _, err := l.f.Write(l.frame); err != nil {
+		l.err = err
+		return err
+	}
+	l.size += int64(len(l.frame))
+	l.appended++
+	if l.opts.RotateBytes > 0 && l.size >= int64(l.opts.RotateBytes) {
+		if err := l.rotateLocked(); err != nil {
+			l.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and starts the
+// next one, then runs auto-compaction when enough sealed segments have
+// piled up. A compaction failure is recorded but does not fail the
+// append that triggered it — the log remains appendable and the fold
+// remains correct over uncompacted segments.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.seal = append(l.seal, l.seq)
+	if err := l.startSegmentLocked(l.seq + 1); err != nil {
+		return err
+	}
+	if l.opts.CompactEvery > 0 && len(l.seal) >= l.opts.CompactEvery {
+		l.compactErr = l.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges all sealed segments into one: closed records
+// deduplicate by (prefix, seq) and open records superseded within the
+// merged set — by a newer open record or any closed record at an equal
+// or higher seq for the prefix — are dropped. The merged segment is
+// written to a temp file, fsynced, and renamed over the lowest merged
+// name before the others are removed, so a crash at any point leaves
+// either the old segments or the new one plus stale duplicates — both
+// of which the read fold resolves. The active segment is not touched.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return ErrNotOpen
+	}
+	return l.compactLocked()
+}
+
+func (l *Log) compactLocked() error {
+	if len(l.seal) < 2 {
+		return nil
+	}
+	type ckey struct {
+		p   bgp.Prefix
+		seq uint64
+	}
+	seen := make(map[ckey]struct{})
+	open := make(map[bgp.Prefix]Episode)
+	maxClosed := make(map[bgp.Prefix]uint64)
+	var out []Episode
+	for _, seq := range l.seal {
+		b, err := os.ReadFile(l.path(seq))
+		if err != nil {
+			return err
+		}
+		_, err = decodeSegment(b, func(ep *Episode) error {
+			if ep.Open {
+				if cur, ok := open[ep.Prefix]; !ok || ep.Seq > cur.Seq {
+					open[ep.Prefix] = cloneEpisode(ep)
+				}
+			} else {
+				k := ckey{ep.Prefix, ep.Seq}
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					out = append(out, cloneEpisode(ep))
+				}
+				if ep.Seq > maxClosed[ep.Prefix] {
+					maxClosed[ep.Prefix] = ep.Seq
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("epilog: compact %s: %w", segName(seq), err)
+		}
+	}
+	for p, ep := range open {
+		if ep.Seq > maxClosed[p] {
+			out = append(out, ep)
+		}
+	}
+	sortEpisodes(out)
+	buf := appendHeader(nil)
+	var payload []byte
+	for i := range out {
+		payload = appendRecordPayload(payload[:0], &out[i])
+		buf = binenc.AppendFrame(buf, payload)
+	}
+	tmp, err := os.CreateTemp(l.dir, ".tmp-mepl-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	keep := l.seal[0]
+	if err := os.Rename(tmp.Name(), l.path(keep)); err != nil {
+		return err
+	}
+	syncDir(l.dir)
+	for _, seq := range l.seal[1:] {
+		if err := os.Remove(l.path(seq)); err != nil {
+			return err
+		}
+	}
+	l.seal = append(l.seal[:0], keep)
+	l.compactions++
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so renames/removes are
+// durable; filesystems that refuse directory fsync are tolerated.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close fsyncs and closes the active segment. The Log is unusable
+// afterwards; reopen the directory with a fresh Log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Err returns the sticky append failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Stats is a point-in-time summary of the log's on-disk shape.
+type Stats struct {
+	Segments    int    `json:"segments"`
+	Bytes       int64  `json:"bytes"`
+	Appended    uint64 `json:"appended"`
+	Truncated   int64  `json:"truncated_bytes,omitempty"`
+	Compactions int    `json:"compactions,omitempty"`
+}
+
+// Stats reports the log's current shape. Sealed segment sizes are
+// statted on demand; this is a cold path.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{
+		Appended:    l.appended,
+		Truncated:   l.truncated,
+		Compactions: l.compactions,
+	}
+	if l.f == nil {
+		return s
+	}
+	s.Segments = len(l.seal) + 1
+	s.Bytes = l.size
+	for _, seq := range l.seal {
+		if fi, err := os.Stat(l.path(seq)); err == nil {
+			s.Bytes += fi.Size()
+		}
+	}
+	return s
+}
+
+// Query filters the fold of the log. The zero value matches every
+// closed episode and every live open one.
+type Query struct {
+	// From and To bound the episode's active days, inclusive; an
+	// episode matches when its span intersects [From, To]. To <= 0
+	// means no upper bound.
+	From, To int
+	// Prefix restricts to one prefix when non-nil.
+	Prefix *bgp.Prefix
+	// Origin restricts to episodes whose origin set contains this AS;
+	// 0 matches any.
+	Origin bgp.ASN
+	// Class restricts to one taxonomy class; negative matches any.
+	Class int
+	// MinDays drops episodes shorter than this many days.
+	MinDays int
+	// AsOf renders open episodes' End as max(Start, AsOf) — callers
+	// pass the engine's last closed day so open durations are current.
+	AsOf int
+	// Limit caps the result count after sorting; 0 means unlimited.
+	Limit int
+}
+
+func (q *Query) matches(ep *Episode) bool {
+	if ep.End < q.From {
+		return false
+	}
+	if q.To > 0 && ep.Start > q.To {
+		return false
+	}
+	if q.Prefix != nil && ep.Prefix != *q.Prefix {
+		return false
+	}
+	if q.Origin != 0 {
+		found := false
+		for _, o := range ep.Origins {
+			if o == q.Origin {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if q.Class >= 0 && int(ep.Class) != q.Class {
+		return false
+	}
+	if q.MinDays > 0 && ep.Duration() < q.MinDays {
+		return false
+	}
+	return true
+}
+
+// Query folds every segment and returns the matching episodes, sorted
+// by (prefix, start, seq). Results own their memory.
+func (l *Log) Query(q Query) ([]Episode, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.queryLocked(q)
+}
+
+// pfxAgg carries the per-prefix fold state Query needs beyond the
+// closed matches themselves: the highest closed seq (to judge open
+// records' liveness) and the best open candidate.
+type pfxAgg struct {
+	maxClosed uint64
+	open      Episode
+	hasOpen   bool
+}
+
+func (l *Log) queryLocked(q Query) ([]Episode, error) {
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if l.f == nil {
+		return nil, ErrNotOpen
+	}
+	aggs := make(map[bgp.Prefix]*pfxAgg)
+	var matches []Episode
+	segs := append(append([]uint64(nil), l.seal...), l.seq)
+	for _, seq := range segs {
+		b, err := os.ReadFile(l.path(seq))
+		if err != nil {
+			return nil, err
+		}
+		_, err = decodeSegment(b, func(ep *Episode) error {
+			a := aggs[ep.Prefix]
+			if a == nil {
+				a = &pfxAgg{}
+				aggs[ep.Prefix] = a
+			}
+			if ep.Open {
+				if !a.hasOpen || ep.Seq > a.open.Seq {
+					a.open = cloneEpisode(ep)
+					a.hasOpen = true
+				}
+			} else {
+				if ep.Seq > a.maxClosed {
+					a.maxClosed = ep.Seq
+				}
+				if q.matches(ep) {
+					matches = append(matches, cloneEpisode(ep))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("epilog: %s: %w", segName(seq), err)
+		}
+	}
+	for _, a := range aggs {
+		if !a.hasOpen || a.open.Seq <= a.maxClosed {
+			continue
+		}
+		ep := a.open
+		if ep.End < q.AsOf {
+			ep.End = q.AsOf
+		}
+		if ep.End < ep.Start {
+			ep.End = ep.Start
+		}
+		if q.matches(&ep) {
+			matches = append(matches, ep)
+		}
+	}
+	sortEpisodes(matches)
+	// Closed duplicates (checkpoint-resume re-emission) sort adjacent:
+	// identical (prefix, seq) pairs collapse to one.
+	out := matches[:0]
+	for i := range matches {
+		if i > 0 && matches[i].Prefix == matches[i-1].Prefix && matches[i].Seq == matches[i-1].Seq {
+			continue
+		}
+		out = append(out, matches[i])
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// Summary is the duration/persistence histogram over a query's result.
+type Summary struct {
+	Total      int `json:"total"`
+	Open       int `json:"open"`
+	Closed     int `json:"closed"`
+	Persistent int `json:"persistent"` // duration >= PersistentDays
+
+	// ByClass counts episodes per taxonomy class, indexed by core.Class.
+	ByClass [core.NumClasses]int `json:"by_class"`
+	// Durations buckets episode lengths: 1 day, 2-6, 7-29, 30-89, 90+.
+	Durations [5]int `json:"durations"`
+}
+
+// durationBucket indexes Summary.Durations for an episode length.
+func durationBucket(days int) int {
+	switch {
+	case days <= 1:
+		return 0
+	case days < 7:
+		return 1
+	case days < 30:
+		return 2
+	case days < 90:
+		return 3
+	}
+	return 4
+}
+
+// Summary folds the log like Query (Limit is ignored) and histograms
+// the matches.
+func (l *Log) Summary(q Query) (Summary, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q.Limit = 0
+	eps, err := l.queryLocked(q)
+	if err != nil {
+		return Summary{}, err
+	}
+	var s Summary
+	s.Total = len(eps)
+	for i := range eps {
+		ep := &eps[i]
+		if ep.Open {
+			s.Open++
+		} else {
+			s.Closed++
+		}
+		d := ep.Duration()
+		if d >= PersistentDays {
+			s.Persistent++
+		}
+		s.ByClass[ep.Class]++
+		s.Durations[durationBucket(d)]++
+	}
+	return s, nil
+}
+
+func cloneEpisode(ep *Episode) Episode {
+	out := *ep
+	out.Origins = append([]bgp.ASN(nil), ep.Origins...)
+	return out
+}
+
+// sortEpisodes orders canonically: (prefix, start, seq).
+func sortEpisodes(eps []Episode) {
+	sort.Slice(eps, func(i, j int) bool {
+		if c := eps[i].Prefix.Compare(eps[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if eps[i].Start != eps[j].Start {
+			return eps[i].Start < eps[j].Start
+		}
+		return eps[i].Seq < eps[j].Seq
+	})
+}

@@ -119,12 +119,35 @@ type state struct {
 	history []Event
 }
 
+// Episode is one conflict activation as reported to Options.OnEpisode.
+// Closed episodes span [Start, End] observation days inclusive; an open
+// episode restates the still-running activation after its latest
+// lifecycle event, with End holding that event's day. Seq is the
+// per-prefix ordinal of the reporting event, which is what lets a
+// durable consumer fold re-emitted records (checkpoint resume replays
+// the same events with the same Seqs) back into one episode.
+type Episode struct {
+	Prefix  bgp.Prefix
+	Origins []bgp.ASN // borrowed; valid only during the callback
+	Class   core.Class
+	Seq     uint64
+	Start   int
+	End     int
+	Open    bool
+}
+
 // Options parameterizes a kernel.
 type Options struct {
 	// HistoryCap caps lifecycle events retained per prefix (0 = all).
 	HistoryCap int
 	// KeepLog retains the full event record behind Log().
 	KeepLog bool
+	// OnEpisode, when set, observes the episode effect of every emitted
+	// lifecycle event: a conflict-end closes the activation, any other
+	// event (re)states it as open. The Episode's Origins alias kernel
+	// state and are only valid during the call. The callback must not
+	// call back into the kernel.
+	OnEpisode func(Episode)
 }
 
 // Kernel is the conflict-episode state machine. It is deliberately
@@ -257,8 +280,34 @@ func (k *Kernel) Apply(o Obs) []Event {
 		return nil // sub-conflict origin churn (e.g. one origin to another)
 	}
 	k.emit(st, &ev)
+	if k.opts.OnEpisode != nil {
+		k.fireEpisode(st, &ev, prevOrigins, prevClass)
+	}
 	k.evBuf = append(k.evBuf[:0], ev)
 	return k.evBuf
+}
+
+// fireEpisode reports the observation's episode effect. An end event
+// closes the activation: it was last active at the close of the day
+// before the dissolving observation (clamped so a same-day start+end
+// still spans its one day), described by the pre-transition origin set
+// and class. Every other lifecycle event restates the activation as
+// open through the event's own day with the post-transition set. The
+// event's Seq carries over, giving durable consumers a per-prefix total
+// order shared with the event stream.
+func (k *Kernel) fireEpisode(st *state, ev *Event, prevOrigins []bgp.ASN, prevClass core.Class) {
+	ep := Episode{Prefix: ev.Prefix, Seq: ev.Seq, Start: st.since, Open: ev.Type != EventConflictEnd}
+	if ev.Type == EventConflictEnd {
+		ep.Origins, ep.Class = prevOrigins, prevClass
+		ep.End = ev.Day - 1
+		if ep.End < ep.Start {
+			ep.End = ep.Start
+		}
+	} else {
+		ep.Origins, ep.Class = st.origins, st.class
+		ep.End = ev.Day
+	}
+	k.opts.OnEpisode(ep)
 }
 
 // newState returns a zeroed state, recycling freed ones and carving fresh

@@ -167,3 +167,83 @@ func TestRestoreTruncatesHistory(t *testing.T) {
 		t.Fatalf("restored history kept %v, want most recent %v", vs.History, want)
 	}
 }
+
+// TestHistoryCapEvictionRoundTrip: a prefix whose capped history has
+// already evicted its oldest events must round-trip through
+// Snapshot/Restore without re-emitting or reordering Seqs — the
+// restored kernel continues the same per-prefix ordinal sequence the
+// uninterrupted one does.
+func TestHistoryCapEvictionRoundTrip(t *testing.T) {
+	const histCap = 3
+	opts := kernel.Options{HistoryCap: histCap}
+	// Each cycle emits a conflict-start and a conflict-end: two
+	// lifecycle events, so four cycles overflow the cap well past one
+	// full eviction sweep.
+	churn := func(k *kernel.Kernel, fromDay, cycles int) {
+		day := fromDay
+		for i := 0; i < cycles; i++ {
+			k.Apply(kernel.Obs{Day: day, Prefix: p1, Origins: []bgp.ASN{1, 2}, Class: core.ClassDistinctPaths})
+			k.Apply(kernel.Obs{Day: day + 1, Prefix: p1, Origins: []bgp.ASN{1}})
+			day += 2
+		}
+	}
+	checkSeqs := func(t *testing.T, v kernel.View) {
+		t.Helper()
+		h := v.History
+		for i := 1; i < len(h); i++ {
+			if h[i].Seq != h[i-1].Seq+1 {
+				t.Fatalf("history seqs not consecutive: %d then %d", h[i-1].Seq, h[i].Seq)
+			}
+		}
+		if len(h) > 0 && h[len(h)-1].Seq != v.Seq {
+			t.Fatalf("newest history seq %d != state seq %d", h[len(h)-1].Seq, v.Seq)
+		}
+	}
+
+	uninterrupted := kernel.New(opts)
+	churn(uninterrupted, 0, 4)
+
+	mid := kernel.New(opts)
+	churn(mid, 0, 4)
+	v, ok := mid.State(p1)
+	if !ok || len(v.History) != histCap {
+		t.Fatalf("pre-snapshot history length = %d, want the cap %d", len(v.History), histCap)
+	}
+	if v.Seq != 8 {
+		t.Fatalf("pre-snapshot seq = %d, want 8 (eviction must not disturb ordinals)", v.Seq)
+	}
+	checkSeqs(t, v)
+
+	restored := kernel.New(opts)
+	if err := restored.Restore(mid.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	rv, ok := restored.State(p1)
+	if !ok {
+		t.Fatal("restored kernel lost the prefix")
+	}
+	if !reflect.DeepEqual(rv.History, v.History) {
+		t.Fatalf("restored history differs:\n got %+v\nwant %+v", rv.History, v.History)
+	}
+	if rv.Seq != v.Seq {
+		t.Fatalf("restored seq %d != %d", rv.Seq, v.Seq)
+	}
+
+	// Continue both kernels: the restored one must emit the same next
+	// Seqs (no re-emission, no reordering) and evict identically.
+	churn(uninterrupted, 8, 2)
+	churn(restored, 8, 2)
+	uv, _ := uninterrupted.State(p1)
+	rv, _ = restored.State(p1)
+	if !reflect.DeepEqual(uv, rv) {
+		t.Fatalf("continued state differs:\n got %+v\nwant %+v", rv, uv)
+	}
+	if uv.Seq != 12 {
+		t.Fatalf("final seq = %d, want 12", uv.Seq)
+	}
+	checkSeqs(t, uv)
+	if uninterrupted.EventCount() != restored.EventCount() {
+		t.Fatalf("event counts diverged: %d vs %d (re-emission through restore)",
+			uninterrupted.EventCount(), restored.EventCount())
+	}
+}

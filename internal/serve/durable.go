@@ -179,6 +179,29 @@ func (st checkpointStore) latest() (string, bool) {
 	return filepath.Join(st.dir, fs[0]), true
 }
 
+// cleanTemps removes crash-leftover temp files. write's rename-into-place
+// means a crash can strand a ".tmp-ck-*" file; files() never lists
+// dotfiles, so strays are invisible to recovery and rotation — and would
+// otherwise accumulate forever. Called from Registry.Recover, the one
+// moment no writer can be mid-flight.
+func (st checkpointStore) cleanTemps(logf func(string, ...any)) {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if !e.Type().IsRegular() || !strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		path := filepath.Join(st.dir, e.Name())
+		if err := os.Remove(path); err != nil {
+			logf("recover: removing stale temp %s: %v", path, err)
+		} else {
+			logf("recover: removed stale temp %s", path)
+		}
+	}
+}
+
 // nextSeq scans existing rotation names for the highest sequence number.
 func (st checkpointStore) nextSeq() uint64 {
 	var max uint64

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type episodesResp struct {
+	Count    int `json:"count"`
+	Episodes []struct {
+		Prefix  string   `json:"prefix"`
+		Origins []uint32 `json:"origins"`
+		Class   string   `json:"class"`
+		Seq     uint64   `json:"seq"`
+		Start   int      `json:"start_day"`
+		End     int      `json:"end_day"`
+		Days    int      `json:"days"`
+		Open    bool     `json:"open"`
+	} `json:"episodes"`
+}
+
+type episodesSummary struct {
+	Total      int    `json:"total"`
+	Open       int    `json:"open"`
+	Closed     int    `json:"closed"`
+	Persistent int    `json:"persistent"`
+	ByClass    []int  `json:"by_class"`
+	Durations  [5]int `json:"durations"`
+}
+
+// TestEpisodeEndpoints: with an episode directory configured, a finished
+// replay's full conflict history is queryable through /episodes — time
+// range, prefix, origin-AS, class and duration filters all narrow it —
+// /episodes/summary histograms the same selection, and DELETE takes the
+// on-disk log with it. Without an episode directory the endpoints 404.
+func TestEpisodeEndpoints(t *testing.T) {
+	epiDir := t.TempDir()
+	reg := NewRegistry()
+	reg.EpisodeDir = epiDir
+	defer reg.Close()
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+	client := srv.Client()
+
+	resp, body := postJSON(t, client, srv.URL+"/scenarios",
+		map[string]any{"id": "hist", "source": "synth", "scale": "small", "shards": 2, "start": true})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, body)
+	}
+	waitState(t, client, srv.URL+"/scenarios/hist", "done")
+
+	var all episodesResp
+	if r := getJSON(t, client, srv.URL+"/scenarios/hist/episodes?limit=100000", &all); r.StatusCode != http.StatusOK {
+		t.Fatalf("GET episodes: %d", r.StatusCode)
+	}
+	if all.Count == 0 {
+		t.Fatal("no episodes recorded for the small synth scenario")
+	}
+	for _, ep := range all.Episodes {
+		if len(ep.Origins) < 2 || ep.Days != ep.End-ep.Start+1 || ep.Days < 1 || ep.Seq == 0 {
+			t.Fatalf("malformed episode: %+v", ep)
+		}
+	}
+
+	// Filters narrow the same log: a time-range query must return the
+	// episodes overlapping it and nothing else, and a prefix filter only
+	// that prefix.
+	var ranged episodesResp
+	getJSON(t, client, srv.URL+"/scenarios/hist/episodes?from=10&to=20&limit=100000", &ranged)
+	if ranged.Count == 0 || ranged.Count > all.Count {
+		t.Fatalf("ranged query returned %d of %d episodes", ranged.Count, all.Count)
+	}
+	for _, ep := range ranged.Episodes {
+		if ep.End < 10 || ep.Start > 20 {
+			t.Fatalf("episode [%d,%d] outside requested range [10,20]", ep.Start, ep.End)
+		}
+	}
+	pfx := all.Episodes[0].Prefix
+	var byPfx episodesResp
+	getJSON(t, client, srv.URL+"/scenarios/hist/episodes?prefix="+pfx+"&limit=100000", &byPfx)
+	if byPfx.Count == 0 {
+		t.Fatalf("prefix filter %s matched nothing", pfx)
+	}
+	for _, ep := range byPfx.Episodes {
+		if ep.Prefix != pfx {
+			t.Fatalf("prefix filter %s returned %s", pfx, ep.Prefix)
+		}
+	}
+
+	var sum episodesSummary
+	if r := getJSON(t, client, srv.URL+"/scenarios/hist/episodes/summary", &sum); r.StatusCode != http.StatusOK {
+		t.Fatalf("GET summary: %d", r.StatusCode)
+	}
+	if sum.Total != all.Count || sum.Open+sum.Closed != sum.Total {
+		t.Fatalf("summary %+v does not account for the %d episodes", sum, all.Count)
+	}
+	var bucketed int
+	for _, n := range sum.Durations {
+		bucketed += n
+	}
+	if bucketed != sum.Total {
+		t.Fatalf("duration buckets %v sum to %d, want %d", sum.Durations, bucketed, sum.Total)
+	}
+
+	// Bad filter values are rejected, not silently ignored.
+	if r := getJSON(t, client, srv.URL+"/scenarios/hist/episodes?from=yesterday", nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from value: %d, want 400", r.StatusCode)
+	}
+	if r := getJSON(t, client, srv.URL+"/scenarios/hist/episodes?class=bogus", nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad class value: %d, want 400", r.StatusCode)
+	}
+
+	// DELETE removes the scenario's episode directory with it.
+	delReq, _ := http.NewRequest("DELETE", srv.URL+"/scenarios/hist", nil)
+	delResp, err := client.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if _, err := os.Stat(filepath.Join(epiDir, "hist")); !os.IsNotExist(err) {
+		t.Fatalf("episode dir survived delete: %v", err)
+	}
+
+	// Without an EpisodeDir the endpoints answer 404, not empty results.
+	plain := NewRegistry()
+	defer plain.Close()
+	srv2 := httptest.NewServer(NewHandler(plain))
+	defer srv2.Close()
+	if _, err := plain.Create(ScenarioConfig{ID: "nolog"}); err != nil {
+		t.Fatal(err)
+	}
+	if r := getJSON(t, srv2.Client(), srv2.URL+"/scenarios/nolog/episodes", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("episodes without EpisodeDir: %d, want 404", r.StatusCode)
+	}
+}

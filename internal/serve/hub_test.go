@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"moas/internal/bgp"
+	"moas/internal/source"
 	"moas/internal/stream"
 )
 
@@ -169,4 +170,87 @@ func TestHubSubscriberLimit(t *testing.T) {
 	if _, err := h.Subscribe(1, 0, false); err != nil {
 		t.Fatalf("subscribe after unsubscribe: %v", err)
 	}
+}
+
+// TestHubResumeAcrossFeedGap: live-feed delivery gaps share the conflict
+// events' ID space and sit in the resume ring like any other event, so a
+// reconnecting client replays them in order — exactly once for a client
+// that had not seen the gap, not at all for one whose Last-Event-ID was
+// the gap itself — with nothing after the gap duplicated or skipped.
+func TestHubResumeAcrossFeedGap(t *testing.T) {
+	h := NewHub(64, 0)
+	h.Publish(evt(1))
+	h.Publish(evt(2))
+	h.PublishGap(source.Gap{Missed: 7, Known: true}) // id 3
+	h.Publish(evt(4))
+	h.Publish(evt(5))
+
+	// Reconnect at the gap: the client saw it, so only 4 and 5 replay.
+	at, err := h.Subscribe(4, 3, true)
+	if err != nil {
+		t.Fatalf("Subscribe at gap: %v", err)
+	}
+	if at.Missed != 0 {
+		t.Fatalf("Missed = %d resuming at the gap, want 0", at.Missed)
+	}
+	for _, want := range []uint64{4, 5} {
+		ev := <-at.C
+		if ev.ID != want || ev.Gap != nil {
+			t.Fatalf("resumed at gap: got id %d (gap=%v), want conflict event %d", ev.ID, ev.Gap, want)
+		}
+	}
+	h.Unsubscribe(at)
+
+	// Reconnect just before the gap: it replays exactly once, in
+	// sequence, still carrying the feed's missed count.
+	before, err := h.Subscribe(4, 2, true)
+	if err != nil {
+		t.Fatalf("Subscribe before gap: %v", err)
+	}
+	if before.Missed != 0 {
+		t.Fatalf("Missed = %d resuming before the gap, want 0 (ring holds everything)", before.Missed)
+	}
+	gaps := 0
+	for _, want := range []uint64{3, 4, 5} {
+		ev := <-before.C
+		if ev.ID != want {
+			t.Fatalf("resumed before gap: got id %d, want %d", ev.ID, want)
+		}
+		if ev.Gap != nil {
+			gaps++
+			if ev.ID != 3 || ev.Gap.Missed != 7 || !ev.Gap.Known {
+				t.Fatalf("replayed gap = id %d %+v, want id 3 missed=7 known", ev.ID, ev.Gap)
+			}
+		}
+	}
+	if gaps != 1 {
+		t.Fatalf("gap replayed %d times, want exactly once", gaps)
+	}
+	select {
+	case ev := <-before.C:
+		t.Fatalf("unexpected extra replayed event: %+v", ev)
+	default:
+	}
+	h.Unsubscribe(before)
+
+	// A gap that itself recycled out of the ring is not resurrected; the
+	// ring-overflow count covers it alongside the lost conflict events.
+	small := NewHub(2, 0) // remembers only the last 2 events
+	small.Publish(evt(1))
+	small.PublishGap(source.Gap{Missed: 1, Known: false}) // id 2, recycled below
+	small.Publish(evt(3))
+	small.Publish(evt(4))
+	sub, err := small.Subscribe(4, 1, true)
+	if err != nil {
+		t.Fatalf("Subscribe on small ring: %v", err)
+	}
+	if sub.Missed != 1 {
+		t.Fatalf("Missed = %d, want 1 (the recycled feed gap)", sub.Missed)
+	}
+	for _, want := range []uint64{3, 4} {
+		if ev := <-sub.C; ev.ID != want || ev.Gap != nil {
+			t.Fatalf("small-ring resume: got id %d (gap=%v), want %d", ev.ID, ev.Gap, want)
+		}
+	}
+	small.Unsubscribe(sub)
 }

@@ -345,3 +345,67 @@ func TestDotDotIDRejected(t *testing.T) {
 		t.Fatalf("legitimate id rejected: %v", err)
 	}
 }
+
+// TestRecoverCleansStaleTempFiles: a crash can strand the dot-hidden
+// ".tmp-ck-*" file write was filling. The store's listing and sequence
+// scan must never see such debris, and boot recovery must sweep it while
+// still falling back past a corrupt newest checkpoint to the older good
+// file — the exact double-failure a mid-write crash produces.
+func TestRecoverCleansStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	reg.Durability = Durability{Dir: dir}
+	ck := pausedCheckpoint(t, reg)
+
+	st := reg.storeFor("victim")
+	if _, err := st.write(ck); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := st.write(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crash: the newest checkpoint is cut short and the write that
+	// was in flight leaves its temp file behind.
+	if err := os.WriteFile(newest, blob[:len(blob)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(st.dir, ".tmp-ck-3141592653")
+	if err := os.WriteFile(stray, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stray is invisible to rotation: not listed, not counted toward
+	// the next sequence number.
+	for _, name := range st.files() {
+		if strings.HasPrefix(name, ".") {
+			t.Fatalf("files() listed temp debris %s", name)
+		}
+	}
+	if got := st.nextSeq(); got != 3 {
+		t.Fatalf("nextSeq = %d with temp debris present, want 3", got)
+	}
+
+	n, err := reg.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d scenarios, want 1", n)
+	}
+	defer reg.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived recovery: %v", err)
+	}
+	s := reg.Get("victim")
+	if s == nil {
+		t.Fatal("victim not recovered")
+	}
+	if got := s.Status().ClosedDays; got != ck.DaysClosed {
+		t.Fatalf("recovered at day %d, want %d (the older good checkpoint)", got, ck.DaysClosed)
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"strings"
 
 	"moas/internal/bgp"
+	"moas/internal/core"
+	"moas/internal/epilog"
 	"moas/internal/source"
 )
 
@@ -41,6 +43,87 @@ type scenarioJSON struct {
 	SlowDrops       uint64 `json:"slow_drops"`
 	LastEventID     uint64 `json:"last_event_id"`
 	ResumeBuffered  int    `json:"resume_buffered"`
+}
+
+// DefaultEpisodeLimit caps /episodes responses when no ?limit= is given:
+// a month-scale scenario can hold millions of episodes, and an unbounded
+// default would make the endpoint an accidental full-log dump.
+const DefaultEpisodeLimit = 1000
+
+type episodeJSON struct {
+	Prefix  string    `json:"prefix"`
+	Origins []bgp.ASN `json:"origins"`
+	Class   string    `json:"class"`
+	Seq     uint64    `json:"seq"`
+	Start   int       `json:"start_day"`
+	End     int       `json:"end_day"`
+	Days    int       `json:"days"`
+	Open    bool      `json:"open,omitempty"`
+}
+
+func episodeToJSON(ep *epilog.Episode) episodeJSON {
+	return episodeJSON{
+		Prefix:  ep.Prefix.String(),
+		Origins: ep.Origins,
+		Class:   ep.Class.String(),
+		Seq:     ep.Seq,
+		Start:   ep.Start,
+		End:     ep.End,
+		Days:    ep.Duration(),
+		Open:    ep.Open,
+	}
+}
+
+// episodeQuery parses the /episodes filter parameters. Class accepts the
+// paper's legend names (case-insensitive) or a numeric core.Class.
+func episodeQuery(r *http.Request) (epilog.Query, error) {
+	q := epilog.Query{Class: -1}
+	get := r.URL.Query()
+	for name, dst := range map[string]*int{
+		"from": &q.From, "to": &q.To, "min_days": &q.MinDays, "limit": &q.Limit,
+	} {
+		v := get.Get(name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad %s %q: want a non-negative integer", name, v)
+		}
+		*dst = n
+	}
+	if v := get.Get("prefix"); v != "" {
+		p, err := bgp.ParsePrefix(v)
+		if err != nil {
+			return q, fmt.Errorf("bad prefix %q: %v", v, err)
+		}
+		q.Prefix = &p
+	}
+	if v := get.Get("as"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 32)
+		if err != nil || n == 0 {
+			return q, fmt.Errorf("bad as %q: want a positive AS number", v)
+		}
+		q.Origin = bgp.ASN(n)
+	}
+	if v := get.Get("class"); v != "" {
+		found := false
+		for c := 0; c < core.NumClasses; c++ {
+			if strings.EqualFold(core.Class(c).String(), v) {
+				q.Class, found = c, true
+				break
+			}
+		}
+		if !found {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < core.NumClasses {
+				q.Class, found = n, true
+			}
+		}
+		if !found {
+			return q, fmt.Errorf("bad class %q: want a class name or 0-%d", v, core.NumClasses-1)
+		}
+	}
+	return q, nil
 }
 
 type sseEventJSON struct {
@@ -94,6 +177,14 @@ func statusToJSON(st Status) scenarioJSON {
 //	DELETE /scenarios/{id}               abort and remove
 //	GET    /scenarios/{id}/events        SSE conflict lifecycle stream
 //	                                     (Last-Event-ID resume)
+//	GET    /scenarios/{id}/episodes      historical episode query over the
+//	                                     append-only episode log (404 when
+//	                                     the registry has no EpisodeDir);
+//	                                     ?from= ?to= ?prefix= ?as= ?class=
+//	                                     ?min_days= ?limit=
+//	GET    /scenarios/{id}/episodes/summary
+//	                                     duration/persistence histogram
+//	                                     over the same filters
 //	GET    /scenarios/{id}/conflicts     ┐
 //	GET    /scenarios/{id}/prefix/{cidr} │ internal/stream's query API,
 //	GET    /scenarios/{id}/as/{asn}      │ one isolated engine per id
@@ -261,6 +352,72 @@ func NewHandler(reg *Registry) http.Handler {
 			return
 		}
 		serveEvents(w, r, s)
+	})
+
+	// The episode log's read side: historical conflict episodes straight
+	// off the scenario's append-only log, filterable by time range,
+	// prefix, origin AS, class and minimum duration. Open episodes render
+	// with their end extended to the last closed day.
+	episodeLog := func(w http.ResponseWriter, r *http.Request) (*Scenario, *epilog.Log, epilog.Query, bool) {
+		s := lookup(w, r)
+		if s == nil {
+			return nil, nil, epilog.Query{}, false
+		}
+		lg := s.EpisodeLog()
+		if lg == nil {
+			httpError(w, http.StatusNotFound, "episode log disabled (start moasd with -episode-log-dir)")
+			return nil, nil, epilog.Query{}, false
+		}
+		if err := lg.Err(); err != nil {
+			// A latched append failure means the history has a hole the
+			// query cannot see; surface it instead of serving a silently
+			// incomplete answer.
+			httpError(w, http.StatusInternalServerError, "episode log degraded: "+err.Error())
+			return nil, nil, epilog.Query{}, false
+		}
+		q, err := episodeQuery(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return nil, nil, epilog.Query{}, false
+		}
+		q.AsOf = s.Engine().LastClosedDay()
+		return s, lg, q, true
+	}
+
+	mux.HandleFunc("GET /scenarios/{id}/episodes", func(w http.ResponseWriter, r *http.Request) {
+		_, lg, q, ok := episodeLog(w, r)
+		if !ok {
+			return
+		}
+		if q.Limit == 0 {
+			q.Limit = DefaultEpisodeLimit
+		}
+		eps, err := lg.Query(q)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		out := struct {
+			Count    int           `json:"count"`
+			Episodes []episodeJSON `json:"episodes"`
+		}{Count: len(eps), Episodes: make([]episodeJSON, len(eps))}
+		for i := range eps {
+			out.Episodes[i] = episodeToJSON(&eps[i])
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /scenarios/{id}/episodes/summary", func(w http.ResponseWriter, r *http.Request) {
+		_, lg, q, ok := episodeLog(w, r)
+		if !ok {
+			return
+		}
+		sum, err := lg.Summary(q)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, sum)
 	})
 
 	// Everything else under a scenario is internal/stream's query API,

@@ -14,6 +14,7 @@ import (
 
 	"moas/internal/bgp"
 	"moas/internal/collector"
+	"moas/internal/epilog"
 	"moas/internal/scenario"
 	"moas/internal/source"
 	"moas/internal/source/bgpd"
@@ -505,8 +506,13 @@ type Scenario struct {
 	resume *stream.ReplayPosition
 	eng    *stream.Engine
 	hub    *Hub
-	api    http.Handler // stream.NewAPI(eng), mounted under /scenarios/{id}/
-	logf   func(format string, args ...any)
+	// epi is the scenario's append-only episode log (nil when the
+	// registry's EpisodeDir is unset). Created pending in newScenario and
+	// opened by Registry.Create once the ID — and so the directory — is
+	// resolved.
+	epi  *epilog.Log
+	api  http.Handler // stream.NewAPI(eng), mounted under /scenarios/{id}/
+	logf func(format string, args ...any)
 
 	totalDays  atomic.Int64 // 0 until the source is open and counted
 	closedDays atomic.Int64
@@ -529,12 +535,19 @@ type Scenario struct {
 	ckLoopDone chan struct{}
 }
 
-func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any)) (*Scenario, error) {
+func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any), episodes bool) (*Scenario, error) {
 	ring := lim.EventRing
 	if ring <= 0 {
 		ring = DefaultEventRing
 	}
 	hub := NewHub(ring, lim.MaxSubscribers)
+	// The log starts pending (no directory yet: the ID that names it is
+	// resolved by the registry); appends before OpenDir fail harmlessly
+	// and nothing feeds the engine until Start anyway.
+	var epi *epilog.Log
+	if episodes {
+		epi = epilog.New(epilog.Options{})
+	}
 	// The effective source decides liveness: a checkpoint of a live
 	// scenario restores as a live scenario.
 	eff := &cfg
@@ -557,12 +570,14 @@ func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any)) (*Sc
 		// consumers subscribe through the hub instead.
 		DisableEventLog: true,
 		OnEvent:         hub.Publish,
+		EpisodeLog:      epi,
 	}
 	s := &Scenario{
 		cfg:    cfg,
 		srcCfg: cfg,
 		logf:   logf,
 		hub:    hub,
+		epi:    epi,
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -613,6 +628,11 @@ func (s *Scenario) Engine() *stream.Engine { return s.eng }
 
 // Hub exposes the scenario's event fan-out.
 func (s *Scenario) Hub() *Hub { return s.hub }
+
+// EpisodeLog exposes the scenario's append-only episode log, or nil when
+// the registry runs without one. Queries only; the engine's shard
+// workers own the append side.
+func (s *Scenario) EpisodeLog() *epilog.Log { return s.epi }
 
 // API is the scenario's query handler (conflicts/prefix/as/stats/healthz),
 // expecting paths with the /scenarios/{id} prefix already stripped.
@@ -865,6 +885,13 @@ func (s *Scenario) shutdown() {
 		<-s.done // run() closes the engine on its way out
 	} else {
 		s.eng.Close() // stop the shard workers of a never-started engine
+	}
+	if s.epi != nil {
+		// After the engine: no shard worker is left to append, so the
+		// final segment seals with every episode on disk.
+		if err := s.epi.Close(); err != nil {
+			s.logf("scenario %s: closing episode log: %v", s.ID(), err)
+		}
 	}
 }
 

@@ -76,6 +76,12 @@ type Registry struct {
 	// it before serving traffic and before Recover.
 	Durability Durability
 
+	// EpisodeDir, when non-empty, gives every scenario an append-only
+	// episode log under EpisodeDir/<id>/ — the durable store behind the
+	// /episodes history endpoints. Set it before serving traffic and
+	// before Recover; empty disables episode logging.
+	EpisodeDir string
+
 	mu        sync.RWMutex
 	scenarios map[string]*Scenario
 	autoID    int
@@ -114,7 +120,7 @@ func (r *Registry) Create(cfg ScenarioConfig) (*Scenario, error) {
 	// restore decodes a whole engine image, and holding the write lock
 	// across it would stall every lookup. The limit and ID checks are
 	// re-done authoritatively at insert time below.
-	s, err := newScenario(cfg, r.Limits, r.logf)
+	s, err := newScenario(cfg, r.Limits, r.logf, r.EpisodeDir != "")
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +144,17 @@ func (r *Registry) Create(cfg ScenarioConfig) (*Scenario, error) {
 		return nil, fmt.Errorf("%w: %q", ErrScenarioExists, cfg.ID)
 	}
 	s.setID(cfg.ID)
+	if s.epi != nil {
+		// The log's directory is named by the resolved ID, so the open
+		// happens here — under the lock, before the scenario is reachable,
+		// so no append can race the recovery scan. A fresh directory opens
+		// in microseconds; a recovered one pays one torn-tail check.
+		if err := s.epi.OpenDir(filepath.Join(r.EpisodeDir, cfg.ID)); err != nil {
+			r.mu.Unlock()
+			s.shutdown()
+			return nil, fmt.Errorf("serve: open episode log: %w", err)
+		}
+	}
 	if r.Durability.enabled() {
 		// Assign before the scenario becomes reachable: shutdown() reads
 		// ckLoopDone without a lock, so the write must happen-before any
@@ -209,6 +226,13 @@ func (r *Registry) Delete(id string) bool {
 			r.logf("scenario %s: removing checkpoint dir: %v", id, err)
 		}
 	}
+	if r.EpisodeDir != "" {
+		// Same rule as checkpoints: a deleted scenario's history must not
+		// resurface under a reused ID.
+		if err := os.RemoveAll(filepath.Join(r.EpisodeDir, id)); err != nil {
+			r.logf("scenario %s: removing episode dir: %v", id, err)
+		}
+	}
 	r.logf("scenario %s: deleted", id)
 	return true
 }
@@ -276,7 +300,11 @@ func (r *Registry) Recover() (int, error) {
 			r.logf("recover: skipping %s: %v", id, err)
 			continue
 		}
-		ck, path, ok := r.storeFor(id).recoverNewest(r.logf)
+		st := r.storeFor(id)
+		// A crash can strand the dot-hidden temp file write was filling;
+		// boot is the one moment no writer is mid-flight, so sweep them.
+		st.cleanTemps(r.logf)
+		ck, path, ok := st.recoverNewest(r.logf)
 		if !ok {
 			r.logf("recover: scenario %s: no usable checkpoint", id)
 			continue

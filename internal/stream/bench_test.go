@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"moas/internal/bgp"
+	"moas/internal/epilog"
 )
 
 // benchCounts dedupes a candidate list of shard/worker counts in place
@@ -76,6 +79,64 @@ func BenchmarkStreamReplay(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkStreamReplayEpilog is BenchmarkStreamReplay with the episode
+// log enabled: every conflict lifecycle transition appends a durable
+// record. The name shares the BenchmarkStreamReplay prefix so make
+// bench picks it up, while the base benchmark's labels stay stable for
+// the committed trend. Its updates/s and allocs/update must sit within
+// noise of the plain replay — the episode path stages records in reused
+// shard buffers and only touches the log when a lifecycle event
+// actually fired, so the warm path is untouched.
+// epilogBenchDirSeq makes episode-log directories unique across probe
+// rounds and -count repetitions within one bench process.
+var epilogBenchDirSeq atomic.Uint64
+
+func BenchmarkStreamReplayEpilog(b *testing.B) {
+	sc, archive, _ := fixtures(b)
+	cal := ScenarioCalendar(sc)
+	dir := b.TempDir()
+
+	for _, shards := range benchCounts(1, 4) {
+		b.Run(fmt.Sprintf("shards=%d/workers=1", shards), func(b *testing.B) {
+			b.SetBytes(int64(len(archive)))
+			b.ReportAllocs()
+			var msgs, appended uint64
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A process-unique directory per iteration: b.N probe rounds
+				// and -count repetitions must never reopen an earlier
+				// iteration's segments, or the reopen scan would inflate the
+				// alloc metric with work replay never does.
+				lg, err := epilog.Open(filepath.Join(dir, fmt.Sprintf("s%d-%d", shards, epilogBenchDirSeq.Add(1))), epilog.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := New(Config{Shards: shards, DecodeWorkers: 1, EpisodeLog: lg})
+				if err := e.Replay(bytes.NewReader(archive), cal, nil); err != nil {
+					b.Fatal(err)
+				}
+				e.Close()
+				msgs = e.Stats().Messages
+				appended = lg.Stats().Appended
+				if err := lg.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&m1)
+			if total := msgs * uint64(b.N); total > 0 {
+				b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(total), "allocs/update")
+			}
+			b.ReportMetric(float64(appended), "episodes")
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(msgs)*float64(b.N)/sec, "updates/s")
+			}
+		})
 	}
 }
 
@@ -232,7 +293,7 @@ func BenchmarkCheckpointEncode(b *testing.B) {
 // feed). The origin-set recompute runs into the shard's reusable scratch,
 // so allocs/op must be 0 — the regression this benchmark guards.
 func BenchmarkShardReassess(b *testing.B) {
-	s := newShard(1, 0, false, nil, nil)
+	s := newShard(1, 0, false, nil, nil, nil)
 	p := bgp.MustParsePrefix("10.0.0.0/8")
 	peerA := PeerKey{IP: [16]byte{1}, AS: 701}
 	peerB := PeerKey{IP: [16]byte{2}, AS: 3356}

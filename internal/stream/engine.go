@@ -10,6 +10,7 @@ import (
 	"moas/internal/analysis"
 	"moas/internal/bgp"
 	"moas/internal/core"
+	"moas/internal/epilog"
 	"moas/internal/kernel"
 	"moas/internal/source"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	// per-subscriber channels and drops slow subscribers instead of
 	// blocking here.
 	OnEvent func(Event)
+	// EpisodeLog, when non-nil, receives every episode record the shard
+	// kernels emit (an open restatement per lifecycle event, a closing
+	// record per conflict end). Appends happen on the shard worker
+	// goroutines outside the shard lock; the eventless warm path never
+	// touches the log. The log may still be unopened at New time — serve
+	// binds it to its directory before the engine is reachable.
+	EpisodeLog *epilog.Log
 }
 
 // Engine is the live streaming MOAS detector. Feed it with ApplyUpdate and
@@ -129,7 +137,7 @@ func New(cfg Config) *Engine {
 	}
 	e.lastClosed.Store(-1)
 	for i := 0; i < cfg.Shards; i++ {
-		s := newShard(cfg.QueueDepth, cfg.HistoryLimit, !cfg.DisableEventLog, cfg.OnEvent, e.putOps)
+		s := newShard(cfg.QueueDepth, cfg.HistoryLimit, !cfg.DisableEventLog, cfg.OnEvent, e.putOps, cfg.EpisodeLog)
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)
 		go s.run(&e.wg)
@@ -470,6 +478,11 @@ type DecodeStats struct {
 	RingOccupancy int     // batches somewhere between framing and apply
 	ReorderBuffer int     // batches parked waiting for their sequence turn
 }
+
+// LastClosedDay returns the last day close dispatched (-1 before any) —
+// the natural as-of day for rendering open episodes from the episode
+// log without paying for a full Stats snapshot.
+func (e *Engine) LastClosedDay() int { return int(e.lastClosed.Load()) }
 
 // Stats snapshots the engine.
 func (e *Engine) Stats() Stats {

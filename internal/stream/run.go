@@ -24,6 +24,10 @@ type RunOptions struct {
 	// the clock crosses midnight, so conflict durations keep extending
 	// through silence exactly as the paper's daily snapshots do.
 	Tick time.Duration
+	// Ticks overrides the internal ticker when non-nil: each receive
+	// triggers one wall-clock check. Tests inject a channel here to
+	// sequence ticks against records deterministically; Tick is ignored.
+	Ticks <-chan time.Time
 	// CloseFinalDay closes the day in flight when the source ends on its
 	// own (io.EOF). Live transports never legitimately EOF — only Close
 	// does that — so this matters to file-backed sources and tests.
@@ -111,19 +115,81 @@ func (e *Engine) Run(src source.Source, opts *RunOptions) error {
 		return nil
 	}
 
-	ticker := time.NewTicker(o.Tick)
-	defer ticker.Stop()
+	// handle dispatches one pulled record (or terminates the run on a
+	// pull error). done reports that Run should return err.
+	handle := func(p pulled) (done bool, err error) {
+		if p.err != nil {
+			<-pullerDone
+			if p.err == io.EOF {
+				if o.CloseFinalDay && curDay >= 0 {
+					e.CloseDay(curDay)
+					if o.OnDayClose != nil {
+						o.OnDayClose(curDay)
+					}
+				}
+				return true, nil
+			}
+			return true, p.err
+		}
+		if err := e.gate(o.Stop); err != nil {
+			stopAndDrain()
+			return true, err
+		}
+		day := int(p.rec.TS / 86400)
+		if curDay < 0 {
+			curDay = day
+		}
+		if err := closeThrough(day); err != nil {
+			stopAndDrain()
+			return true, err
+		}
+		// A record timestamped before the current day (clock skew on a
+		// live feed) still applies — to the day in flight, since closed
+		// days are immutable.
+		e.ApplyUpdate(curDay, PeerKey{IP: p.rec.PeerIP, AS: p.rec.PeerAS}, &p.rec.Upd)
+		// Live rates are human-scale: flush the op batch per record so
+		// queries see each update as it lands, instead of after a
+		// replay-sized batch fills.
+		for i := range e.shards {
+			e.flushShard(i)
+		}
+		e.recs.Store(base + p.rec.Seq)
+		return false, nil
+	}
+
+	ticks := o.Ticks
+	if ticks == nil {
+		ticker := time.NewTicker(o.Tick)
+		defer ticker.Stop()
+		ticks = ticker.C
+	}
 	for {
 		select {
 		case <-o.Stop:
 			stopAndDrain()
 			return ErrReplayStopped
-		case <-ticker.C:
+		case <-ticks:
 			// The gate is where a pause parks; checking it on the tick
 			// bounds how long a pause request waits on a quiet feed.
 			if err := e.gate(o.Stop); err != nil {
 				stopAndDrain()
 				return err
+			}
+			// Deliver every record already queued — including any that
+			// arrived while the gate was parked — before consulting the
+			// wall clock. A record racing the tick into the same select
+			// window is timestamped in the day now in flight; letting
+			// the clock close that day first would shunt the record onto
+			// the next day. Record time beats wall time.
+			for drained := false; !drained; {
+				select {
+				case p := <-recCh:
+					if done, err := handle(p); done {
+						return err
+					}
+				default:
+					drained = true
+				}
 			}
 			if curDay >= 0 {
 				if err := closeThrough(int(o.Now() / 86400)); err != nil {
@@ -132,42 +198,9 @@ func (e *Engine) Run(src source.Source, opts *RunOptions) error {
 				}
 			}
 		case p := <-recCh:
-			if p.err != nil {
-				<-pullerDone
-				if p.err == io.EOF {
-					if o.CloseFinalDay && curDay >= 0 {
-						e.CloseDay(curDay)
-						if o.OnDayClose != nil {
-							o.OnDayClose(curDay)
-						}
-					}
-					return nil
-				}
-				return p.err
-			}
-			if err := e.gate(o.Stop); err != nil {
-				stopAndDrain()
+			if done, err := handle(p); done {
 				return err
 			}
-			day := int(p.rec.TS / 86400)
-			if curDay < 0 {
-				curDay = day
-			}
-			if err := closeThrough(day); err != nil {
-				stopAndDrain()
-				return err
-			}
-			// A record timestamped before the current day (clock skew on a
-			// live feed) still applies — to the day in flight, since closed
-			// days are immutable.
-			e.ApplyUpdate(curDay, PeerKey{IP: p.rec.PeerIP, AS: p.rec.PeerAS}, &p.rec.Upd)
-			// Live rates are human-scale: flush the op batch per record so
-			// queries see each update as it lands, instead of after a
-			// replay-sized batch fills.
-			for i := range e.shards {
-				e.flushShard(i)
-			}
-			e.recs.Store(base + p.rec.Seq)
 		}
 	}
 }

@@ -190,3 +190,116 @@ func TestRunWallClockDayClose(t *testing.T) {
 		t.Fatal("Stop did not close the source")
 	}
 }
+
+// TestRunTickRecordOrdering: a record already delivered when a
+// wall-clock tick fires — here queued while a pause had the run parked
+// in the tick branch's gate, the widest form of that window — must
+// apply to its own observation day before the clock closes it. The
+// buggy interleaving would close the day first and shunt the record
+// onto the next day, stamping its lifecycle event a day ahead; it must
+// also not close the day twice.
+func TestRunTickRecordOrdering(t *testing.T) {
+	const d0 = 14000
+	var clk atomic.Uint32
+	clk.Store(d0*86400 + 100)
+
+	src := newChanSource()
+	e := New(Config{Shards: 1})
+	defer e.Close()
+	ticks := make(chan time.Time)
+	stop := make(chan struct{})
+	runDone := make(chan error, 1)
+	var mu sync.Mutex
+	var closes []int
+	go func() {
+		runDone <- e.Run(src, &RunOptions{
+			Stop:  stop,
+			Now:   clk.Load,
+			Ticks: ticks,
+			OnDayClose: func(day int) {
+				mu.Lock()
+				closes = append(closes, day)
+				mu.Unlock()
+			},
+		})
+	}()
+
+	p := bgp.MustParsePrefix("10.0.0.0/8")
+	attrs := func(origin bgp.ASN) *bgp.Attrs {
+		return &bgp.Attrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Path{{Type: bgp.SegSequence, ASes: []bgp.ASN{65001, origin}}},
+			NextHop: [4]byte{192, 0, 2, 1},
+		}
+	}
+	var rec source.Record
+	rec.Seq, rec.TS, rec.PeerAS = 1, d0*86400+100, 65001
+	rec.PeerIP[3] = 1
+	rec.Upd = bgp.Update{Attrs: attrs(70), NLRI: []bgp.Prefix{p}}
+	src.ch <- rec
+
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Messages != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first update never ingested")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Park the run inside the tick branch's gate.
+	e.Pause()
+	ticks <- time.Time{}
+	for !e.Parked() {
+		if time.Now().After(deadline) {
+			t.Fatal("run never parked on the tick gate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// While parked: a second record, still timestamped in d0, reaches
+	// the run loop's channel (it starts the MOAS conflict), and then
+	// the wall clock crosses midnight.
+	rec.Seq, rec.TS, rec.PeerAS = 2, d0*86400+86399, 65002
+	rec.PeerIP[3] = 2
+	rec.Upd = bgp.Update{Attrs: attrs(71), NLRI: []bgp.Prefix{p}}
+	src.ch <- rec
+	time.Sleep(50 * time.Millisecond) // let the puller block on the handoff
+	clk.Store((d0 + 1) * 86400)
+	e.Resume()
+
+	for e.Stats().Messages != 2 || e.Stats().LastClosedDay != d0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats after resume: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(stop)
+	select {
+	case err := <-runDone:
+		if err != ErrReplayStopped {
+			t.Fatalf("Run: %v, want ErrReplayStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return on Stop")
+	}
+
+	// The conflict-start event is stamped with the record's own day.
+	var started bool
+	for _, ev := range e.Events() {
+		if ev.Type == EventConflictStart {
+			started = true
+			if ev.Day != d0 {
+				t.Fatalf("conflict started on day %d: the tick closed day %d ahead of its own record", ev.Day, d0)
+			}
+		}
+	}
+	if !started {
+		t.Fatal("no conflict-start event emitted")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(closes) != 1 || closes[0] != d0 {
+		t.Fatalf("day closes = %v, want exactly [%d]", closes, d0)
+	}
+}

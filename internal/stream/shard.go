@@ -5,6 +5,7 @@ import (
 
 	"moas/internal/bgp"
 	"moas/internal/core"
+	"moas/internal/epilog"
 	"moas/internal/kernel"
 	"moas/internal/rib"
 )
@@ -70,17 +71,49 @@ type shard struct {
 	notifyBuf   []Event     // events emitted by the batch being applied
 	recycle     func([]op)  // returns drained batch slices to the engine pool
 	ch          chan batch
+
+	// epLog receives episode records outside the lock; epBuf stages the
+	// batch's records and epASN is the reused backing their borrowed
+	// origin sets are copied into, so a batch with no lifecycle events —
+	// the warm path — costs the episode log nothing.
+	epLog *epilog.Log
+	epBuf []epilog.Episode
+	epASN []bgp.ASN
 }
 
-func newShard(queueDepth, historyCap int, keepLog bool, notify func(Event), recycle func([]op)) *shard {
-	return &shard{
+func newShard(queueDepth, historyCap int, keepLog bool, notify func(Event), recycle func([]op), epLog *epilog.Log) *shard {
+	s := &shard{
 		prefixes: make(map[bgp.Prefix]int32),
 		freeNode: -1,
-		k:        kernel.New(kernel.Options{HistoryCap: historyCap, KeepLog: keepLog}),
 		notify:   notify,
 		recycle:  recycle,
 		ch:       make(chan batch, queueDepth),
+		epLog:    epLog,
 	}
+	opts := kernel.Options{HistoryCap: historyCap, KeepLog: keepLog}
+	if epLog != nil {
+		opts.OnEpisode = s.bufferEpisode
+	}
+	s.k = kernel.New(opts)
+	return s
+}
+
+// bufferEpisode stages one kernel episode for the post-lock flush. The
+// kernel's Origins are only valid during this callback, so they are
+// copied into the shard's reused backing; the three-index slice keeps a
+// later epASN append from writing through an already-staged record.
+func (s *shard) bufferEpisode(ep kernel.Episode) {
+	off := len(s.epASN)
+	s.epASN = append(s.epASN, ep.Origins...)
+	s.epBuf = append(s.epBuf, epilog.Episode{
+		Prefix:  ep.Prefix,
+		Origins: s.epASN[off:len(s.epASN):len(s.epASN)],
+		Class:   ep.Class,
+		Seq:     ep.Seq,
+		Start:   ep.Start,
+		End:     ep.End,
+		Open:    ep.Open,
+	})
 }
 
 // run is the shard worker loop; it exits when the channel closes.
@@ -112,11 +145,21 @@ func (s *shard) apply(ops []op) {
 		s.applyOne(&ops[i])
 	}
 	notes := s.notifyBuf
+	eps := s.epBuf
 	s.mu.Unlock()
+	// Episode appends land before the event notifications, so an SSE
+	// subscriber reacting to an event finds the log at least as fresh.
+	// Append errors latch inside the log (surfaced by its Err); the
+	// engine keeps streaming.
+	for i := range eps {
+		_ = s.epLog.Append(eps[i])
+	}
 	for i := range notes {
 		s.notify(notes[i])
 	}
 	s.notifyBuf = s.notifyBuf[:0]
+	s.epBuf = s.epBuf[:0]
+	s.epASN = s.epASN[:0]
 }
 
 // allocNode returns a free node index, recycling before growing the arena.

@@ -15,12 +15,15 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"time"
 
 	"moas/internal/bgp"
 	"moas/internal/core"
+	"moas/internal/epilog"
 	"moas/internal/kernel"
 	"moas/internal/mrt"
 	"moas/internal/rib"
@@ -37,6 +40,9 @@ type Options struct {
 	// KillDay is how many day closes the killed leg survives before the
 	// checkpoint-and-abort (default Days/2, clamped inside the run).
 	KillDay int
+	// EpisodeDir hosts the episode-log legs' on-disk logs (empty = a
+	// temporary directory, removed when the run ends).
+	EpisodeDir string
 }
 
 // Report summarizes a passing run.
@@ -151,19 +157,20 @@ func Run(cfg synth.Config, opts Options) (*Report, error) {
 		rep.Legs = append(rep.Legs, leg.name)
 	}
 
+	killDay := opts.KillDay
+	if killDay <= 0 {
+		killDay = days / 2
+	}
+	if killDay < 1 {
+		killDay = 1
+	}
+	if killDay > days-2 {
+		killDay = days - 2
+	}
+
 	// Kill/resume leg: checkpoint mid-run, abort, restore at a different
 	// shard count, finish the archive. Crash recovery must be invisible.
 	{
-		killDay := opts.KillDay
-		if killDay <= 0 {
-			killDay = days / 2
-		}
-		if killDay < 1 {
-			killDay = 1
-		}
-		if killDay > days-2 {
-			killDay = days - 2
-		}
 		ck, err := checkpointAt(archive, cal, stream.Config{Shards: 2}, killDay)
 		if err != nil {
 			return nil, err
@@ -188,6 +195,97 @@ func Run(cfg synth.Config, opts Options) (*Report, error) {
 			return nil, err
 		}
 		rep.Legs = append(rep.Legs, leg.name)
+	}
+
+	// Episode-log legs: what a historical time-range query reads back off
+	// disk must match ground truth episode-for-episode — first for a clean
+	// replay, then across a mid-archive kill where the log holds stale
+	// open records and resume-era duplicates the fold must absorb.
+	epiDir := opts.EpisodeDir
+	if epiDir == "" {
+		dir, err := os.MkdirTemp("", "moas-oracle-epilog-")
+		if err != nil {
+			return nil, fmt.Errorf("oracle: episode log dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		epiDir = dir
+	}
+	{
+		lg, err := epilog.Open(filepath.Join(epiDir, "replay"), epilog.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: epilog-replay open: %w", err)
+		}
+		e := stream.New(stream.Config{Shards: 4, EpisodeLog: lg})
+		if err := e.Replay(bytes.NewReader(archive), cal, nil); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("oracle: epilog-replay: %w", err)
+		}
+		e.Close()
+		// The log rides along without perturbing the engine: this leg must
+		// still byte-match the reference checkpoint.
+		leg, err := engineResult("epilog-replay", e)
+		if err != nil {
+			return nil, err
+		}
+		if err := leg.diff(ref); err != nil {
+			return nil, err
+		}
+		eps, err := lg.Query(epilog.Query{Class: -1, AsOf: days - 1})
+		if cerr := lg.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("oracle: epilog-replay query: %w", err)
+		}
+		if err := diffTruth(epilogEpisodes(eps), truth); err != nil {
+			return nil, fmt.Errorf("epilog-replay: %w", err)
+		}
+		rep.Legs = append(rep.Legs, leg.name)
+	}
+	{
+		// Tiny segments force rotations and compactions under the kill, so
+		// recovery also crosses sealed-segment and compaction boundaries.
+		dir := filepath.Join(epiDir, "kill")
+		lg, err := epilog.Open(dir, epilog.Options{RotateBytes: 4 << 10, CompactEvery: 2})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: epilog-kill open: %w", err)
+		}
+		ck, err := checkpointAt(archive, cal, stream.Config{Shards: 2, EpisodeLog: lg}, killDay)
+		if cerr := lg.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("oracle: epilog-kill close: %w", cerr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		lg2, err := epilog.Open(dir, epilog.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: epilog-kill reopen: %w", err)
+		}
+		e, err := stream.NewFromCheckpoint(stream.Config{Shards: 3, EpisodeLog: lg2}, ck)
+		if err != nil {
+			lg2.Close()
+			return nil, fmt.Errorf("oracle: epilog-kill restore: %w", err)
+		}
+		err = e.Replay(bytes.NewReader(archive), cal, &stream.ReplayOptions{
+			Resume: &stream.ReplayPosition{Records: ck.Records, DaysClosed: killDay},
+		})
+		if err != nil {
+			e.Close()
+			lg2.Close()
+			return nil, fmt.Errorf("oracle: epilog-kill resumed replay: %w", err)
+		}
+		e.Close()
+		eps, err := lg2.Query(epilog.Query{Class: -1, AsOf: days - 1})
+		if cerr := lg2.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("oracle: epilog-kill query: %w", err)
+		}
+		if err := diffTruth(epilogEpisodes(eps), truth); err != nil {
+			return nil, fmt.Errorf("epilog-kill-recover@day%d: %w", killDay, err)
+		}
+		rep.Legs = append(rep.Legs, fmt.Sprintf("epilog-kill-recover@day%d", killDay))
 	}
 
 	rep.CheckpointBytes = len(ref.ck)
@@ -423,6 +521,23 @@ type episode struct {
 	class      core.Class
 	start, end int
 	open       bool
+}
+
+// epilogEpisodes converts a log query readback to the oracle's episode
+// form; the log already sorts (prefix, start), the truth log's order.
+func epilogEpisodes(eps []epilog.Episode) []episode {
+	out := make([]episode, len(eps))
+	for i := range eps {
+		out[i] = episode{
+			prefix:  eps[i].Prefix,
+			origins: eps[i].Origins,
+			class:   eps[i].Class,
+			start:   eps[i].Start,
+			end:     eps[i].End,
+			open:    eps[i].Open,
+		}
+	}
+	return out
 }
 
 // episodesFromEvents folds a sorted event log into conflict episodes:

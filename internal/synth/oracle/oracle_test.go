@@ -46,7 +46,9 @@ func oracleConfig(seed int64, patterns []synth.Pattern) synth.Config {
 // TestOracleMatrix is the acceptance proof: on every mix and seed, batch
 // == stream (1/4/8 shards) == file-source == kill/resume, all equal to
 // generated ground truth, with stream legs byte-identical at the
-// checkpoint level.
+// checkpoint level — and the append-only episode log's time-range
+// readback matches that truth too, both for a clean replay and across
+// a mid-archive kill/recover.
 func TestOracleMatrix(t *testing.T) {
 	seeds := []int64{1, 2, 3}
 	if testing.Short() {
@@ -65,8 +67,10 @@ func TestOracleMatrix(t *testing.T) {
 				if rep.Episodes == 0 || rep.Events == 0 || rep.CheckpointBytes == 0 {
 					t.Fatalf("degenerate run: %+v", rep)
 				}
-				if len(rep.Legs) != 6 { // batch + 3 shard counts + file-source + kill/resume
-					t.Fatalf("ran %d legs (%v), want 6", len(rep.Legs), rep.Legs)
+				// batch + 3 shard counts + file-source + kill/resume +
+				// epilog-replay + epilog-kill-recover
+				if len(rep.Legs) != 8 {
+					t.Fatalf("ran %d legs (%v), want 8", len(rep.Legs), rep.Legs)
 				}
 				t.Logf("%d updates, %d episodes, %d events, checkpoint %d bytes across %v",
 					rep.Updates, rep.Episodes, rep.Events, rep.CheckpointBytes, rep.Legs)
