@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -58,9 +59,20 @@ func main() {
 		ckptInt   = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "auto-checkpoint period per scenario")
 		ckptKeep  = flag.Int("checkpoint-keep", serve.DefaultCheckpointKeep, "checkpoint files retained per scenario (rotation depth)")
 		epiDir    = flag.String("episode-log-dir", "", "root directory for per-scenario append-only episode logs, the durable store behind GET /scenarios/{id}/episodes; recovered at boot alongside checkpoints (empty = episode history off)")
+		restarts  = flag.String("restart-policy", "", `supervised restart for failed scenarios: "on" (default cap of `+fmt.Sprint(serve.DefaultRestartMax)+` consecutive restarts), an integer cap, or empty/"off" to leave failed scenarios failed. Requires -checkpoint-dir: a restart resumes from the newest on-disk checkpoint`)
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side listener (e.g. localhost:6060); empty disables it. Keep it off public interfaces — profiles expose internals and the endpoint has no auth")
 	)
 	flag.Parse()
+
+	restartPolicy, err := parseRestartPolicy(*restarts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moasd: %v\n", err)
+		os.Exit(2)
+	}
+	if restartPolicy.Enabled && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "moasd: -restart-policy requires -checkpoint-dir (a restart resumes from the newest checkpoint)")
+		os.Exit(2)
+	}
 
 	// Profiling rides a separate listener so production replay hotspots
 	// (decode stage, shard workers, checkpoint encodes) are diagnosable
@@ -85,6 +97,7 @@ func main() {
 	// Before Recover: recovered scenarios reopen their episode logs and
 	// keep appending where the previous process stopped.
 	reg.EpisodeDir = *epiDir
+	reg.RestartPolicy = restartPolicy
 
 	// Crash recovery happens before the boot flags, so a restarted daemon
 	// resumes exactly where the auto-checkpoints left it — and a boot
@@ -167,7 +180,47 @@ func main() {
 			log.Printf("moasd: http shutdown: %v", err)
 		}
 		cancel()
+		// Snapshot health before Close tears the scenarios down, so the
+		// exit code tells supervisors whether the process was degraded at
+		// the moment it was asked to stop.
+		code := exitCode(reg)
 		reg.Close()
 		log.Printf("moasd: shutdown complete")
+		os.Exit(code)
 	}
+}
+
+// parseRestartPolicy maps the -restart-policy flag value: empty/"off"
+// disables, "on" enables with the default crash-loop cap, an integer
+// enables with that cap.
+func parseRestartPolicy(v string) (serve.RestartPolicy, error) {
+	switch v {
+	case "", "off":
+		return serve.RestartPolicy{}, nil
+	case "on":
+		return serve.RestartPolicy{Enabled: true}, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return serve.RestartPolicy{}, fmt.Errorf(`-restart-policy %q: want "on", "off" or a positive restart cap`, v)
+	}
+	return serve.RestartPolicy{Enabled: true, Max: n}, nil
+}
+
+// exitCode maps the registry's aggregate health to the process exit
+// status: 0 all healthy, 3 at least one scenario degraded, 4 at least
+// one failed (failed wins). Nonzero-but-distinct codes let a process
+// supervisor tell "clean" from "limping" from "broken" at a glance.
+func exitCode(reg *serve.Registry) int {
+	code := 0
+	for _, s := range reg.List() {
+		h := s.Health()
+		switch {
+		case !h.Supervisor.OK:
+			code = 4
+		case !h.OK && code < 3:
+			code = 3
+		}
+	}
+	return code
 }

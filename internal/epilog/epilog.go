@@ -21,6 +21,18 @@
 // by truncating at the last whole record — and anything torn away is
 // re-emitted (identically) by the checkpoint-resume path and folded
 // back in by seq dedup.
+//
+// Degradation model: a write failure (full disk, dying device) does
+// not latch the log dead. The log enters a degraded mode: episodes are
+// buffered in a bounded in-memory pending queue (still visible to
+// Query, so reads stay truthful), any torn bytes the failed write left
+// behind are truncated away before the next disk write, and subsequent
+// appends retry durability with a doubling append-count backoff. When
+// the disk heals the pending queue is flushed in order and the log
+// un-degrades; if the queue overflows first, the overflow is counted
+// in Health().Lost — a permanent, reported history hole, never silent
+// corruption. All filesystem access goes through internal/vfs so the
+// chaos oracle can prove this under injected fault schedules.
 package epilog
 
 import (
@@ -37,6 +49,7 @@ import (
 	"moas/internal/bgp"
 	"moas/internal/binenc"
 	"moas/internal/core"
+	"moas/internal/vfs"
 )
 
 // Episode is one conflict activation as recorded in the log. Closed
@@ -80,7 +93,12 @@ const PersistentDays = 30
 const (
 	DefaultRotateBytes  = 4 << 20
 	DefaultCompactEvery = 8
+	DefaultMaxPending   = 4096
 )
+
+// maxRetryGap caps the degraded-mode retry backoff: at worst one disk
+// retry every maxRetryGap appends.
+const maxRetryGap = 256
 
 var (
 	// ErrNotOpen reports an operation on a Log before OpenDir.
@@ -102,6 +120,14 @@ type Options struct {
 	// DefaultCompactEvery; negative disables auto-compaction (Compact
 	// can still be called explicitly).
 	CompactEvery int
+	// FS is the filesystem the log writes through. Nil means the real
+	// disk; tests and the chaos oracle inject a vfs.Faulty.
+	FS vfs.FS
+	// MaxPending bounds the in-memory episode queue held while the log
+	// is degraded. Overflow drops the newest episodes and counts them
+	// in Health().Lost. 0 means DefaultMaxPending; negative means
+	// unbounded.
+	MaxPending int
 }
 
 // Log is the append-only episode log over one directory. All methods
@@ -111,14 +137,26 @@ type Options struct {
 type Log struct {
 	mu   sync.Mutex
 	opts Options
+	fs   vfs.FS
 	dir  string
-	f    *os.File // active segment; nil before OpenDir / after Close
+	f    vfs.File // active segment; nil before OpenDir / after Close
 	seq  uint64   // active segment sequence
-	size int64    // active segment bytes
+	size int64    // active segment durable bytes
 	seal []uint64 // sealed segment sequences, ascending
-	err  error    // first append/rotate I/O failure, sticky
 
 	closed bool
+
+	// Degraded-mode state. degraded flips on the first durability
+	// failure and clears when a retry flushes the pending queue.
+	degraded  bool
+	degErr    error     // most recent durability failure
+	dirty     bool      // active segment may carry torn bytes past size
+	pending   []Episode // episodes awaiting durability, oldest first
+	lost      uint64    // episodes dropped on pending overflow
+	retries   uint64    // durability retry attempts while degraded
+	healedCnt uint64    // degraded -> healthy transitions
+	retryGap  int       // appends to skip before the next retry
+	retrySkip int       // remaining skips
 
 	payload []byte // record scratch, reused across appends
 	frame   []byte // framed scratch, reused across appends
@@ -137,7 +175,10 @@ func New(opts Options) *Log {
 	if opts.CompactEvery == 0 {
 		opts.CompactEvery = DefaultCompactEvery
 	}
-	return &Log{opts: opts}
+	if opts.MaxPending == 0 {
+		opts.MaxPending = DefaultMaxPending
+	}
+	return &Log{opts: opts, fs: vfs.Default(opts.FS)}
 }
 
 // Open is New followed by OpenDir.
@@ -179,10 +220,10 @@ func (l *Log) OpenDir(dir string) error {
 	if l.f != nil {
 		return fmt.Errorf("epilog: already open on %s", l.dir)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := l.fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	ents, err := os.ReadDir(dir)
+	ents, err := l.fs.ReadDir(dir)
 	if err != nil {
 		return err
 	}
@@ -195,7 +236,7 @@ func (l *Log) OpenDir(dir string) error {
 		if strings.HasPrefix(name, ".tmp-") {
 			// Crash-stranded compaction temp; its content was never
 			// reachable, so deleting it is always safe.
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if err := l.fs.Remove(filepath.Join(dir, name)); err != nil {
 				return err
 			}
 			continue
@@ -217,7 +258,7 @@ func (l *Log) OpenDir(dir string) error {
 // startSegmentLocked creates segment seq with a fresh header and makes
 // it the active segment.
 func (l *Log) startSegmentLocked(seq uint64) error {
-	f, err := os.OpenFile(l.path(seq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(l.path(seq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -233,7 +274,7 @@ func (l *Log) startSegmentLocked(seq uint64) error {
 // repairing a torn tail first.
 func (l *Log) reopenSegmentLocked(seq uint64) error {
 	path := l.path(seq)
-	b, err := os.ReadFile(path)
+	b, err := l.fs.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -246,7 +287,7 @@ func (l *Log) reopenSegmentLocked(seq uint64) error {
 	if derr != nil && errors.Is(derr, errVersion) {
 		return fmt.Errorf("epilog: %s: %w", path, derr)
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -391,57 +432,195 @@ func decodeSegment(b []byte, fn func(*Episode) error) (int, error) {
 	return good, nil
 }
 
-// Append writes one episode record. The episode (and its Origins) is
-// fully encoded before return, so callers may reuse the backing slice.
-// I/O failures latch: once an append fails the Log refuses further
-// writes with the same error, so a producer cannot silently continue
-// onto a log with a hole in it.
+// Append records one episode. The episode (and its Origins) is fully
+// encoded — or cloned into the pending queue — before return, so
+// callers may reuse the backing slice. I/O failures no longer latch
+// the log dead: the first failure flips it into degraded mode, where
+// episodes are buffered in memory (bounded by Options.MaxPending,
+// overflow counted in Health().Lost), durability is retried with a
+// doubling append-count backoff, and a successful retry flushes the
+// queue in order and un-degrades. While degraded, Append returns the
+// current durability error so producers can observe the condition,
+// but the episode has still been accepted into the pending queue.
 func (l *Log) Append(ep Episode) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.err != nil {
-		return l.err
-	}
 	if l.closed {
 		return ErrClosed
 	}
-	if l.f == nil {
+	if l.dir == "" {
 		return ErrNotOpen
 	}
 	if err := validate(&ep); err != nil {
 		return err
 	}
-	l.payload = appendRecordPayload(l.payload[:0], &ep)
+	if l.degraded {
+		l.bufferLocked(&ep)
+		if l.shouldRetryLocked() {
+			l.tryHealLocked()
+		}
+		if l.degraded {
+			return l.degErr
+		}
+		return nil
+	}
+	if err := l.writeEpisodeLocked(&ep); err != nil {
+		l.degradeLocked(err)
+		l.bufferLocked(&ep)
+		return err
+	}
+	l.maybeRotateLocked()
+	if l.degraded {
+		return l.degErr
+	}
+	return nil
+}
+
+// writeEpisodeLocked encodes and writes one record to the active
+// segment, advancing size/appended on success. On failure the file may
+// hold a torn frame past l.size; dirty marks it for truncate-repair
+// before the next disk write.
+func (l *Log) writeEpisodeLocked(ep *Episode) error {
+	if l.f == nil {
+		return l.degErr // mid-rotation crash left no active segment
+	}
+	l.payload = appendRecordPayload(l.payload[:0], ep)
 	l.frame = binenc.AppendFrame(l.frame[:0], l.payload)
-	if _, err := l.f.Write(l.frame); err != nil {
-		l.err = err
+	if n, err := l.f.Write(l.frame); err != nil {
+		if n > 0 {
+			l.dirty = true
+		}
 		return err
 	}
 	l.size += int64(len(l.frame))
 	l.appended++
-	if l.opts.RotateBytes > 0 && l.size >= int64(l.opts.RotateBytes) {
+	return nil
+}
+
+// maybeRotateLocked rotates when the active segment is over the line.
+// A rotation failure degrades the log but loses nothing: the appended
+// records are on disk, and the rotation is retried by the heal path.
+func (l *Log) maybeRotateLocked() {
+	if l.opts.RotateBytes > 0 && l.f != nil && l.size >= int64(l.opts.RotateBytes) {
 		if err := l.rotateLocked(); err != nil {
-			l.err = err
-			return err
+			l.degradeLocked(err)
 		}
 	}
+}
+
+// degradeLocked flips the log into degraded mode (or refreshes the
+// error while already degraded).
+func (l *Log) degradeLocked(err error) {
+	l.degraded = true
+	l.degErr = err
+	if l.retryGap == 0 {
+		l.retryGap = 1
+		l.retrySkip = 0 // first retry happens on the very next append
+	}
+}
+
+// bufferLocked clones the episode into the pending queue, dropping and
+// counting it instead when the queue is full.
+func (l *Log) bufferLocked(ep *Episode) {
+	if l.opts.MaxPending > 0 && len(l.pending) >= l.opts.MaxPending {
+		l.lost++
+		return
+	}
+	l.pending = append(l.pending, cloneEpisode(ep))
+}
+
+// shouldRetryLocked paces durability retries: every firing doubles the
+// gap (capped) until tryHealLocked succeeds and resets it.
+func (l *Log) shouldRetryLocked() bool {
+	if l.retrySkip > 0 {
+		l.retrySkip--
+		return false
+	}
+	return true
+}
+
+// backoffLocked widens the retry gap after a failed heal attempt.
+func (l *Log) backoffLocked() {
+	l.retryGap *= 2
+	if l.retryGap > maxRetryGap {
+		l.retryGap = maxRetryGap
+	}
+	if l.retryGap == 0 {
+		l.retryGap = 1
+	}
+	l.retrySkip = l.retryGap
+}
+
+// repairLocked restores the active segment to a writable, torn-free
+// state: re-creates it if a mid-rotation failure left none, and
+// truncates any torn bytes a failed write left past the durable size.
+func (l *Log) repairLocked() error {
+	if l.f == nil {
+		if err := l.startSegmentLocked(l.seq + 1); err != nil {
+			return err
+		}
+		l.dirty = false
+		return nil
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Truncate(l.size); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(l.size, 0); err != nil {
+		return err
+	}
+	l.dirty = false
 	return nil
+}
+
+// tryHealLocked attempts to restore durability: repair the active
+// segment, flush the pending queue in order, and finish any pending
+// rotation. Full success un-degrades the log.
+func (l *Log) tryHealLocked() {
+	l.retries++
+	if err := l.repairLocked(); err != nil {
+		l.degErr = err
+		l.backoffLocked()
+		return
+	}
+	for len(l.pending) > 0 {
+		if err := l.writeEpisodeLocked(&l.pending[0]); err != nil {
+			l.degErr = err
+			l.backoffLocked()
+			return
+		}
+		l.pending = l.pending[1:]
+	}
+	if len(l.pending) == 0 {
+		l.pending = nil // release the drained queue's backing array
+	}
+	l.degraded = false
+	l.degErr = nil
+	l.retryGap, l.retrySkip = 0, 0
+	l.healedCnt++
+	l.maybeRotateLocked() // may re-degrade; keeps rotation retried
 }
 
 // rotateLocked seals the active segment (fsync + close) and starts the
 // next one, then runs auto-compaction when enough sealed segments have
 // piled up. A compaction failure is recorded but does not fail the
 // append that triggered it — the log remains appendable and the fold
-// remains correct over uncompacted segments.
+// remains correct over uncompacted segments. A sync failure leaves the
+// segment active (nothing sealed, nothing lost); a failure after the
+// seal leaves l.f nil for repairLocked to restart.
 func (l *Log) rotateLocked() error {
 	if err := l.f.Sync(); err != nil {
-		l.f.Close()
 		return err
 	}
 	if err := l.f.Close(); err != nil {
-		return err
+		// The data is synced; the close failure only taints the fd.
+		// Seal the segment anyway and move on.
+		l.compactErr = err
 	}
 	l.seal = append(l.seal, l.seq)
+	l.f = nil
 	if err := l.startSegmentLocked(l.seq + 1); err != nil {
 		return err
 	}
@@ -465,7 +644,7 @@ func (l *Log) Compact() error {
 	if l.closed {
 		return ErrClosed
 	}
-	if l.f == nil {
+	if l.dir == "" {
 		return ErrNotOpen
 	}
 	return l.compactLocked()
@@ -484,7 +663,7 @@ func (l *Log) compactLocked() error {
 	maxClosed := make(map[bgp.Prefix]uint64)
 	var out []Episode
 	for _, seq := range l.seal {
-		b, err := os.ReadFile(l.path(seq))
+		b, err := l.fs.ReadFile(l.path(seq))
 		if err != nil {
 			return err
 		}
@@ -521,11 +700,11 @@ func (l *Log) compactLocked() error {
 		payload = appendRecordPayload(payload[:0], &out[i])
 		buf = binenc.AppendFrame(buf, payload)
 	}
-	tmp, err := os.CreateTemp(l.dir, ".tmp-mepl-*")
+	tmp, err := l.fs.CreateTemp(l.dir, ".tmp-mepl-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer l.fs.Remove(tmp.Name())
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		return err
@@ -538,12 +717,12 @@ func (l *Log) compactLocked() error {
 		return err
 	}
 	keep := l.seal[0]
-	if err := os.Rename(tmp.Name(), l.path(keep)); err != nil {
+	if err := l.fs.Rename(tmp.Name(), l.path(keep)); err != nil {
 		return err
 	}
-	syncDir(l.dir)
+	l.fs.SyncDir(l.dir)
 	for _, seq := range l.seal[1:] {
-		if err := os.Remove(l.path(seq)); err != nil {
+		if err := l.fs.Remove(l.path(seq)); err != nil {
 			return err
 		}
 	}
@@ -552,40 +731,74 @@ func (l *Log) compactLocked() error {
 	return nil
 }
 
-// syncDir best-effort fsyncs a directory so renames/removes are
-// durable; filesystems that refuse directory fsync are tolerated.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}
-
-// Close fsyncs and closes the active segment. The Log is unusable
-// afterwards; reopen the directory with a fresh Log.
+// Close makes one final durability attempt (flushing any degraded
+// pending queue), then fsyncs and closes the active segment. The Log
+// is unusable afterwards; reopen the directory with a fresh Log.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}
+	if l.degraded && l.dir != "" {
+		l.tryHealLocked()
+	}
 	l.closed = true
 	if l.f == nil {
-		return nil
+		return l.degErr
 	}
 	err := l.f.Sync()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
 	l.f = nil
+	if err == nil && l.degraded {
+		err = l.degErr
+	}
 	return err
 }
 
-// Err returns the sticky append failure, if any.
+// Err returns the current durability failure while the log is
+// degraded, nil once it heals. (Before the degradation rework this was
+// a sticky latch; it now tracks live health.)
 func (l *Log) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.err
+	if l.degraded {
+		return l.degErr
+	}
+	return nil
+}
+
+// Health is the log's durability health, surfaced per scenario under
+// the episode_log subsystem.
+type Health struct {
+	Degraded bool   `json:"degraded"`
+	Error    string `json:"error,omitempty"`
+	Pending  int    `json:"pending,omitempty"`
+	Lost     uint64 `json:"lost,omitempty"`
+	Retries  uint64 `json:"retries,omitempty"`
+	Healed   uint64 `json:"healed,omitempty"`
+}
+
+// Health reports the degradation state: whether the log is currently
+// buffering instead of persisting, the error that put it there, the
+// pending-queue depth, episodes lost to overflow (a permanent history
+// hole), and the retry/heal counters.
+func (l *Log) Health() Health {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := Health{
+		Degraded: l.degraded,
+		Pending:  len(l.pending),
+		Lost:     l.lost,
+		Retries:  l.retries,
+		Healed:   l.healedCnt,
+	}
+	if l.degraded && l.degErr != nil {
+		h.Error = l.degErr.Error()
+	}
+	return h
 }
 
 // Stats is a point-in-time summary of the log's on-disk shape.
@@ -607,13 +820,13 @@ func (l *Log) Stats() Stats {
 		Truncated:   l.truncated,
 		Compactions: l.compactions,
 	}
-	if l.f == nil {
+	if l.dir == "" {
 		return s
 	}
 	s.Segments = len(l.seal) + 1
 	s.Bytes = l.size
 	for _, seq := range l.seal {
-		if fi, err := os.Stat(l.path(seq)); err == nil {
+		if fi, err := l.fs.Stat(l.path(seq)); err == nil {
 			s.Bytes += fi.Size()
 		}
 	}
@@ -695,40 +908,59 @@ func (l *Log) queryLocked(q Query) ([]Episode, error) {
 	if l.closed {
 		return nil, ErrClosed
 	}
-	if l.f == nil {
+	if l.dir == "" {
 		return nil, ErrNotOpen
 	}
 	aggs := make(map[bgp.Prefix]*pfxAgg)
 	var matches []Episode
+	fold := func(ep *Episode) error {
+		a := aggs[ep.Prefix]
+		if a == nil {
+			a = &pfxAgg{}
+			aggs[ep.Prefix] = a
+		}
+		if ep.Open {
+			if !a.hasOpen || ep.Seq > a.open.Seq {
+				a.open = cloneEpisode(ep)
+				a.hasOpen = true
+			}
+		} else {
+			if ep.Seq > a.maxClosed {
+				a.maxClosed = ep.Seq
+			}
+			if q.matches(ep) {
+				matches = append(matches, cloneEpisode(ep))
+			}
+		}
+		return nil
+	}
 	segs := append(append([]uint64(nil), l.seal...), l.seq)
 	for _, seq := range segs {
-		b, err := os.ReadFile(l.path(seq))
+		b, err := l.fs.ReadFile(l.path(seq))
 		if err != nil {
+			if seq == l.seq && l.f == nil {
+				continue // mid-rotation degradation: no active segment yet
+			}
 			return nil, err
 		}
-		_, err = decodeSegment(b, func(ep *Episode) error {
-			a := aggs[ep.Prefix]
-			if a == nil {
-				a = &pfxAgg{}
-				aggs[ep.Prefix] = a
-			}
-			if ep.Open {
-				if !a.hasOpen || ep.Seq > a.open.Seq {
-					a.open = cloneEpisode(ep)
-					a.hasOpen = true
-				}
-			} else {
-				if ep.Seq > a.maxClosed {
-					a.maxClosed = ep.Seq
-				}
-				if q.matches(ep) {
-					matches = append(matches, cloneEpisode(ep))
-				}
-			}
-			return nil
-		})
+		_, err = decodeSegment(b, fold)
 		if err != nil {
+			if seq == l.seq && l.dirty {
+				// A failed write left torn bytes past the durable size;
+				// the whole records before the tear have been folded and
+				// repairLocked will truncate the rest before the next
+				// write. The read stays truthful.
+				continue
+			}
 			return nil, fmt.Errorf("epilog: %s: %w", segName(seq), err)
+		}
+	}
+	// Degraded-mode pending episodes are part of the log's truth even
+	// though they are not on disk yet: fold them in so reads do not
+	// regress while the disk is sick.
+	for i := range l.pending {
+		if err := fold(&l.pending[i]); err != nil {
+			return nil, err
 		}
 	}
 	for _, a := range aggs {

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -15,6 +14,7 @@ import (
 
 	"moas/internal/binenc"
 	"moas/internal/stream"
+	"moas/internal/vfs"
 )
 
 // Durability configures crash-safe auto-checkpointing: every hosted
@@ -31,6 +31,9 @@ type Durability struct {
 	// Keep is how many checkpoint files each scenario retains; older ones
 	// are removed after every successful write (0 = DefaultCheckpointKeep).
 	Keep int
+	// FS is the filesystem checkpoints are written through. Nil means
+	// the real disk; the chaos oracle injects a vfs.Faulty.
+	FS vfs.FS
 }
 
 // DefaultCheckpointInterval is the auto-checkpoint period when
@@ -58,6 +61,8 @@ func (d Durability) keep() int {
 	}
 	return d.Keep
 }
+
+func (d Durability) fs() vfs.FS { return vfs.Default(d.FS) }
 
 // scenarioCheckpointMagic introduces a binary scenario checkpoint file.
 // Like the inner codecs' magics, its first byte can never open a JSON
@@ -144,7 +149,12 @@ func ReadScenarioCheckpoint(r io.Reader) (*ScenarioCheckpoint, error) {
 type checkpointStore struct {
 	dir  string
 	keep int
+	fs   vfs.FS
 }
+
+// vfs returns the store's filesystem, defaulting a zero-value store
+// (tests build them as bare literals) to the real disk.
+func (st checkpointStore) vfs() vfs.FS { return vfs.Default(st.fs) }
 
 const (
 	checkpointFilePrefix = "ck-"
@@ -156,7 +166,7 @@ const (
 // name sort is newest-first; hand-dropped files sort wherever their
 // names land and are still considered.
 func (st checkpointStore) files() []string {
-	ents, err := os.ReadDir(st.dir)
+	ents, err := st.vfs().ReadDir(st.dir)
 	if err != nil {
 		return nil
 	}
@@ -185,7 +195,7 @@ func (st checkpointStore) latest() (string, bool) {
 // otherwise accumulate forever. Called from Registry.Recover, the one
 // moment no writer can be mid-flight.
 func (st checkpointStore) cleanTemps(logf func(string, ...any)) {
-	ents, err := os.ReadDir(st.dir)
+	ents, err := st.vfs().ReadDir(st.dir)
 	if err != nil {
 		return
 	}
@@ -194,7 +204,7 @@ func (st checkpointStore) cleanTemps(logf func(string, ...any)) {
 			continue
 		}
 		path := filepath.Join(st.dir, e.Name())
-		if err := os.Remove(path); err != nil {
+		if err := st.vfs().Remove(path); err != nil {
 			logf("recover: removing stale temp %s: %v", path, err)
 		} else {
 			logf("recover: removed stale temp %s", path)
@@ -219,18 +229,18 @@ func (st checkpointStore) nextSeq() uint64 {
 // A crash mid-write leaves only a temp file recovery ignores; the
 // previous checkpoint is never the thing being overwritten.
 func (st checkpointStore) write(ck *ScenarioCheckpoint) (string, error) {
-	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+	if err := st.vfs().MkdirAll(st.dir, 0o755); err != nil {
 		return "", err
 	}
 	blob, err := AppendScenarioCheckpointBinary(nil, ck)
 	if err != nil {
 		return "", err
 	}
-	tmp, err := os.CreateTemp(st.dir, ".tmp-ck-*")
+	tmp, err := st.vfs().CreateTemp(st.dir, ".tmp-ck-*")
 	if err != nil {
 		return "", err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer st.vfs().Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		return "", err
@@ -243,15 +253,12 @@ func (st checkpointStore) write(ck *ScenarioCheckpoint) (string, error) {
 		return "", err
 	}
 	final := filepath.Join(st.dir, fmt.Sprintf("%s%010d%s", checkpointFilePrefix, st.nextSeq(), checkpointFileExt))
-	if err := os.Rename(tmp.Name(), final); err != nil {
+	if err := st.vfs().Rename(tmp.Name(), final); err != nil {
 		return "", err
 	}
 	// Make the rename durable too; not all platforms support syncing a
 	// directory, so this is best-effort.
-	if d, err := os.Open(st.dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	_ = st.vfs().SyncDir(st.dir)
 	st.prune()
 	return final, nil
 }
@@ -266,7 +273,7 @@ func (st checkpointStore) prune() {
 		}
 	}
 	for _, name := range owned[min(st.keep, len(owned)):] {
-		_ = os.Remove(filepath.Join(st.dir, name))
+		_ = st.vfs().Remove(filepath.Join(st.dir, name))
 	}
 }
 
@@ -278,7 +285,7 @@ func (st checkpointStore) prune() {
 func (st checkpointStore) recoverNewest(logf func(string, ...any)) (*ScenarioCheckpoint, string, bool) {
 	for _, name := range st.files() {
 		path := filepath.Join(st.dir, name)
-		f, err := os.Open(path)
+		f, err := st.vfs().Open(path)
 		if err != nil {
 			logf("recover: %s: %v", path, err)
 			continue

@@ -36,6 +36,8 @@ type scenarioJSON struct {
 	// Feed is the live source's connection state (absent unless a live
 	// run is in flight).
 	Feed *source.Status `json:"feed,omitempty"`
+	// Health is the per-subsystem degradation snapshot.
+	Health Health `json:"health"`
 
 	Subscribers     int    `json:"subscribers"`
 	EventsPublished uint64 `json:"events_published"`
@@ -153,6 +155,7 @@ func statusToJSON(st Status) scenarioJSON {
 		TotalDays:       st.TotalDays,
 		ClosedDays:      st.ClosedDays,
 		Feed:            st.Feed,
+		Health:          st.Health,
 		Subscribers:     st.Events.Subscribers,
 		EventsPublished: st.Events.Published,
 		GapsPublished:   st.Events.Gaps,
@@ -192,11 +195,36 @@ func statusToJSON(st Status) scenarioJSON {
 func NewHandler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 
+	// Liveness plus degradation: always 200 (the process answering IS the
+	// liveness signal), with status "degraded" and per-scenario subsystem
+	// health whenever any hosted scenario is impaired or failed. Every
+	// degraded flag here clears on its own once the underlying fault
+	// heals — the chaos harness asserts exactly that.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		list := reg.List()
+		status := "ok"
+		var degraded, failed []string
+		health := make(map[string]Health, len(list))
+		for _, s := range list {
+			h := s.Health()
+			health[s.ID()] = h
+			if h.OK {
+				continue
+			}
+			status = "degraded"
+			if !h.Supervisor.OK {
+				failed = append(failed, s.ID())
+			} else {
+				degraded = append(degraded, s.ID())
+			}
+		}
 		writeJSON(w, http.StatusOK, struct {
-			Status    string `json:"status"`
-			Scenarios int    `json:"scenarios"`
-		}{"ok", len(reg.List())})
+			Status    string            `json:"status"`
+			Scenarios int               `json:"scenarios"`
+			Degraded  []string          `json:"degraded,omitempty"`
+			Failed    []string          `json:"failed,omitempty"`
+			Health    map[string]Health `json:"health,omitempty"`
+		}{status, len(list), degraded, failed, health})
 	})
 
 	mux.HandleFunc("GET /scenarios", func(w http.ResponseWriter, r *http.Request) {
@@ -230,11 +258,14 @@ func NewHandler(reg *Registry) http.Handler {
 		}
 		s, err := reg.Create(cfg)
 		if err != nil {
-			code := http.StatusBadRequest
 			if errors.Is(err, ErrTooManyScenarios) {
-				code = http.StatusTooManyRequests
+				// The limit frees up when a scenario is deleted; tell
+				// well-behaved clients not to hammer.
+				w.Header().Set("Retry-After", "1")
+				httpErrorSub(w, http.StatusTooManyRequests, "limits", err.Error())
+				return
 			}
-			httpError(w, code, err.Error())
+			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		if cfg.Start {
@@ -368,11 +399,15 @@ func NewHandler(reg *Registry) http.Handler {
 			httpError(w, http.StatusNotFound, "episode log disabled (start moasd with -episode-log-dir)")
 			return nil, nil, epilog.Query{}, false
 		}
-		if err := lg.Err(); err != nil {
-			// A latched append failure means the history has a hole the
-			// query cannot see; surface it instead of serving a silently
-			// incomplete answer.
-			httpError(w, http.StatusInternalServerError, "episode log degraded: "+err.Error())
+		if eh := lg.Health(); eh.Degraded && eh.Lost > 0 {
+			// Degraded-with-loss means the history has a hole the query
+			// cannot see; surface it instead of serving a silently
+			// incomplete answer. Degraded-without-loss keeps serving:
+			// buffered episodes are folded into queries, so the answer is
+			// still complete while the log retries its disk.
+			w.Header().Set("Retry-After", "5")
+			httpErrorSub(w, http.StatusInternalServerError, "episode_log",
+				fmt.Sprintf("episode log degraded, %d episodes lost: %s", eh.Lost, eh.Error))
 			return nil, nil, epilog.Query{}, false
 		}
 		q, err := episodeQuery(r)
@@ -418,6 +453,30 @@ func NewHandler(reg *Registry) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, sum)
+	})
+
+	// Per-scenario stats: the engine's /stats document (same fields the
+	// stream API serves) extended with the scenario's lifecycle state and
+	// per-subsystem health, so one poll answers both "how fast" and "how
+	// healthy". Registered explicitly so it wins over the catch-all.
+	mux.HandleFunc("GET /scenarios/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+		s := lookup(w, r)
+		if s == nil {
+			return
+		}
+		blob, err := json.Marshal(s.Engine().StatsView())
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		doc["state"] = s.Status().State.String()
+		doc["health"] = s.Health()
+		writeJSON(w, http.StatusOK, doc)
 	})
 
 	// Everything else under a scenario is internal/stream's query API,
@@ -478,7 +537,8 @@ func serveEvents(w http.ResponseWriter, r *http.Request, s *Scenario) {
 
 	sub, err := s.Hub().Subscribe(s.cfg.EventBuffer, afterID, resume)
 	if err != nil {
-		httpError(w, http.StatusTooManyRequests, err.Error())
+		w.Header().Set("Retry-After", "1")
+		httpErrorSub(w, http.StatusTooManyRequests, "limits", err.Error())
 		return
 	}
 	defer s.Hub().Unsubscribe(sub)
@@ -554,8 +614,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// errorJSON is the one error envelope every endpoint returns: the
+// message, plus the subsystem that produced it when the failure is a
+// degradation rather than a caller mistake (so clients can distinguish
+// "my request is wrong" from "the scenario's durability is impaired").
+type errorJSON struct {
+	Error     string `json:"error"`
+	Subsystem string `json:"subsystem,omitempty"`
+}
+
 func httpError(w http.ResponseWriter, code int, msg string) {
+	httpErrorSub(w, code, "", msg)
+}
+
+func httpErrorSub(w http.ResponseWriter, code int, subsystem, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(errorJSON{Error: msg, Subsystem: subsystem})
 }

@@ -20,6 +20,7 @@ import (
 	"moas/internal/source/bgpd"
 	"moas/internal/source/rislive"
 	"moas/internal/stream"
+	"moas/internal/supervise"
 	"moas/internal/synth"
 )
 
@@ -520,6 +521,19 @@ type Scenario struct {
 	mu    sync.Mutex
 	state State
 	err   error
+	// ckErr is the most recent auto-checkpoint failure; nil while the
+	// durability subsystem is healthy. Set and cleared by the
+	// auto-checkpoint loop, reported through Health.
+	ckErr error
+	// restarts counts how many supervised restarts produced this
+	// scenario (stamped by the registry's restart path; 0 for a
+	// scenario that never crashed).
+	restarts int
+	// onFailure, when non-nil, is invoked with the scenario ID after a
+	// terminal failure is recorded. The registry hooks its restart
+	// policy here; it runs on its own goroutine because the restart
+	// path shuts this scenario down (which waits on s.done).
+	onFailure func(id string)
 	// checkpointing counts in-flight checkpoints; while non-zero, state
 	// transitions (Start/Resume/shutdown) are excluded so the engine
 	// stays settled, yet Status and List remain responsive because the
@@ -535,7 +549,7 @@ type Scenario struct {
 	ckLoopDone chan struct{}
 }
 
-func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any), episodes bool) (*Scenario, error) {
+func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any), epOpts *epilog.Options) (*Scenario, error) {
 	ring := lim.EventRing
 	if ring <= 0 {
 		ring = DefaultEventRing
@@ -543,10 +557,11 @@ func newScenario(cfg ScenarioConfig, lim Limits, logf func(string, ...any), epis
 	hub := NewHub(ring, lim.MaxSubscribers)
 	// The log starts pending (no directory yet: the ID that names it is
 	// resolved by the registry); appends before OpenDir fail harmlessly
-	// and nothing feeds the engine until Start anyway.
+	// and nothing feeds the engine until Start anyway. nil epOpts means
+	// episode logging is off.
 	var epi *epilog.Log
-	if episodes {
-		epi = epilog.New(epilog.Options{})
+	if epOpts != nil {
+		epi = epilog.New(*epOpts)
 	}
 	// The effective source decides liveness: a checkpoint of a live
 	// scenario restores as a live scenario.
@@ -824,36 +839,57 @@ func (s *Scenario) autoSnapshotWhenParked() (*ScenarioCheckpoint, error) {
 // exits when the scenario shuts down. Ticks where the replay consumed no
 // new records since the last successful write are skipped, so an idle
 // (done or long-paused) scenario costs no I/O.
+//
+// A failed write degrades the checkpoint subsystem (Health reports it;
+// the scenario keeps ingesting and serving) and the loop retries on a
+// jittered backoff capped by the interval, un-degrading on the first
+// write that lands. The whole attempt runs under supervise: a panic in
+// the write path (a fault-injected filesystem, a serialization bug)
+// degrades durability instead of killing the daemon.
 func (s *Scenario) autoCheckpointLoop(store checkpointStore, interval time.Duration, logf func(string, ...any)) {
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	retry := source.Backoff{Base: interval / 8, Max: interval}
 	var written bool
 	var lastRecords uint64
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-tick.C:
+		case <-timer.C:
 		}
 		if written && s.eng.Records() == lastRecords {
+			timer.Reset(interval)
 			continue
 		}
-		ck, err := s.AutoCheckpoint()
+		err := supervise.Run("auto-checkpoint", func() error {
+			ck, err := s.AutoCheckpoint()
+			if err != nil || ck == nil {
+				return err // nil ck: nothing worth persisting yet
+			}
+			path, err := store.write(ck)
+			if err != nil {
+				return err
+			}
+			written, lastRecords = true, ck.Engine.Records
+			logf("scenario %s: auto-checkpoint at %d/%d days -> %s",
+				s.ID(), ck.DaysClosed, ck.TotalDays, path)
+			return nil
+		})
+		s.mu.Lock()
+		wasDegraded := s.ckErr != nil
+		s.ckErr = err
+		s.mu.Unlock()
 		if err != nil {
-			logf("scenario %s: auto-checkpoint: %v", s.ID(), err)
+			logf("scenario %s: auto-checkpoint: %v (degraded, retrying)", s.ID(), err)
+			timer.Reset(retry.Next())
 			continue
 		}
-		if ck == nil {
-			continue // nothing worth persisting yet
+		if wasDegraded {
+			logf("scenario %s: auto-checkpoint healed", s.ID())
 		}
-		path, err := store.write(ck)
-		if err != nil {
-			logf("scenario %s: auto-checkpoint write: %v", s.ID(), err)
-			continue
-		}
-		written, lastRecords = true, ck.Engine.Records
-		logf("scenario %s: auto-checkpoint at %d/%d days -> %s",
-			s.ID(), ck.DaysClosed, ck.TotalDays, path)
+		retry.Reset()
+		timer.Reset(interval)
 	}
 }
 
@@ -896,19 +932,23 @@ func (s *Scenario) shutdown() {
 }
 
 // run is the replay goroutine: open the source, stream it through the
-// engine, record the terminal state.
+// engine, record the terminal state. The replay runs under supervise,
+// so a panic in scenario-level code (source build, calendar scan) joins
+// the engine's own contained worker panics in transitioning this one
+// scenario to failed instead of crashing the process.
 func (s *Scenario) run() {
 	defer close(s.done)
 	start := time.Now()
-	err := s.replay()
+	err := supervise.Run("scenario replay", func() error { return s.replay() })
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.eng.Close()
+	var failed bool
 	switch {
 	case err == stream.ErrReplayStopped:
 		// Deleted mid-replay; the scenario is already out of the registry.
 	case err != nil:
 		s.state, s.err = StateFailed, err
+		failed = true
 		s.logf("scenario %s: failed: %v", s.ID(), err)
 	default:
 		s.state = StateDone
@@ -916,6 +956,13 @@ func (s *Scenario) run() {
 		s.logf("scenario %s: replay complete in %s: %d updates, %d conflicts ever, %d still active",
 			s.ID(), time.Since(start).Round(time.Millisecond),
 			st.Messages, st.TotalConflicts, st.ActiveConflicts)
+	}
+	onFail := s.onFailure
+	s.mu.Unlock()
+	if failed && onFail != nil {
+		// On its own goroutine: the registry's restart path shuts this
+		// scenario down, which waits for run's deferred done close.
+		go onFail(s.cfg.ID)
 	}
 }
 
@@ -1063,6 +1110,68 @@ func (s *Scenario) runLive() error {
 	})
 }
 
+// SubsystemHealth is one subsystem's degradation flag: OK false means
+// the subsystem is impaired but the scenario is still ingesting and
+// serving (graceful degradation), with Detail saying why.
+type SubsystemHealth struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Health is a scenario's per-subsystem degradation snapshot: the feed
+// transport, the durability (auto-checkpoint) writer, the episode log,
+// and the supervisor (panic containment / restart) state. OK is the
+// conjunction; /healthz and the stats endpoints surface it.
+type Health struct {
+	OK         bool            `json:"ok"`
+	Feed       SubsystemHealth `json:"feed"`
+	Checkpoint SubsystemHealth `json:"checkpoint"`
+	EpisodeLog SubsystemHealth `json:"episode_log"`
+	Supervisor SubsystemHealth `json:"supervisor"`
+	// Restarts counts supervised restarts that produced this scenario
+	// instance (restart policy; 0 for a scenario that never crashed).
+	Restarts int `json:"restarts,omitempty"`
+}
+
+// Health snapshots the scenario's subsystem health.
+func (s *Scenario) Health() Health {
+	s.mu.Lock()
+	state, serr, ckErr, restarts := s.state, s.err, s.ckErr, s.restarts
+	s.mu.Unlock()
+	h := Health{
+		Feed:       SubsystemHealth{OK: true},
+		Checkpoint: SubsystemHealth{OK: true},
+		EpisodeLog: SubsystemHealth{OK: true},
+		Supervisor: SubsystemHealth{OK: true},
+		Restarts:   restarts,
+	}
+	if fs := s.eng.SourceStatus(); fs != nil && !fs.Connected {
+		h.Feed.OK = false
+		h.Feed.Detail = "disconnected"
+		if fs.LastError != "" {
+			h.Feed.Detail = fs.LastError
+		}
+	}
+	if ckErr != nil {
+		h.Checkpoint.OK = false
+		h.Checkpoint.Detail = ckErr.Error()
+	}
+	if s.epi != nil {
+		if eh := s.epi.Health(); eh.Degraded {
+			h.EpisodeLog.OK = false
+			h.EpisodeLog.Detail = fmt.Sprintf("%s (%d pending, %d lost)", eh.Error, eh.Pending, eh.Lost)
+		}
+	}
+	if state == StateFailed {
+		h.Supervisor.OK = false
+		if serr != nil {
+			h.Supervisor.Detail = serr.Error()
+		}
+	}
+	h.OK = h.Feed.OK && h.Checkpoint.OK && h.EpisodeLog.OK && h.Supervisor.OK
+	return h
+}
+
 // Status is a scenario lifecycle snapshot (the list/detail endpoints'
 // payload, minus the engine stats the detail view adds).
 type Status struct {
@@ -1083,6 +1192,8 @@ type Status struct {
 	// Feed is the live source's connection state (nil unless a live run
 	// is in flight).
 	Feed *source.Status
+	// Health is the per-subsystem degradation snapshot.
+	Health Health
 }
 
 // Status snapshots the scenario.
@@ -1105,6 +1216,7 @@ func (s *Scenario) Status() Status {
 		ClosedDays:    int(s.closedDays.Load()),
 		Events:        s.hub.Stats(),
 		Feed:          s.eng.SourceStatus(),
+		Health:        s.Health(),
 	}
 	if err != nil {
 		st.Error = err.Error()

@@ -22,6 +22,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"moas/internal/epilog"
+	"moas/internal/source"
+	"moas/internal/vfs"
 )
 
 // Limits bounds what one moasd process will host, so a public deployment
@@ -63,6 +68,34 @@ var ErrTooManyScenarios = errors.New("serve: scenario limit reached")
 // scenarios were already recovered from checkpoints does not die.
 var ErrScenarioExists = errors.New("serve: scenario already exists")
 
+// RestartPolicy makes the registry restart a failed scenario from its
+// newest on-disk checkpoint: the supervised analogue of a process
+// supervisor's restart-on-crash, but per scenario and in-process.
+// Requires durability (there is nothing to restart from otherwise).
+// A scenario that keeps crashing hits Max and stays failed — the
+// crash-loop cap that keeps a poisoned input from burning CPU forever.
+type RestartPolicy struct {
+	Enabled bool
+	// Max caps consecutive restarts per scenario (0 = DefaultRestartMax).
+	// Delete resets the count.
+	Max int
+	// Backoff paces restart attempts; zero uses source's defaults
+	// (500ms base doubling to 30s). Consecutive restarts back off
+	// exponentially with jitter.
+	Backoff source.Backoff
+}
+
+// DefaultRestartMax is the per-scenario crash-loop cap when
+// RestartPolicy.Max is zero.
+const DefaultRestartMax = 3
+
+func (p RestartPolicy) max() int {
+	if p.Max <= 0 {
+		return DefaultRestartMax
+	}
+	return p.Max
+}
+
 // Registry is the set of scenarios one moasd process hosts.
 type Registry struct {
 	// Logf, when non-nil, receives scenario lifecycle log lines (moasd
@@ -82,14 +115,35 @@ type Registry struct {
 	// before Recover; empty disables episode logging.
 	EpisodeDir string
 
+	// EpisodeFS is the filesystem episode logs write through. Nil means
+	// the real disk; the chaos oracle injects a vfs.Faulty.
+	EpisodeFS vfs.FS
+
+	// RestartPolicy, when enabled (and durability is on), restarts a
+	// failed scenario from its newest checkpoint. Set before traffic.
+	RestartPolicy RestartPolicy
+
 	mu        sync.RWMutex
 	scenarios map[string]*Scenario
 	autoID    int
+	closing   bool
+	// restarts tracks per-scenario supervised-restart state (count and
+	// backoff); cleared by Delete.
+	restarts map[string]*restartState
+}
+
+// restartState is one scenario's crash-loop bookkeeping.
+type restartState struct {
+	count int
+	bo    source.Backoff
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{scenarios: make(map[string]*Scenario)}
+	return &Registry{
+		scenarios: make(map[string]*Scenario),
+		restarts:  make(map[string]*restartState),
+	}
 }
 
 func (r *Registry) logf(format string, args ...any) {
@@ -120,9 +174,14 @@ func (r *Registry) Create(cfg ScenarioConfig) (*Scenario, error) {
 	// restore decodes a whole engine image, and holding the write lock
 	// across it would stall every lookup. The limit and ID checks are
 	// re-done authoritatively at insert time below.
-	s, err := newScenario(cfg, r.Limits, r.logf, r.EpisodeDir != "")
+	s, err := newScenario(cfg, r.Limits, r.logf, r.episodeOptions())
 	if err != nil {
 		return nil, err
+	}
+	if r.RestartPolicy.Enabled && r.Durability.enabled() {
+		// Wired before the scenario is reachable; runs on its own
+		// goroutine after a terminal failure.
+		s.onFailure = r.maybeRestart
 	}
 	r.mu.Lock()
 	if max := r.Limits.MaxScenarios; max > 0 && len(r.scenarios) >= max {
@@ -175,7 +234,121 @@ func (r *Registry) Create(cfg ScenarioConfig) (*Scenario, error) {
 
 // storeFor returns the scenario's on-disk checkpoint store.
 func (r *Registry) storeFor(id string) checkpointStore {
-	return checkpointStore{dir: filepath.Join(r.Durability.Dir, id), keep: r.Durability.keep()}
+	return checkpointStore{
+		dir:  filepath.Join(r.Durability.Dir, id),
+		keep: r.Durability.keep(),
+		fs:   r.Durability.fs(),
+	}
+}
+
+// episodeOptions returns the epilog options new scenarios open their
+// logs with, or nil when episode logging is disabled.
+func (r *Registry) episodeOptions() *epilog.Options {
+	if r.EpisodeDir == "" {
+		return nil
+	}
+	return &epilog.Options{FS: r.EpisodeFS}
+}
+
+// CheckpointNow synchronously persists the scenario into its on-disk
+// checkpoint store, returning the written path. The chaos harness uses
+// it to pin a known-good durable state before injecting faults;
+// operators get the same effect out of band of the auto interval.
+func (r *Registry) CheckpointNow(id string) (string, error) {
+	if !r.Durability.enabled() {
+		return "", errors.New("serve: durability disabled")
+	}
+	s := r.Get(id)
+	if s == nil {
+		return "", fmt.Errorf("serve: no scenario %q", id)
+	}
+	ck, err := s.AutoCheckpoint()
+	if err != nil {
+		return "", err
+	}
+	if ck == nil {
+		return "", fmt.Errorf("serve: scenario %s has nothing to checkpoint", id)
+	}
+	return r.storeFor(id).write(ck)
+}
+
+// maybeRestart is the restart policy's entry point, invoked (on its own
+// goroutine) after a scenario records a terminal failure. It backs off,
+// re-checks that the failed scenario is still the registered one (a
+// Delete or Close during the backoff wins), then replaces it with a
+// fresh scenario restored from the newest on-disk checkpoint. When no
+// checkpoint is usable — or the crash-loop cap is hit — the scenario
+// simply stays failed, visible as such in /healthz.
+func (r *Registry) maybeRestart(id string) {
+	if !r.RestartPolicy.Enabled || !r.Durability.enabled() {
+		return
+	}
+	r.mu.Lock()
+	if r.closing {
+		r.mu.Unlock()
+		return
+	}
+	st := r.restarts[id]
+	if st == nil {
+		st = &restartState{bo: r.RestartPolicy.Backoff}
+		r.restarts[id] = st
+	}
+	if st.count >= r.RestartPolicy.max() {
+		count := st.count
+		r.mu.Unlock()
+		r.logf("scenario %s: crash-loop cap reached (%d restarts); staying failed", id, count)
+		return
+	}
+	st.count++
+	count := st.count
+	delay := st.bo.Next()
+	old := r.scenarios[id]
+	r.mu.Unlock()
+	if old == nil {
+		return // deleted before the hook ran
+	}
+	time.Sleep(delay)
+	r.mu.Lock()
+	if r.closing || r.scenarios[id] != old {
+		r.mu.Unlock()
+		return // deleted, closed, or already replaced during the backoff
+	}
+	delete(r.scenarios, id)
+	r.mu.Unlock()
+	// Unlike Delete, the on-disk state stays: it is what we restart from.
+	old.shutdown()
+	ck, path, ok := r.storeFor(id).recoverNewest(r.logf)
+	if !ok {
+		r.logf("scenario %s: restart: no usable checkpoint; staying failed", id)
+		r.reinsert(id, old)
+		return
+	}
+	s, err := r.Create(ScenarioConfig{ID: id, Source: SourceCheckpoint, Checkpoint: ck})
+	if err != nil {
+		r.logf("scenario %s: restart: %v; staying failed", id, err)
+		r.reinsert(id, old)
+		return
+	}
+	s.mu.Lock()
+	s.restarts = count
+	s.mu.Unlock()
+	if err := s.Start(); err != nil {
+		r.logf("scenario %s: restart: %v", id, err)
+		return
+	}
+	r.logf("scenario %s: restarted from %s (attempt %d/%d)", id, path, count, r.RestartPolicy.max())
+}
+
+// reinsert puts a failed (already shut down) scenario back into the
+// registry after an aborted restart, so its failed state stays visible
+// instead of the scenario silently vanishing. If the slot was taken in
+// the meantime, the newcomer wins.
+func (r *Registry) reinsert(id string, s *Scenario) {
+	r.mu.Lock()
+	if _, taken := r.scenarios[id]; !taken && !r.closing {
+		r.scenarios[id] = s
+	}
+	r.mu.Unlock()
 }
 
 // LatestCheckpoint returns the path of the scenario's newest on-disk
@@ -216,20 +389,23 @@ func (r *Registry) Delete(id string) bool {
 	r.mu.Lock()
 	s := r.scenarios[id]
 	delete(r.scenarios, id)
+	// A deleted scenario's crash-loop history dies with it: re-creating
+	// the ID starts with a fresh restart budget.
+	delete(r.restarts, id)
 	r.mu.Unlock()
 	if s == nil {
 		return false
 	}
 	s.shutdown()
 	if r.Durability.enabled() {
-		if err := os.RemoveAll(r.storeFor(id).dir); err != nil {
+		if err := r.Durability.fs().RemoveAll(r.storeFor(id).dir); err != nil {
 			r.logf("scenario %s: removing checkpoint dir: %v", id, err)
 		}
 	}
 	if r.EpisodeDir != "" {
 		// Same rule as checkpoints: a deleted scenario's history must not
 		// resurface under a reused ID.
-		if err := os.RemoveAll(filepath.Join(r.EpisodeDir, id)); err != nil {
+		if err := vfs.Default(r.EpisodeFS).RemoveAll(filepath.Join(r.EpisodeDir, id)); err != nil {
 			r.logf("scenario %s: removing episode dir: %v", id, err)
 		}
 	}
@@ -247,6 +423,9 @@ func (r *Registry) Delete(id string) bool {
 // process shutdown. The registry is empty but reusable afterwards.
 func (r *Registry) Close() {
 	r.mu.Lock()
+	// The closing flag stops in-flight restart attempts from inserting a
+	// fresh scenario behind this snapshot's back.
+	r.closing = true
 	scs := make([]*Scenario, 0, len(r.scenarios))
 	for id, s := range r.scenarios {
 		scs = append(scs, s)
@@ -269,6 +448,11 @@ func (r *Registry) Close() {
 		}
 		s.shutdown()
 	}
+	r.mu.Lock()
+	// Reusable afterwards: new Creates (and their restarts) are welcome.
+	r.closing = false
+	r.restarts = make(map[string]*restartState)
+	r.mu.Unlock()
 }
 
 // Recover scans the durability directory and re-creates scenarios from
@@ -283,7 +467,7 @@ func (r *Registry) Recover() (int, error) {
 	if !r.Durability.enabled() {
 		return 0, nil
 	}
-	ents, err := os.ReadDir(r.Durability.Dir)
+	ents, err := r.Durability.fs().ReadDir(r.Durability.Dir)
 	if os.IsNotExist(err) {
 		return 0, nil // first boot: nothing persisted yet
 	}

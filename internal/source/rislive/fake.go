@@ -27,13 +27,19 @@ type Fake struct {
 	cur  *wsConn
 	curc chan struct{} // closed when cur becomes non-nil; replaced on drop
 
-	subs   atomic.Int64
-	seq    atomic.Uint64
-	closed atomic.Bool
+	subs     atomic.Int64
+	connects atomic.Int64
+	seq      atomic.Uint64
+	closed   atomic.Bool
 	// NumberMessages controls the seq extension; on by default. Turn it
 	// off to emulate RIPE's real schema (no seq field), which forces
 	// the client's Known=false gap path.
 	NumberMessages atomic.Bool
+	// KillOnConnect, when set, severs every new connection right after
+	// the websocket upgrade — the accept-then-drop failure mode that
+	// distinguishes "the dial succeeded" from "the feed is healthy".
+	// The backoff regression test runs the client against it.
+	KillOnConnect atomic.Bool
 }
 
 // NewFake starts a fake feed on a random loopback port.
@@ -61,6 +67,13 @@ func (f *Fake) accept() {
 		}
 		ws, _, err := wsUpgrade(conn)
 		if err != nil {
+			conn.Close()
+			continue
+		}
+		f.connects.Add(1)
+		if f.KillOnConnect.Load() {
+			// Accepted, upgraded, dead: the client's dial+subscribe
+			// "succeeds" and the very next read fails.
 			conn.Close()
 			continue
 		}
@@ -107,6 +120,10 @@ func (f *Fake) dropped(ws *wsConn) {
 // Subscribes returns how many ris_subscribe messages arrived — one per
 // successful client (re)connect.
 func (f *Fake) Subscribes() int { return int(f.subs.Load()) }
+
+// Connects returns how many websocket upgrades completed — including
+// connections KillOnConnect severed before their subscribe was read.
+func (f *Fake) Connects() int { return int(f.connects.Load()) }
 
 // WaitSubscribed blocks until at least n subscribe messages have been
 // read. Tests that sever the connection must wait here first: Kill

@@ -42,6 +42,12 @@ type Config struct {
 	Subscribe string
 	// DialTimeout bounds one connection attempt. Default 10s.
 	DialTimeout time.Duration
+	// HealthyAfter is how long a connection must keep delivering before
+	// the reconnect backoff resets (default 30s). Resetting on the dial
+	// itself — the obvious choice — turns a server that accepts and then
+	// immediately drops into a hot reconnect loop: every attempt
+	// "succeeds", so every attempt retries at the base delay forever.
+	HealthyAfter time.Duration
 }
 
 // Client is a connected RIS Live feed. It implements source.Source.
@@ -61,12 +67,15 @@ type Client struct {
 
 	// Next-goroutine state.
 	backoff source.Backoff
-	lastSrv uint64 // last server-side sequence number (0 = none seen)
-	fresh   bool   // first message after a reconnect pending
-	pending []pendRec
-	pi      int
-	scratch bgp.Attrs
-	encBuf  []byte
+	// connectedAt is when the current transport came up; the backoff
+	// resets only after HealthyAfter of sustained reads past it.
+	connectedAt time.Time
+	lastSrv     uint64 // last server-side sequence number (0 = none seen)
+	fresh       bool   // first message after a reconnect pending
+	pending     []pendRec
+	pi          int
+	scratch     bgp.Attrs
+	encBuf      []byte
 }
 
 // pendRec is one decoded record awaiting delivery: a single RIS message
@@ -95,7 +104,10 @@ func Dial(cfg Config) (*Client, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
-	c := &Client{cfg: cfg, closeCh: make(chan struct{}), backoff: cfg.Backoff}
+	if cfg.HealthyAfter <= 0 {
+		cfg.HealthyAfter = 30 * time.Second
+	}
+	c := &Client{cfg: cfg, closeCh: make(chan struct{}), backoff: cfg.Backoff, connectedAt: time.Now()}
 	conn, err := wsDial(cfg.URL, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
@@ -136,6 +148,11 @@ func (c *Client) Next(rec *source.Record) error {
 				return err
 			}
 			continue
+		}
+		// The transport has delivered for a sustained window: only now is
+		// the connection "healthy" and the reconnect schedule forgiven.
+		if c.backoff.Fails() > 0 && time.Since(c.connectedAt) >= c.cfg.HealthyAfter {
+			c.backoff.Reset()
 		}
 		if op != opText {
 			continue
@@ -181,7 +198,10 @@ func (c *Client) reconnect() error {
 		}
 		c.conn = conn
 		c.mu.Unlock()
-		c.backoff.Reset()
+		// No backoff.Reset() here: a dial that succeeds proves nothing on
+		// an accept-then-drop server. The reset happens on the read path
+		// after HealthyAfter of sustained delivery.
+		c.connectedAt = time.Now()
 		c.reconnects.Add(1)
 		c.connected.Store(true)
 		c.lastErr.Store("")

@@ -142,3 +142,9 @@ func (b *Backoff) Next() time.Duration {
 
 // Reset clears the failure count after a successful (re)connection.
 func (b *Backoff) Reset() { b.fails = 0 }
+
+// Fails returns the consecutive-failure count the next delay is derived
+// from. Callers use it to decide whether a Reset is even pending
+// (rislive resets only after a sustained healthy read window, not on
+// the dial itself) and tests assert schedule growth through it.
+func (b *Backoff) Fails() int { return b.fails }

@@ -213,6 +213,11 @@ func NewAPI(e *Engine) http.Handler {
 	return mux
 }
 
+// StatsView returns the engine's /stats document as a marshalable
+// value, so embedding layers (serve's per-scenario stats endpoint) can
+// extend it with their own fields without re-deriving the counters.
+func (e *Engine) StatsView() any { return statsToJSON(e) }
+
 func statsToJSON(e *Engine) statsJSON {
 	st := e.Stats()
 	out := statsJSON{

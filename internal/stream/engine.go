@@ -110,6 +110,15 @@ type Engine struct {
 	pauseMu sync.Mutex
 	paused  chan struct{}
 	parked  atomic.Bool
+
+	// First unrecoverable worker failure (a panicked shard or decode
+	// goroutine, contained by supervise). failedCh is closed on the
+	// first recordFailure so Replay/Run loops blocked on a channel can
+	// wake up and abort; the dead worker itself switches to drain mode
+	// so producers never block on its queue.
+	failMu   sync.Mutex
+	failErr  error
+	failedCh chan struct{}
 }
 
 // New starts an engine and its shard workers.
@@ -131,6 +140,7 @@ func New(cfg Config) *Engine {
 		// recycled slice is always waiting once the pipeline warms up.
 		opFree:   make(chan []op, cfg.Shards*(cfg.QueueDepth+2)),
 		interner: bgp.NewAttrsInterner(false),
+		failedCh: make(chan struct{}),
 	}
 	if cfg.MaxDistinctAttrs > 0 {
 		e.interner.SetCap(cfg.MaxDistinctAttrs)
@@ -138,12 +148,39 @@ func New(cfg Config) *Engine {
 	e.lastClosed.Store(-1)
 	for i := 0; i < cfg.Shards; i++ {
 		s := newShard(cfg.QueueDepth, cfg.HistoryLimit, !cfg.DisableEventLog, cfg.OnEvent, e.putOps, cfg.EpisodeLog)
+		s.onFail = e.recordFailure
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)
 		go s.run(&e.wg)
 	}
 	return e
 }
+
+// recordFailure stores the first unrecoverable worker failure and
+// wakes anything selecting on failed(). Later failures are dropped:
+// the scenario is already doomed and the first cause is the one worth
+// reporting.
+func (e *Engine) recordFailure(err error) {
+	if err == nil {
+		return
+	}
+	e.failMu.Lock()
+	if e.failErr == nil {
+		e.failErr = err
+		close(e.failedCh)
+	}
+	e.failMu.Unlock()
+}
+
+// Err returns the first contained worker failure, nil while healthy.
+func (e *Engine) Err() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failErr
+}
+
+// failed is closed once a worker failure has been recorded.
+func (e *Engine) failed() <-chan struct{} { return e.failedCh }
 
 // takeOps returns a recycled op slice, or a fresh one while the pool
 // warms up.

@@ -11,6 +11,7 @@ import (
 
 	"moas/internal/mrt"
 	"moas/internal/scenario"
+	"moas/internal/supervise"
 )
 
 // Calendar maps BGP4MP record timestamps back to observation days: Times[i]
@@ -163,12 +164,19 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 	e.dec.Store(stage)
 	defer func() { stage.end.Store(time.Now().UnixNano()) }()
 
+	// Every decode-stage goroutine runs under supervise: a panic in one
+	// records the engine failure (waking the apply loop below) instead
+	// of killing the process, and the stage simply exits — the shared
+	// done channel unblocks its peers when Replay returns.
 	if workers == 1 {
 		stages.Add(1)
 		go func() {
 			defer stages.Done()
-			d := &decoder{mr: mrt.NewReader(r), recDecoder: recDecoder{in: e.interner}, frames: &e.frames}
-			d.run(skip, free, out, done)
+			e.recordFailure(supervise.Run("mrt decoder", func() error {
+				d := &decoder{mr: mrt.NewReader(r), recDecoder: recDecoder{in: e.interner}, frames: &e.frames}
+				d.run(skip, free, out, done)
+				return nil
+			}))
 		}()
 	} else {
 		work := make(chan *decBatch, ring)
@@ -176,21 +184,30 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 		stages.Add(1)
 		go func() {
 			defer stages.Done()
-			f := &framer{fr: mrt.NewFramer(r), frames: &e.frames}
-			f.run(skip, free, work, done)
+			e.recordFailure(supervise.Run("mrt framer", func() error {
+				f := &framer{fr: mrt.NewFramer(r), frames: &e.frames}
+				f.run(skip, free, work, done)
+				return nil
+			}))
 		}()
 		for i := 0; i < workers; i++ {
 			stages.Add(1)
 			go func() {
 				defer stages.Done()
-				w := &decodeWorker{recDecoder{in: e.interner}}
-				w.run(work, decoded, done)
+				e.recordFailure(supervise.Run("decode worker", func() error {
+					w := &decodeWorker{recDecoder{in: e.interner}}
+					w.run(work, decoded, done)
+					return nil
+				}))
 			}()
 		}
 		stages.Add(1)
 		go func() {
 			defer stages.Done()
-			reorderRun(decoded, out, done, &e.reorderDepth)
+			e.recordFailure(supervise.Run("decode reorder", func() error {
+				reorderRun(decoded, out, done, &e.reorderDepth)
+				return nil
+			}))
 		}()
 	}
 	// The decode stages own r until they exit; Replay must not return
@@ -207,14 +224,25 @@ func (e *Engine) Replay(r io.Reader, cal Calendar, opts *ReplayOptions) error {
 			case b = <-out:
 			case <-stop:
 				return ErrReplayStopped
+			case <-e.failed():
+				return e.Err()
 			}
 		} else {
-			b = <-out
+			select {
+			case b = <-out:
+			case <-e.failed():
+				return e.Err()
+			}
 		}
 		// Gate per batch as well as per record: the decoder emits empty
 		// batches while skipping a resume cursor, and this is where a
 		// pause or stop lands during that disk-bound stretch.
 		if err := e.gate(stop); err != nil {
+			return err
+		}
+		// A contained worker panic (dead shard draining its queue)
+		// aborts the replay at the next batch boundary.
+		if err := e.Err(); err != nil {
 			return err
 		}
 		for i := range b.recs {

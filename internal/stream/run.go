@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"moas/internal/source"
+	"moas/internal/supervise"
 )
 
 // RunOptions tunes a live source run.
@@ -79,7 +80,10 @@ func (e *Engine) Run(src source.Source, opts *RunOptions) error {
 		var bufs [2]source.Record
 		for i := 0; ; i ^= 1 {
 			rec := &bufs[i]
-			err := src.Next(rec)
+			// A panicking source (a malformed feed tripping a decoder
+			// bug) is contained to this scenario: the panic surfaces as
+			// the run's terminal error instead of killing the daemon.
+			err := supervise.Run("source puller", func() error { return src.Next(rec) })
 			recCh <- pulled{rec, err}
 			if err != nil {
 				return
@@ -135,6 +139,13 @@ func (e *Engine) Run(src source.Source, opts *RunOptions) error {
 			stopAndDrain()
 			return true, err
 		}
+		// A contained shard/worker panic ends the run: the dead shard is
+		// draining, so nothing below can block, but the scenario must
+		// transition to failed rather than keep half-applying the feed.
+		if err := e.Err(); err != nil {
+			stopAndDrain()
+			return true, err
+		}
 		day := int(p.rec.TS / 86400)
 		if curDay < 0 {
 			curDay = day
@@ -168,6 +179,9 @@ func (e *Engine) Run(src source.Source, opts *RunOptions) error {
 		case <-o.Stop:
 			stopAndDrain()
 			return ErrReplayStopped
+		case <-e.failed():
+			stopAndDrain()
+			return e.Err()
 		case <-ticks:
 			// The gate is where a pause parks; checking it on the tick
 			// bounds how long a pause request waits on a quiet feed.

@@ -8,6 +8,7 @@ import (
 	"moas/internal/epilog"
 	"moas/internal/kernel"
 	"moas/internal/rib"
+	"moas/internal/supervise"
 )
 
 // PeerKey identifies a collector peer the way BGP4MP records do: peer
@@ -79,6 +80,13 @@ type shard struct {
 	epLog *epilog.Log
 	epBuf []epilog.Episode
 	epASN []bgp.ASN
+
+	// Panic containment: onFail reports the first contained panic to
+	// the engine; dead (worker-goroutine-local) flips the shard into
+	// drain mode, where it keeps servicing sync fences and recycling
+	// batches — so producers never block — but applies nothing.
+	onFail func(error)
+	dead   bool
 }
 
 func newShard(queueDepth, historyCap int, keepLog bool, notify func(Event), recycle func([]op), epLog *epilog.Log) *shard {
@@ -120,16 +128,45 @@ func (s *shard) bufferEpisode(ep kernel.Episode) {
 func (s *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for b := range s.ch {
+		s.process(b)
+	}
+}
+
+// process handles one batch with panic containment: a panic anywhere
+// in the apply path (kernel, episode log, event subscriber) is
+// captured as the engine's failure and kills only this shard, which
+// then drains — sync fences still release, batches still recycle —
+// so the dispatcher, Sync and Close never deadlock while the owning
+// scenario transitions to failed.
+func (s *shard) process(b batch) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.dead = true
+			if s.onFail != nil {
+				s.onFail(supervise.AsError("shard worker", v))
+			}
+		}
+	}()
+	if s.dead {
 		switch {
 		case b.sync != nil:
 			b.sync.Done()
-		case b.ops == nil:
-			s.closeDay(b.closeDay)
-		default:
-			s.apply(b.ops)
+		case b.ops != nil:
 			if s.recycle != nil {
 				s.recycle(b.ops)
 			}
+		}
+		return
+	}
+	switch {
+	case b.sync != nil:
+		b.sync.Done()
+	case b.ops == nil:
+		s.closeDay(b.closeDay)
+	default:
+		s.apply(b.ops)
+		if s.recycle != nil {
+			s.recycle(b.ops)
 		}
 	}
 }
@@ -141,16 +178,25 @@ func (s *shard) run(wg *sync.WaitGroup) {
 // its readers).
 func (s *shard) apply(ops []op) {
 	s.mu.Lock()
+	locked := true
+	// Release the lock if a panic unwinds mid-apply, so API readers
+	// on a failed engine don't hang on a mutex a dead worker holds.
+	defer func() {
+		if locked {
+			s.mu.Unlock()
+		}
+	}()
 	for i := range ops {
 		s.applyOne(&ops[i])
 	}
 	notes := s.notifyBuf
 	eps := s.epBuf
+	locked = false
 	s.mu.Unlock()
 	// Episode appends land before the event notifications, so an SSE
 	// subscriber reacting to an event finds the log at least as fresh.
-	// Append errors latch inside the log (surfaced by its Err); the
-	// engine keeps streaming.
+	// Append errors degrade inside the log (surfaced by its Health);
+	// the engine keeps streaming.
 	for i := range eps {
 		_ = s.epLog.Append(eps[i])
 	}

@@ -1,0 +1,39 @@
+package oracle
+
+import (
+	"testing"
+
+	"moas/internal/synth"
+)
+
+// TestOracleChaos is the robustness acceptance proof: the full serve
+// stack replays a synth workload under injected ENOSPC/torn-write,
+// fsync-failure and shard-panic schedules, and must (a) never die, (b)
+// degrade visibly and un-degrade after the disk heals, (c) read back
+// exactly the generated ground truth with zero lost episodes, and (d)
+// finish a supervised restart-from-checkpoint with a final checkpoint
+// byte-identical to an uninterrupted run's. (The TestOracle name prefix
+// puts it in CI's synth-oracle -race job.)
+func TestOracleChaos(t *testing.T) {
+	cfg := oracleConfig(7, []synth.Pattern{
+		synth.Anycast(8), synth.RouteLeak(8), synth.GradualHijack(6), synth.FlapStorm(4, 8, 2),
+	})
+	rep, err := RunChaos(cfg, ChaosOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Legs) != 4 {
+		t.Fatalf("ran %d legs (%v), want 4", len(rep.Legs), rep.Legs)
+	}
+	if rep.Episodes == 0 || rep.CheckpointBytes == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("saw %d supervised restarts, want 1", rep.Restarts)
+	}
+	if rep.Injected == 0 {
+		t.Fatal("no faults injected; the harness proved nothing")
+	}
+	t.Logf("%d episodes, checkpoint %d bytes, %d faults injected, %d restart across %v",
+		rep.Episodes, rep.CheckpointBytes, rep.Injected, rep.Restarts, rep.Legs)
+}

@@ -1,0 +1,341 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by a firing Fault with no
+// explicit Err.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// Op names a filesystem operation class a Fault can target.
+type Op string
+
+// Operation classes. OpenFile with O_CREATE and CreateTemp count as
+// OpCreate; plain opens, ReadFile, ReadDir and file Reads count as
+// OpRead; Remove and RemoveAll both count as OpRemove.
+const (
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpCreate   Op = "create"
+	OpRead     Op = "read"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+	OpTruncate Op = "truncate"
+)
+
+// Fault is one entry in a deterministic fault schedule. A fault
+// matches calls of its Op whose path contains Path (empty matches
+// everything). The first After matching calls pass through untouched;
+// the next Count matching calls fire (Count 0 = fire forever, until
+// Heal). A firing fault sleeps Delay, then panics if Panic is set,
+// tears the write after Torn bytes if Torn > 0, or returns Err
+// (default ErrInjected). A fault with only Delay set is pure slow IO:
+// the operation succeeds after the sleep.
+type Fault struct {
+	Op    Op
+	Path  string
+	After int
+	Count int
+	Err   error
+	Torn  int
+	Delay time.Duration
+	Panic bool
+}
+
+func (f *Fault) errOr() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// delayOnly reports whether the fault perturbs timing without failing
+// the operation.
+func (f *Fault) delayOnly() bool {
+	return f.Delay > 0 && !f.Panic && f.Torn == 0 && f.Err == nil
+}
+
+type faultState struct {
+	Fault
+	seen int // matching calls observed so far
+}
+
+// Faulty wraps an FS with a deterministic fault schedule plus an
+// optional global write-byte budget (ENOSPC after N bytes). It is the
+// chaos oracle's disk. Safe for concurrent use; Heal removes every
+// scheduled fault and lifts the budget so degraded subsystems can
+// prove they recover.
+type Faulty struct {
+	fs FS
+
+	mu     sync.Mutex
+	faults []*faultState
+	budget int64 // remaining write bytes; < 0 = unlimited
+
+	injected atomic.Uint64
+}
+
+// NewFaulty wraps fs (nil = OS) with an empty fault schedule.
+func NewFaulty(fs FS) *Faulty {
+	return &Faulty{fs: Default(fs), budget: -1}
+}
+
+// AddFault appends one fault to the schedule.
+func (f *Faulty) AddFault(ft Fault) {
+	f.mu.Lock()
+	f.faults = append(f.faults, &faultState{Fault: ft})
+	f.mu.Unlock()
+}
+
+// SetWriteBudget arms the ENOSPC budget: after n more written bytes
+// (across all files) writes fail with ErrNoSpace, tearing the write
+// that crosses the line. n < 0 disarms.
+func (f *Faulty) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	f.budget = n
+	f.mu.Unlock()
+}
+
+// Heal clears the fault schedule and the write budget. Counters are
+// kept.
+func (f *Faulty) Heal() {
+	f.mu.Lock()
+	f.faults = nil
+	f.budget = -1
+	f.mu.Unlock()
+}
+
+// Injected returns how many operations have been failed, torn, or
+// panicked so far (delay-only firings are not counted).
+func (f *Faulty) Injected() uint64 { return f.injected.Load() }
+
+// match advances the schedule for one call and returns the sleep to
+// apply and the firing fault, if any. The injected counter is bumped
+// here — before any panic — so schedules that panic still record the
+// firing.
+func (f *Faulty) match(op Op, path string) (time.Duration, *Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var delay time.Duration
+	for _, st := range f.faults {
+		if st.Op != op || (st.Path != "" && !strings.Contains(path, st.Path)) {
+			continue
+		}
+		n := st.seen
+		st.seen++
+		if n < st.After {
+			continue
+		}
+		if st.Count > 0 && n >= st.After+st.Count {
+			continue // exhausted: healed
+		}
+		if st.delayOnly() {
+			if st.Delay > delay {
+				delay = st.Delay
+			}
+			continue
+		}
+		f.injected.Add(1)
+		ft := st.Fault
+		return delay + ft.Delay, &ft
+	}
+	return delay, nil
+}
+
+// fire sleeps, panics, or errors for a firing fault on a non-write
+// operation. Returns nil only for delay-only schedules.
+func (f *Faulty) fire(op Op, path string) error {
+	delay, ft := f.match(op, path)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if ft == nil {
+		return nil
+	}
+	if ft.Panic {
+		panic(fmt.Sprintf("vfs: injected panic on %s %s", op, path))
+	}
+	return ft.errOr()
+}
+
+// OpenFile applies OpCreate faults when the call can create the file,
+// OpRead faults otherwise.
+func (f *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	op := OpRead
+	if flag&os.O_CREATE != 0 {
+		op = OpCreate
+	}
+	if err := f.fire(op, name); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, f: file}, nil
+}
+
+// Open applies OpRead faults.
+func (f *Faulty) Open(name string) (File, error) {
+	if err := f.fire(OpRead, name); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, f: file}, nil
+}
+
+// CreateTemp applies OpCreate faults (matched against the directory).
+func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.fire(OpCreate, dir+"/"+pattern); err != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	file, err := f.fs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, f: file}, nil
+}
+
+// ReadFile applies OpRead faults.
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if err := f.fire(OpRead, name); err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return f.fs.ReadFile(name)
+}
+
+// ReadDir applies OpRead faults.
+func (f *Faulty) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.fire(OpRead, name); err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return f.fs.ReadDir(name)
+}
+
+// Stat passes through: fault schedules never target metadata reads.
+func (f *Faulty) Stat(name string) (os.FileInfo, error) { return f.fs.Stat(name) }
+
+// Rename applies OpRename faults.
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if err := f.fire(OpRename, newpath); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.fs.Rename(oldpath, newpath)
+}
+
+// Remove applies OpRemove faults.
+func (f *Faulty) Remove(name string) error {
+	if err := f.fire(OpRemove, name); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.fs.Remove(name)
+}
+
+// RemoveAll applies OpRemove faults.
+func (f *Faulty) RemoveAll(path string) error {
+	if err := f.fire(OpRemove, path); err != nil {
+		return &os.PathError{Op: "removeall", Path: path, Err: err}
+	}
+	return f.fs.RemoveAll(path)
+}
+
+// MkdirAll applies OpMkdir faults.
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.fire(OpMkdir, path); err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return f.fs.MkdirAll(path, perm)
+}
+
+// SyncDir passes through: directory sync is already best-effort.
+func (f *Faulty) SyncDir(dir string) error { return f.fs.SyncDir(dir) }
+
+// faultyFile routes per-file operations back through the schedule.
+type faultyFile struct {
+	fs *Faulty
+	f  File
+}
+
+func (fl *faultyFile) Name() string { return fl.f.Name() }
+
+func (fl *faultyFile) Read(p []byte) (int, error) {
+	if err := fl.fs.fire(OpRead, fl.f.Name()); err != nil {
+		return 0, err
+	}
+	return fl.f.Read(p)
+}
+
+// Write applies OpWrite faults (torn writes leave Torn bytes on disk)
+// and then the global byte budget; the write crossing the budget line
+// is torn at the boundary and fails with ErrNoSpace.
+func (fl *faultyFile) Write(p []byte) (int, error) {
+	name := fl.f.Name()
+	delay, ft := fl.fs.match(OpWrite, name)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if ft != nil {
+		if ft.Panic {
+			panic(fmt.Sprintf("vfs: injected panic on write %s", name))
+		}
+		n := ft.Torn
+		if n > len(p) {
+			n = len(p)
+		}
+		wrote := 0
+		if n > 0 {
+			wrote, _ = fl.f.Write(p[:n])
+		}
+		return wrote, ft.errOr()
+	}
+	fl.fs.mu.Lock()
+	budget := fl.fs.budget
+	if budget >= 0 {
+		if int64(len(p)) <= budget {
+			fl.fs.budget -= int64(len(p))
+		} else {
+			fl.fs.budget = 0
+		}
+	}
+	fl.fs.mu.Unlock()
+	if budget >= 0 && int64(len(p)) > budget {
+		fl.fs.injected.Add(1)
+		wrote := 0
+		if budget > 0 {
+			wrote, _ = fl.f.Write(p[:budget])
+		}
+		return wrote, ErrNoSpace
+	}
+	return fl.f.Write(p)
+}
+
+func (fl *faultyFile) Sync() error {
+	if err := fl.fs.fire(OpSync, fl.f.Name()); err != nil {
+		return err
+	}
+	return fl.f.Sync()
+}
+
+func (fl *faultyFile) Truncate(size int64) error {
+	if err := fl.fs.fire(OpTruncate, fl.f.Name()); err != nil {
+		return err
+	}
+	return fl.f.Truncate(size)
+}
+
+func (fl *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	return fl.f.Seek(offset, whence)
+}
+
+func (fl *faultyFile) Close() error { return fl.f.Close() }

@@ -1,0 +1,210 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	fs := OS{}
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile(filepath.Join(sub, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(sub, "x"), filepath.Join(sub, "y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(filepath.Join(sub, "y"))
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile: %q %v", b, err)
+	}
+	ents, err := fs.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "y" {
+		t.Fatalf("ReadDir: %v %v", ents, err)
+	}
+	if _, err := fs.Stat(filepath.Join(sub, "y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultNil(t *testing.T) {
+	if _, ok := Default(nil).(OS); !ok {
+		t.Fatal("Default(nil) is not OS")
+	}
+	f := NewFaulty(nil)
+	if Default(f) != FS(f) {
+		t.Fatal("Default(fs) did not pass through")
+	}
+}
+
+func TestFaultyWriteBudgetENOSPC(t *testing.T) {
+	f := NewFaulty(nil)
+	f.SetWriteBudget(8)
+	dir := t.TempDir()
+	w, err := f.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := w.Write([]byte("12345")); n != 5 || err != nil {
+		t.Fatalf("within budget: %d %v", n, err)
+	}
+	// Crossing the line tears the write at the boundary.
+	if n, err := w.Write([]byte("67890")); n != 3 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("crossing budget: %d %v", n, err)
+	}
+	if n, err := w.Write([]byte("a")); n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("exhausted budget: %d %v", n, err)
+	}
+	if f.Injected() != 2 {
+		t.Fatalf("Injected=%d, want 2", f.Injected())
+	}
+	f.Heal()
+	if n, err := w.Write([]byte("ok")); n != 2 || err != nil {
+		t.Fatalf("after heal: %d %v", n, err)
+	}
+	w.Close()
+	b, _ := f.ReadFile(filepath.Join(dir, "x"))
+	if string(b) != "12345"+"678"+"ok" {
+		t.Fatalf("on-disk bytes %q", b)
+	}
+}
+
+func TestFaultErrorOnceThenHeal(t *testing.T) {
+	f := NewFaulty(nil)
+	boom := errors.New("boom")
+	f.AddFault(Fault{Op: OpSync, After: 1, Count: 2, Err: boom})
+	dir := t.TempDir()
+	w, err := f.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Sync(); err != nil { // call 0: before After
+		t.Fatalf("sync 0: %v", err)
+	}
+	for i := 0; i < 2; i++ { // calls 1,2: firing window
+		if err := w.Sync(); !errors.Is(err, boom) {
+			t.Fatalf("sync %d: %v, want boom", i+1, err)
+		}
+	}
+	if err := w.Sync(); err != nil { // call 3: schedule exhausted, self-healed
+		t.Fatalf("sync 3: %v", err)
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	f := NewFaulty(nil)
+	f.AddFault(Fault{Op: OpWrite, Count: 1, Torn: 3})
+	dir := t.TempDir()
+	w, _ := f.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	n, err := w.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: %d %v", n, err)
+	}
+	if n, err := w.Write([]byte("xyz")); n != 3 || err != nil {
+		t.Fatalf("post-torn write: %d %v", n, err)
+	}
+	w.Close()
+	b, _ := f.ReadFile(filepath.Join(dir, "x"))
+	if string(b) != "abcxyz" {
+		t.Fatalf("on-disk bytes %q", b)
+	}
+}
+
+func TestFaultPathMatchAndOps(t *testing.T) {
+	f := NewFaulty(nil)
+	f.AddFault(Fault{Op: OpRename, Path: "ck-"})
+	f.AddFault(Fault{Op: OpMkdir})
+	f.AddFault(Fault{Op: OpRemove})
+	f.AddFault(Fault{Op: OpCreate, Path: "seg-"})
+	dir := t.TempDir()
+	if err := f.MkdirAll(filepath.Join(dir, "d"), 0o755); err == nil {
+		t.Fatal("mkdir fault did not fire")
+	}
+	w, _ := OS{}.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	w.Close()
+	if err := f.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("rename to unmatched path: %v", err)
+	}
+	if err := f.Rename(filepath.Join(dir, "b"), filepath.Join(dir, "ck-1")); err == nil {
+		t.Fatal("rename fault did not fire on matching path")
+	}
+	if err := f.Remove(filepath.Join(dir, "b")); err == nil {
+		t.Fatal("remove fault did not fire")
+	}
+	if _, err := f.OpenFile(filepath.Join(dir, "seg-1"), os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+		t.Fatal("create fault did not fire")
+	}
+	if _, err := f.OpenFile(filepath.Join(dir, "other"), os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		t.Fatalf("create on unmatched path: %v", err)
+	}
+}
+
+func TestFaultDelayOnly(t *testing.T) {
+	f := NewFaulty(nil)
+	f.AddFault(Fault{Op: OpWrite, Delay: 30 * time.Millisecond})
+	dir := t.TempDir()
+	w, _ := f.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	defer w.Close()
+	start := time.Now()
+	if n, err := w.Write([]byte("slow")); n != 4 || err != nil {
+		t.Fatalf("slow write: %d %v", n, err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 30ms delay", d)
+	}
+	if f.Injected() != 0 {
+		t.Fatalf("delay-only firing counted as injected: %d", f.Injected())
+	}
+}
+
+func TestFaultPanic(t *testing.T) {
+	f := NewFaulty(nil)
+	f.AddFault(Fault{Op: OpWrite, Panic: true, Count: 1})
+	dir := t.TempDir()
+	w, _ := f.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	defer w.Close()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no panic")
+			}
+			if !strings.Contains(r.(string), "injected panic") {
+				t.Fatalf("panic value %v", r)
+			}
+		}()
+		w.Write([]byte("boom"))
+	}()
+	if f.Injected() != 1 {
+		t.Fatalf("Injected=%d, want 1", f.Injected())
+	}
+	// Count=1: the schedule healed itself after the panic.
+	if n, err := w.Write([]byte("ok")); n != 2 || err != nil {
+		t.Fatalf("post-panic write: %d %v", n, err)
+	}
+}
